@@ -1,0 +1,103 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//  1. Overlap-free vs naive frequency selection — how many completion-time
+//     collisions each produces (the mechanism behind Fig. 3-b vs 3-c).
+//  2. Collision-check resolution — the paper checks *exact* duplicates; an
+//     adversary's effective timing resolution is the scope sample period,
+//     so we quantify residual collisions when the plan is quantized to
+//     coarser grids.
+//  3. BUFG switch overhead — the paper's completion-time arithmetic assumes
+//     ideal period sums; modelling the glitch-free mux dead time perturbs
+//     the distribution, measured here.
+#include <cstdio>
+#include <unordered_set>
+
+#include "common.hpp"
+#include "rftc/controller.hpp"
+#include "util/histogram.hpp"
+
+namespace {
+
+using namespace rftc;
+
+core::FrequencyPlan make_plan(bool avoid_overlaps, int p,
+                              std::uint64_t seed) {
+  core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = p;
+  pp.avoid_overlaps = avoid_overlaps;
+  pp.seed = seed;
+  return core::plan_frequencies(pp);
+}
+
+std::size_t plan_collisions(const core::FrequencyPlan& plan,
+                            std::int64_t resolution_fs) {
+  ExactHistogram h;
+  for (const auto& periods : plan.periods_fs)
+    for (const std::int64_t t :
+         core::enumerate_completion_times(periods, plan.params.rounds))
+      h.add(t / resolution_fs);
+  return static_cast<std::size_t>(h.colliding_items());
+}
+
+}  // namespace
+
+int main() {
+  const bench::ScaleProfile profile = bench::scale_profile();
+  const int p = profile.name == "full" ? 512 : 128;
+  bench::print_header("Ablation — planner and clocking design choices (P=" +
+                      std::to_string(p) + ")");
+
+  const core::FrequencyPlan careful = make_plan(true, p, 11);
+  const core::FrequencyPlan naive = make_plan(false, p, 11);
+
+  std::printf("\n[1] Overlap-free search (theoretical completion times)\n");
+  std::printf("    %-28s %12s %12s\n", "", "careful", "naive");
+  std::printf("    %-28s %12llu %12llu\n", "total completion times",
+              static_cast<unsigned long long>(careful.total_completion_times()),
+              static_cast<unsigned long long>(naive.total_completion_times()));
+  std::printf("    %-28s %12zu %12zu\n", "colliding entries (1 fs)",
+              plan_collisions(careful, 1), plan_collisions(naive, 1));
+  std::printf("    %-28s %12llu %12llu\n", "candidate sets rejected",
+              static_cast<unsigned long long>(careful.rejected_sets),
+              static_cast<unsigned long long>(naive.rejected_sets));
+
+  std::printf("\n[2] Residual collisions vs adversary timing resolution\n");
+  for (const std::int64_t res_fs :
+       {std::int64_t{1}, std::int64_t{1'000}, std::int64_t{100'000},
+        std::int64_t{1'000'000}, std::int64_t{2'000'000},
+        std::int64_t{10'000'000}}) {
+    std::printf("    resolution %9.3f ps: careful %6zu, naive %6zu "
+                "colliding entries\n",
+                static_cast<double>(res_fs) / 1e3,
+                plan_collisions(careful, res_fs),
+                plan_collisions(naive, res_fs));
+  }
+  std::printf(
+      "    -> exact-duplicate avoidance also thins out coarse-grid "
+      "collisions, but cannot eliminate them below the scope resolution.\n");
+
+  std::printf("\n[3] BUFG glitch-free switch overhead\n");
+  for (const bool overhead : {false, true}) {
+    core::ControllerParams cp;
+    cp.model_switch_overhead = overhead;
+    core::RftcController ctrl(careful, cp);
+    ExactHistogram h;
+    double mean = 0;
+    const std::size_t n = 100'000;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Picoseconds c = ctrl.next(10).completion_ps();
+      h.add(c);
+      mean += static_cast<double>(c);
+    }
+    std::printf("    switch overhead %-5s: mean completion %8.2f ns, "
+                "distinct %6zu, max identical %llu\n",
+                overhead ? "ON" : "OFF", mean / static_cast<double>(n) / 1e3,
+                h.distinct(),
+                static_cast<unsigned long long>(h.max_multiplicity()));
+  }
+  std::printf(
+      "    -> the idealized (paper) arithmetic is the OFF row; the ON row "
+      "shows the dead time stretches completions and reshuffles the "
+      "distribution without collapsing its diversity.\n");
+  return 0;
+}

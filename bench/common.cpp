@@ -1,0 +1,134 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "sched/fixed_clock.hpp"
+
+namespace rftc::bench {
+
+aes::Key evaluation_key() {
+  // The FIPS-197 Appendix B key: well known and easy to eyeball in output.
+  return {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+          0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
+}
+
+aes::Block evaluation_round10_key() {
+  return aes::expand_key(evaluation_key())[10];
+}
+
+ScaleProfile scale_profile() {
+  const char* env = std::getenv("RFTC_SCALE");
+  const bool full = env != nullptr && std::strcmp(env, "full") == 0;
+  if (full) {
+    return {.name = "full",
+            .sr_max_traces = 100'000,
+            .sr_checkpoints = {1'000, 2'000, 5'000, 10'000, 25'000, 50'000,
+                               100'000},
+            .sr_repeats = 10,
+            .tvla_traces = 50'000,
+            .histogram_encryptions = 1'000'000,
+            .attack_bytes = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                             14, 15}};
+  }
+  return {.name = "fast",
+          .sr_max_traces = 48'000,
+          .sr_checkpoints = {1'000, 3'000, 8'000, 16'000, 32'000, 48'000},
+          .sr_repeats = 3,
+          .tvla_traces = 12'000,
+          .histogram_encryptions = 1'000'000,
+          .attack_bytes = {0, 5, 10, 15}};
+}
+
+analysis::CampaignFactory rftc_factory(int m, int p) {
+  const aes::Key key = evaluation_key();
+  return [key, m, p](std::uint64_t repeat, std::size_t n) {
+    const std::uint64_t mix = SplitMix64(0x5EED0000 +
+                                         static_cast<std::uint64_t>(m) * 7919 +
+                                         static_cast<std::uint64_t>(p) * 104729 +
+                                         repeat)
+                                  .next();
+    core::RftcDevice dev = core::RftcDevice::make(key, m, p, mix | 1);
+    trace::PowerModelParams pm;
+    trace::TraceSimulator sim(pm, mix ^ 0xA5A5A5A5ULL);
+    Xoshiro256StarStar rng(mix + 0xB0B0B0B0ULL);
+    return trace::acquire_random(
+        [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
+  };
+}
+
+analysis::CampaignFactory unprotected_factory() {
+  const aes::Key key = evaluation_key();
+  return [key](std::uint64_t repeat, std::size_t n) {
+    core::ScheduledAesDevice dev(
+        key, std::make_unique<sched::FixedClockScheduler>(48.0));
+    trace::PowerModelParams pm;
+    trace::TraceSimulator sim(pm, 0xC000 + repeat);
+    Xoshiro256StarStar rng(0xD000 + repeat);
+    return trace::acquire_random(
+        [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
+  };
+}
+
+void run_attack_suite(const std::string& label,
+                      const analysis::CampaignFactory& factory,
+                      const ScaleProfile& profile) {
+  using analysis::AttackKind;
+  constexpr AttackKind kKinds[] = {AttackKind::kCpa, AttackKind::kPcaCpa,
+                                   AttackKind::kDtwCpa, AttackKind::kFftCpa};
+  const aes::Block rk10 = evaluation_round10_key();
+  std::printf("\n-- %s --\n", label.c_str());
+  std::printf("%-10s", "traces");
+  for (const std::size_t c : profile.sr_checkpoints)
+    std::printf("%10zu", c);
+  std::printf("\n");
+  std::fflush(stdout);
+
+  // One campaign per repetition, shared by all four attack kinds (each
+  // attack sees the same adversary budget, as in the paper's evaluation).
+  std::vector<std::vector<double>> rate(4);
+  for (auto& r : rate) r.assign(profile.sr_checkpoints.size(), 0.0);
+  for (unsigned rep = 0; rep < profile.sr_repeats; ++rep) {
+    const trace::TraceSet set = factory(rep, profile.sr_max_traces);
+    for (std::size_t k = 0; k < 4; ++k) {
+      analysis::AttackParams attack;
+      attack.kind = kKinds[k];
+      attack.byte_positions = profile.attack_bytes;
+      attack.checkpoints = profile.sr_checkpoints;
+      const analysis::AttackOutcome out =
+          analysis::run_attack(set, rk10, attack);
+      for (std::size_t i = 0; i < out.checkpoints.size(); ++i)
+        rate[k][i] += out.success[i] ? 1.0 : 0.0;
+    }
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::printf("%-10s", analysis::attack_name(kKinds[k]).c_str());
+    std::size_t broke = 0;
+    for (std::size_t i = 0; i < profile.sr_checkpoints.size(); ++i) {
+      const double s = rate[k][i] / profile.sr_repeats;
+      std::printf("%10.2f", s);
+      if (broke == 0 && s >= 0.5) broke = profile.sr_checkpoints[i];
+    }
+    if (broke != 0) {
+      std::printf("   BROKEN @ %zu\n", broke);
+    } else {
+      std::printf("   not broken\n");
+    }
+    std::fflush(stdout);
+  }
+}
+
+void print_rule(std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace rftc::bench

@@ -1,0 +1,63 @@
+// Shared infrastructure for the reproduction benches: the evaluation key,
+// campaign factories, scale profiles and table formatting.
+//
+// Scale: the paper's campaigns run to 1M-4M traces on real hardware.  These
+// benches default to a "fast" profile whose trace axis is ~100x smaller,
+// with the oscilloscope noise calibrated so the unprotected baseline breaks
+// at a proportionally smaller trace count (see EXPERIMENTS.md).  Set
+// RFTC_SCALE=full for a longer run (~10x the fast profile).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.hpp"
+#include "analysis/attacks.hpp"
+#include "analysis/success_rate.hpp"
+#include "rftc/device.hpp"
+#include "trace/acquisition.hpp"
+
+namespace rftc::bench {
+
+/// The key under attack in every experiment.
+aes::Key evaluation_key();
+aes::Block evaluation_round10_key();
+
+struct ScaleProfile {
+  std::string name;
+  /// Max traces per success-rate campaign.
+  std::size_t sr_max_traces;
+  /// Checkpoints for success-rate curves.
+  std::vector<std::size_t> sr_checkpoints;
+  /// Attack repetitions per point (paper: 100).
+  unsigned sr_repeats;
+  /// TVLA traces per population (paper: 1M total).
+  std::size_t tvla_traces;
+  /// Completion-time histogram encryptions (paper: 1M).
+  std::size_t histogram_encryptions;
+  /// Key-byte positions attacked (paper: full key; fast profile uses a
+  /// representative subset to fit a single-core budget).
+  std::vector<int> attack_bytes;
+};
+
+/// Reads RFTC_SCALE (fast | full) from the environment; defaults to fast.
+ScaleProfile scale_profile();
+
+/// Campaign factory for an RFTC(m, p) device (fresh device per repeat so
+/// countermeasure randomness is independent).
+analysis::CampaignFactory rftc_factory(int m, int p);
+/// Campaign factory for the unprotected fixed-clock reference.
+analysis::CampaignFactory unprotected_factory();
+
+/// Runs the four attacks of the paper against one campaign factory and
+/// prints the success-rate series (one row per checkpoint).
+void run_attack_suite(const std::string& label,
+                      const analysis::CampaignFactory& factory,
+                      const ScaleProfile& profile);
+
+/// Markdown-ish table row helpers.
+void print_rule(std::size_t width = 78);
+void print_header(const std::string& title);
+
+}  // namespace rftc::bench

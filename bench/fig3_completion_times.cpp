@@ -1,0 +1,122 @@
+// Fig. 3 reproduction: completion-time histograms over one million
+// encryptions for (a) unprotected AES at 48 MHz, (b) RFTC(3, P) with
+// naively chosen frequencies (overlaps allowed) and (c) RFTC(3, P) with the
+// overlap-free planner.
+//
+// The paper's claims checked here: (a) is a single spike at 208.33 ns; (b)
+// shows concentrated peaks (the annotated leak); (c) spans 208.33-833.32 ns
+// near-uniformly with fewer than ~130 identical completion times per
+// million encryptions.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rftc/controller.hpp"
+#include "sched/fixed_clock.hpp"
+#include "util/histogram.hpp"
+
+namespace {
+
+using namespace rftc;
+
+struct HistReport {
+  ExactHistogram exact;
+  Histogram binned{200.0, 840.0, 64};
+  Picoseconds min_ps = INT64_MAX, max_ps = 0;
+};
+
+HistReport run_histogram(sched::Scheduler& sched, std::size_t n) {
+  HistReport rep;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Picoseconds c = sched.next(10).completion_ps();
+    rep.exact.add(c);
+    rep.binned.add(to_ns(c));
+    rep.min_ps = std::min(rep.min_ps, c);
+    rep.max_ps = std::max(rep.max_ps, c);
+  }
+  return rep;
+}
+
+void print_report(const char* label, const HistReport& rep) {
+  std::printf("\n[%s]\n", label);
+  std::printf("  encryptions            : %llu\n",
+              static_cast<unsigned long long>(rep.exact.total()));
+  std::printf("  completion range       : %.2f .. %.2f ns\n",
+              to_ns(rep.min_ps), to_ns(rep.max_ps));
+  std::printf("  distinct completions   : %zu\n", rep.exact.distinct());
+  std::printf("  max identical count    : %llu\n",
+              static_cast<unsigned long long>(rep.exact.max_multiplicity()));
+  std::printf("  occupied histogram bins: %zu / %zu\n",
+              rep.binned.occupied_bins(), rep.binned.bins());
+  std::printf("%s", rep.binned.ascii(32, 60).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bench::ScaleProfile profile = bench::scale_profile();
+  // The planner at P=1024 is a one-time design step; the fast profile uses
+  // P=256 to keep the bench snappy (the histogram structure is identical).
+  const int p = profile.name == "full" ? 1024 : 256;
+  const std::size_t n = profile.histogram_encryptions;
+  bench::print_header("Fig. 3 — completion-time histograms (" +
+                      std::to_string(n) + " encryptions, P=" +
+                      std::to_string(p) + ")");
+
+  // (a) Unprotected, 48 MHz.
+  sched::FixedClockScheduler unprot(48.0);
+  const HistReport a = run_histogram(unprot, n);
+  print_report("Fig. 3-a  unprotected AES @ 48 MHz", a);
+  std::printf("  -> paper: single spike at 208.33 ns; measured spike at "
+              "%.2f ns with %zu distinct value(s)\n",
+              to_ns(a.min_ps), a.exact.distinct());
+
+  // (b) RFTC(3, P) without the overlap check: consecutive 0.012 MHz grid
+  // triples, the paper's "without carefully choosing random frequencies".
+  core::PlannerParams naive;
+  naive.m_outputs = 3;
+  naive.p_configs = p;
+  naive.avoid_overlaps = false;
+  naive.naive_grid_partition = true;
+  // Cover the whole 12-48 MHz band with P x 3 consecutive frequencies, as
+  // the paper's 3,072-frequency grid does at P=1024.
+  naive.grid_step_mhz = (naive.f_max_mhz - naive.f_min_mhz) /
+                        static_cast<double>(3 * p);
+  naive.seed = 1;
+  core::ControllerParams cp;
+  core::RftcController ctrl_naive(core::plan_frequencies(naive), cp);
+  const HistReport b = run_histogram(ctrl_naive, n);
+  print_report("Fig. 3-b  RFTC(3, P) naive frequency choice", b);
+
+  // (c) RFTC(3, P) with carefully chosen (overlap-free) frequencies.
+  core::PlannerParams careful;
+  careful.m_outputs = 3;
+  careful.p_configs = p;
+  careful.avoid_overlaps = true;
+  careful.seed = 1;
+  const core::FrequencyPlan plan = core::plan_frequencies(careful);
+  core::RftcController ctrl_careful(plan, cp);
+  const HistReport c = run_histogram(ctrl_careful, n);
+  print_report("Fig. 3-c  RFTC(3, P) overlap-free frequency choice", c);
+  std::printf("  planner rejected sets  : %llu\n",
+              static_cast<unsigned long long>(plan.rejected_sets));
+  std::printf("  plan completion times  : %llu (paper: 67,584 at P=1024)\n",
+              static_cast<unsigned long long>(plan.total_completion_times()));
+
+  // Headline comparisons.
+  std::printf("\nSummary (paper -> measured):\n");
+  std::printf("  (a) distinct completions: 1 -> %zu\n", a.exact.distinct());
+  std::printf("  (b) max identical count : high peaks -> %llu\n",
+              static_cast<unsigned long long>(b.exact.max_multiplicity()));
+  std::printf("  (c) max identical count : <130 per 1M -> %llu per %zu\n",
+              static_cast<unsigned long long>(c.exact.max_multiplicity()),
+              static_cast<std::size_t>(n));
+  std::printf("  peak concentration (max bin / mean bin): (b) %.1fx vs (c) "
+              "%.1fx\n",
+              static_cast<double>(b.binned.max_count()) *
+                  static_cast<double>(b.binned.occupied_bins()) /
+                  static_cast<double>(b.binned.total()),
+              static_cast<double>(c.binned.max_count()) *
+                  static_cast<double>(c.binned.occupied_bins()) /
+                  static_cast<double>(c.binned.total()));
+  return 0;
+}

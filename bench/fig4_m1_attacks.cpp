@@ -1,0 +1,26 @@
+// Fig. 4 reproduction: success rates of CPA, PCA-CPA, DTW-CPA and FFT-CPA
+// against RFTC(1, P) for P in {4, 16, 64, 256, 1024}.
+//
+// Paper shape to reproduce (trace axis scaled, see EXPERIMENTS.md):
+//  * CPA / PCA-CPA break RFTC(1, 4) but fail for P >= 16;
+//  * DTW-CPA breaks P in {4, 16, 64} quickly, P = 256 late, P = 1024 never;
+//  * FFT-CPA breaks P in {4, 16} and fails beyond.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rftc;
+  const bench::ScaleProfile profile = bench::scale_profile();
+  bench::print_header("Fig. 4 — attacks on RFTC(1, P), profile " +
+                      profile.name);
+  for (const int p : {4, 16, 64, 256, 1024}) {
+    bench::run_attack_suite("RFTC(1, " + std::to_string(p) + ")",
+                            bench::rftc_factory(1, p), profile);
+  }
+  std::printf(
+      "\nExpected ordering (paper): security increases with P; DTW-CPA is "
+      "the strongest preprocessing, breaking up to P=256; P=1024 resists "
+      "all four attacks.\n");
+  return 0;
+}

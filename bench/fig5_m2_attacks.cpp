@@ -1,0 +1,23 @@
+// Fig. 5 reproduction: the four attacks against RFTC(2, P).
+//
+// Paper shape: with two clock outputs randomized per round, CPA, PCA-CPA
+// and FFT-CPA fail for every P; DTW-CPA still breaks the small sets
+// (P = 4, P = 16) and fails beyond.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rftc;
+  const bench::ScaleProfile profile = bench::scale_profile();
+  bench::print_header("Fig. 5 — attacks on RFTC(2, P), profile " +
+                      profile.name);
+  for (const int p : {4, 16, 64, 256, 1024}) {
+    bench::run_attack_suite("RFTC(2, " + std::to_string(p) + ")",
+                            bench::rftc_factory(2, p), profile);
+  }
+  std::printf(
+      "\nExpected ordering (paper): only DTW-CPA succeeds, and only for "
+      "small P (4, 16).\n");
+  return 0;
+}

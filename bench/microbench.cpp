@@ -1,0 +1,136 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths of the
+// simulation and attack pipeline.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aes/leakage.hpp"
+#include "aes/round_engine.hpp"
+#include "analysis/cpa.hpp"
+#include "analysis/dtw.hpp"
+#include "analysis/fft.hpp"
+#include "clocking/drp_codec.hpp"
+#include "common.hpp"
+#include "rftc/frequency_planner.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+
+namespace {
+
+using namespace rftc;
+
+void BM_AesEncrypt(benchmark::State& state) {
+  const aes::Key key = bench::evaluation_key();
+  aes::Block pt{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::encrypt(pt, key));
+    ++pt[0];
+  }
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_RoundEngine(benchmark::State& state) {
+  aes::RoundEngine engine(bench::evaluation_key());
+  aes::Block pt{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.encrypt(pt));
+    ++pt[1];
+  }
+}
+BENCHMARK(BM_RoundEngine);
+
+void BM_HypothesisRow(benchmark::State& state) {
+  aes::Block ct{};
+  for (int i = 0; i < 16; ++i) ct[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(11 * i + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::last_round_hypothesis_row(ct, 5));
+    ++ct[5];
+  }
+}
+BENCHMARK(BM_HypothesisRow);
+
+void BM_TraceSimulate(benchmark::State& state) {
+  core::ScheduledAesDevice dev(
+      bench::evaluation_key(),
+      std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 1);
+  aes::Block pt{};
+  for (auto _ : state) {
+    const auto rec = dev.encrypt(pt);
+    benchmark::DoNotOptimize(sim.simulate(rec.schedule, rec.activity));
+    ++pt[2];
+  }
+}
+BENCHMARK(BM_TraceSimulate);
+
+void BM_CpaAdd(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  analysis::CpaEngine engine(samples, {0, 5, 10, 15});
+  std::vector<float> tr(samples, 1.0f);
+  aes::Block ct{};
+  for (auto _ : state) {
+    engine.add(ct, tr);
+    ++ct[0];
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpaAdd)->Arg(64)->Arg(125)->Arg(250);
+
+void BM_DtwAlign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(3);
+  std::vector<double> ref(n);
+  std::vector<float> tr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref[i] = rng.gaussian();
+    tr[i] = static_cast<float>(rng.gaussian());
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::dtw_align(ref, tr, {.band = 16}));
+}
+BENCHMARK(BM_DtwAlign)->Arg(125)->Arg(250);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(5);
+  std::vector<float> sig(n);
+  for (auto& v : sig) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::magnitude_spectrum(sig));
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(512);
+
+void BM_DrpEncode(benchmark::State& state) {
+  clk::MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 40 * 8;
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8, 24 * 8, 30 * 8, 8, 8, 8, 8};
+  for (auto _ : state) benchmark::DoNotOptimize(clk::encode_config(cfg));
+}
+BENCHMARK(BM_DrpEncode);
+
+void BM_EnumerateCompletionTimes(benchmark::State& state) {
+  const std::vector<Picoseconds> periods = {20'833, 30'000, 41'667};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::enumerate_completion_times(periods, 10));
+}
+BENCHMARK(BM_EnumerateCompletionTimes);
+
+void BM_PlanFrequencies(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PlannerParams pp;
+    pp.m_outputs = 3;
+    pp.p_configs = static_cast<int>(state.range(0));
+    pp.seed = 1;
+    benchmark::DoNotOptimize(core::plan_frequencies(pp));
+  }
+}
+BENCHMARK(BM_PlanFrequencies)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Protected session: encrypt a realistic multi-block message in CBC and
+// CTR mode through the RFTC-protected device, as a firmware image or
+// telemetry stream on the SASEBO-class board would be.
+//
+// Every single block encryption runs at fresh randomized frequencies, yet
+// the output is byte-identical to software AES — the countermeasure is
+// invisible to the protocol.
+//
+//   $ ./examples/protected_session
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "aes/modes.hpp"
+#include "rftc/device.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace rftc;
+  const aes::Key key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+                        0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
+  const aes::Block iv = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                         0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F};
+
+  core::RftcDevice device = core::RftcDevice::make(key, 3, 64, 7);
+  ExactHistogram timings;
+  auto protected_enc = [&](const aes::Block& b) {
+    const core::EncryptionRecord rec = device.encrypt(b);
+    timings.add(rec.schedule.completion_ps());
+    return rec.ciphertext;
+  };
+
+  const std::string message =
+      "RFTC keeps the ciphertext identical while every round's clock "
+      "frequency is drawn from thousands of candidates.....";  // 128 bytes
+  std::vector<std::uint8_t> msg(message.begin(), message.end());
+  msg.resize(128, '.');
+
+  // CBC over the protected device, verified against software AES.
+  const auto ct_hw = aes::cbc_encrypt(protected_enc, iv, msg);
+  const auto ct_sw = aes::cbc_encrypt(aes::software_encryptor(key), iv, msg);
+  std::printf("CBC, 8 blocks through RFTC(3, 64): %s software AES\n",
+              ct_hw == ct_sw ? "identical to" : "DIFFERS FROM");
+  const auto pt_back = aes::cbc_decrypt(key, iv, ct_hw);
+  std::printf("CBC decrypt round-trip: %s\n",
+              pt_back == msg ? "ok" : "FAILED");
+
+  // CTR keystream for a 100-byte datagram (partial final block).
+  std::vector<std::uint8_t> datagram(100, 0x42);
+  const auto ctr_ct = aes::ctr_crypt(protected_enc, iv, datagram);
+  const auto ctr_rt =
+      aes::ctr_crypt(aes::software_encryptor(key), iv, ctr_ct);
+  std::printf("CTR 100-byte datagram round-trip: %s\n",
+              ctr_rt == datagram ? "ok" : "FAILED");
+
+  std::printf("\nBlock encryptions performed: %llu\n",
+              static_cast<unsigned long long>(timings.total()));
+  std::printf("Distinct completion times   : %zu (a fixed-clock core would "
+              "show exactly 1)\n",
+              timings.distinct());
+  return 0;
+}

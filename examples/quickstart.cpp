@@ -1,0 +1,50 @@
+// Quickstart: build an RFTC-protected AES device, encrypt a few blocks, and
+// see the countermeasure at work — correct ciphertexts, randomized
+// completion times.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "rftc/device.hpp"
+#include "util/time_types.hpp"
+
+int main() {
+  using namespace rftc;
+
+  // 1. A secret key (FIPS-197 example key).
+  const aes::Key key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+                        0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
+
+  // 2. An RFTC(3, 64) device: the planner chooses 64 overlap-free sets of
+  //    3 MMCM output frequencies in 12-48 MHz; two modelled MMCMs
+  //    ping-pong through DRP reconfiguration at runtime.
+  core::RftcDevice device = core::RftcDevice::make(key, /*m=*/3, /*p=*/64,
+                                                   /*seed=*/2024);
+  std::printf("Device: %s\n", device.controller().name().c_str());
+  std::printf("Plan: %llu possible completion times\n",
+              static_cast<unsigned long long>(
+                  device.controller().plan().total_completion_times()));
+
+  // 3. Encrypt: functionally plain AES-128, physically randomized.
+  const aes::Block pt = {0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D,
+                         0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07, 0x34};
+  std::printf("\n%-4s %-34s %s\n", "#", "ciphertext", "completion");
+  for (int i = 0; i < 8; ++i) {
+    const core::EncryptionRecord rec = device.encrypt(pt);
+    std::printf("%-4d ", i);
+    for (const auto b : rec.ciphertext) std::printf("%02x", b);
+    std::printf("   %7.2f ns\n", to_ns(rec.schedule.completion_ps()));
+  }
+  std::printf("\nSame plaintext, same ciphertext (39 25 84 1d ...), but the "
+              "completion time changes every run:\nthat timing spread is "
+              "what misaligns power traces and defeats CPA.\n");
+
+  // 4. Peek at the runtime machinery.
+  const auto& stats = device.controller().stats();
+  std::printf("\nController stats: %llu encryptions, %llu MMCM "
+              "reconfigurations, last reconfig %.1f us\n",
+              static_cast<unsigned long long>(stats.encryptions),
+              static_cast<unsigned long long>(stats.reconfigurations),
+              to_us(stats.last_reconfig_duration_ps));
+  return 0;
+}

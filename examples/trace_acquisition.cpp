@@ -1,0 +1,73 @@
+// Trace acquisition: simulate the paper's measurement bench — a SASEBO-GIII
+// power rail captured by a 100 MHz oscilloscope — for an unprotected and an
+// RFTC-protected device, and write the traces to CSV for plotting.
+//
+//   $ ./examples/trace_acquisition [out_prefix]
+//   -> <prefix>unprotected.csv, <prefix>rftc.csv (columns: t_ns, trace0..4)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+#include "util/io.hpp"
+
+namespace {
+
+using namespace rftc;
+
+void capture_and_dump(const std::string& path, const trace::Encryptor& enc,
+                      trace::TraceSimulator& sim) {
+  Xoshiro256StarStar rng(1);
+  const trace::TraceSet set = trace::acquire_random(enc, sim, 5, rng);
+  std::vector<std::string> header = {"t_ns"};
+  std::vector<std::vector<double>> cols(1 + set.size());
+  for (std::size_t s = 0; s < set.samples(); ++s)
+    cols[0].push_back(static_cast<double>(s) *
+                      static_cast<double>(sim.params().sample_period_ps) /
+                      1e3);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    header.push_back("trace" + std::to_string(i));
+    const auto t = set.trace(i);
+    cols[1 + i].assign(t.begin(), t.end());
+  }
+  write_csv(path, header, cols);
+  std::printf("wrote %zu traces x %zu samples -> %s\n", set.size(),
+              set.samples(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "";
+  const aes::Key key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+                        0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
+
+  // The modelled scope: 500 MS/s, 100 MHz bandwidth, 8-bit ADC.
+  trace::PowerModelParams pm;
+  std::printf("Oscilloscope model: %.0f MS/s, %.0f MHz BW, %d-bit ADC, "
+              "%zu samples/capture\n",
+              1e6 / static_cast<double>(pm.sample_period_ps),
+              pm.bandwidth_mhz, pm.adc_bits, pm.samples());
+
+  core::ScheduledAesDevice unprot(
+      key, std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::TraceSimulator sim_u(pm, 7);
+  capture_and_dump(prefix + "unprotected.csv",
+                   [&](const aes::Block& pt) { return unprot.encrypt(pt); },
+                   sim_u);
+
+  core::RftcDevice rftc_dev = core::RftcDevice::make(key, 3, 64, 11);
+  trace::TraceSimulator sim_r(pm, 8);
+  capture_and_dump(prefix + "rftc.csv",
+                   [&](const aes::Block& pt) { return rftc_dev.encrypt(pt); },
+                   sim_r);
+
+  std::printf(
+      "\nPlot the two files side by side: the unprotected captures show ten "
+      "evenly spaced round pulses ending at ~250 ns; the RFTC captures end "
+      "anywhere up to ~875 ns with rounds at varying spacing.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Bit-exact AES-128 (FIPS-197) used as the cryptographic circuit under test.
+//
+// State convention: the 16-byte block is held column-major as in FIPS-197,
+// i.e. byte index 4*c + r is row r, column c, and block bytes map to state
+// bytes in order (the identity layout used by standard test vectors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rftc::aes {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+/// 11 round keys of 16 bytes each (round 0 = master key).
+using KeySchedule = std::array<Block, 11>;
+
+inline constexpr int kRounds = 10;
+
+/// FIPS-197 key expansion for AES-128.
+KeySchedule expand_key(const Key& key);
+
+/// Recover the master key from the *last* (round-10) round key by running
+/// the key schedule backwards.  This is what an attacker does after a
+/// last-round CPA recovers the round-10 key.
+Key invert_key_schedule_from_round10(const Block& round10_key);
+
+/// One-shot encrypt / decrypt.
+Block encrypt(const Block& plaintext, const Key& key);
+Block decrypt(const Block& ciphertext, const Key& key);
+
+// Individual round transformations, exposed so the register-transfer round
+// engine and the leakage models can reuse the exact same code paths.
+void sub_bytes(Block& s);
+void inv_sub_bytes(Block& s);
+void shift_rows(Block& s);
+void inv_shift_rows(Block& s);
+void mix_columns(Block& s);
+void inv_mix_columns(Block& s);
+void add_round_key(Block& s, const Block& rk);
+
+/// Position the byte at ciphertext index `p` occupied *before* ShiftRows of
+/// the final round, i.e. the index into the round-9 state register whose
+/// byte becomes ciphertext byte `p` (after SubBytes and AddRoundKey).
+int shift_rows_source(int p);
+
+/// Hamming weight of a byte.
+int hamming_weight(std::uint8_t v);
+/// Hamming distance between two bytes.
+int hamming_distance(std::uint8_t a, std::uint8_t b);
+/// Hamming distance between two 16-byte blocks (0..128).
+int hamming_distance(const Block& a, const Block& b);
+
+}  // namespace rftc::aes

@@ -1,0 +1,47 @@
+#include "aes/leakage.hpp"
+
+#include "aes/gf256.hpp"
+
+namespace rftc::aes {
+
+int last_round_hd_hypothesis(const Block& ct, int byte_pos,
+                             std::uint8_t guess) {
+  const std::uint8_t pre =
+      gf::kInvSbox[ct[static_cast<std::size_t>(byte_pos)] ^ guess];
+  const std::uint8_t post =
+      ct[static_cast<std::size_t>(shift_rows_source(byte_pos))];
+  return hamming_distance(pre, post);
+}
+
+int first_round_hw_hypothesis(const Block& pt, int byte_pos,
+                              std::uint8_t guess) {
+  return hamming_weight(
+      gf::kSbox[pt[static_cast<std::size_t>(byte_pos)] ^ guess]);
+}
+
+std::array<std::uint8_t, 256> last_round_hypothesis_row(const Block& ct,
+                                                        int byte_pos) {
+  std::array<std::uint8_t, 256> row{};
+  const std::uint8_t c_p = ct[static_cast<std::size_t>(byte_pos)];
+  const std::uint8_t c_src =
+      ct[static_cast<std::size_t>(shift_rows_source(byte_pos))];
+  for (int g = 0; g < 256; ++g) {
+    const std::uint8_t pre = gf::kInvSbox[c_p ^ static_cast<std::uint8_t>(g)];
+    row[static_cast<std::size_t>(g)] =
+        static_cast<std::uint8_t>(hamming_distance(pre, c_src));
+  }
+  return row;
+}
+
+std::array<std::uint8_t, 256> first_round_hypothesis_row(const Block& pt,
+                                                         int byte_pos) {
+  std::array<std::uint8_t, 256> row{};
+  const std::uint8_t p = pt[static_cast<std::size_t>(byte_pos)];
+  for (int g = 0; g < 256; ++g) {
+    row[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(
+        hamming_weight(gf::kSbox[p ^ static_cast<std::uint8_t>(g)]));
+  }
+  return row;
+}
+
+}  // namespace rftc::aes

@@ -1,0 +1,154 @@
+#include "aes/modes.hpp"
+
+#include <stdexcept>
+
+namespace rftc::aes {
+
+namespace {
+
+Block load_block(std::span<const std::uint8_t> data, std::size_t offset) {
+  Block b{};
+  for (std::size_t i = 0; i < 16; ++i) b[i] = data[offset + i];
+  return b;
+}
+
+void store_block(std::vector<std::uint8_t>& out, const Block& b) {
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void require_block_multiple(std::size_t n, const char* what) {
+  if (n % 16 != 0)
+    throw std::invalid_argument(std::string(what) +
+                                ": length must be a multiple of 16");
+}
+
+void increment_counter(Block& ctr) {
+  // 32-bit big-endian counter in bytes 12..15.
+  for (int i = 15; i >= 12; --i) {
+    if (++ctr[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ecb_encrypt(const BlockEncryptor& enc,
+                                      std::span<const std::uint8_t> msg) {
+  require_block_multiple(msg.size(), "ecb_encrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.size());
+  for (std::size_t off = 0; off < msg.size(); off += 16)
+    store_block(out, enc(load_block(msg, off)));
+  return out;
+}
+
+std::vector<std::uint8_t> ecb_decrypt(const Key& key,
+                                      std::span<const std::uint8_t> ct) {
+  require_block_multiple(ct.size(), "ecb_decrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(ct.size());
+  for (std::size_t off = 0; off < ct.size(); off += 16)
+    store_block(out, decrypt(load_block(ct, off), key));
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_encrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> msg) {
+  require_block_multiple(msg.size(), "cbc_encrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.size());
+  Block chain = iv;
+  for (std::size_t off = 0; off < msg.size(); off += 16) {
+    Block x = load_block(msg, off);
+    for (std::size_t i = 0; i < 16; ++i) x[i] ^= chain[i];
+    chain = enc(x);
+    store_block(out, chain);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_decrypt(const Key& key, const Block& iv,
+                                      std::span<const std::uint8_t> ct) {
+  require_block_multiple(ct.size(), "cbc_decrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(ct.size());
+  Block chain = iv;
+  for (std::size_t off = 0; off < ct.size(); off += 16) {
+    const Block c = load_block(ct, off);
+    Block p = decrypt(c, key);
+    for (std::size_t i = 0; i < 16; ++i) p[i] ^= chain[i];
+    chain = c;
+    store_block(out, p);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ctr_crypt(const BlockEncryptor& enc,
+                                    const Block& initial_counter,
+                                    std::span<const std::uint8_t> msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.size());
+  Block ctr = initial_counter;
+  for (std::size_t off = 0; off < msg.size(); off += 16) {
+    const Block ks = enc(ctr);
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(msg[off + i] ^ ks[i]);
+    increment_counter(ctr);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ofb_crypt(const BlockEncryptor& enc,
+                                    const Block& iv,
+                                    std::span<const std::uint8_t> msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.size());
+  Block feedback = iv;
+  for (std::size_t off = 0; off < msg.size(); off += 16) {
+    feedback = enc(feedback);
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(msg[off + i] ^ feedback[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> cfb_encrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> msg) {
+  require_block_multiple(msg.size(), "cfb_encrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.size());
+  Block feedback = iv;
+  for (std::size_t off = 0; off < msg.size(); off += 16) {
+    const Block ks = enc(feedback);
+    Block c{};
+    for (std::size_t i = 0; i < 16; ++i) c[i] = msg[off + i] ^ ks[i];
+    store_block(out, c);
+    feedback = c;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> cfb_decrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> ct) {
+  require_block_multiple(ct.size(), "cfb_decrypt");
+  std::vector<std::uint8_t> out;
+  out.reserve(ct.size());
+  Block feedback = iv;
+  for (std::size_t off = 0; off < ct.size(); off += 16) {
+    const Block ks = enc(feedback);
+    for (std::size_t i = 0; i < 16; ++i)
+      out.push_back(ct[off + i] ^ ks[i]);
+    feedback = load_block(ct, off);
+  }
+  return out;
+}
+
+BlockEncryptor software_encryptor(const Key& key) {
+  return [key](const Block& pt) { return encrypt(pt, key); };
+}
+
+}  // namespace rftc::aes

@@ -1,0 +1,59 @@
+// Block-cipher modes of operation (NIST SP 800-38A) layered over any
+// single-block encryptor.
+//
+// The AES core the paper clocks [11] is a coprocessor "with modes of
+// operation", and the same authors' earlier work [13] studies the power
+// analysis of AES modes; providing the modes here lets RFTC protect real
+// multi-block workloads, with every block encryption individually
+// frequency-randomized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aes/aes128.hpp"
+
+namespace rftc::aes {
+
+/// Single-block encryption primitive (e.g. a bound RftcDevice::encrypt).
+using BlockEncryptor = std::function<Block(const Block&)>;
+
+/// Electronic codebook.  Message length must be a multiple of 16.
+std::vector<std::uint8_t> ecb_encrypt(const BlockEncryptor& enc,
+                                      std::span<const std::uint8_t> msg);
+std::vector<std::uint8_t> ecb_decrypt(const Key& key,
+                                      std::span<const std::uint8_t> ct);
+
+/// Cipher block chaining.  Message length must be a multiple of 16.
+std::vector<std::uint8_t> cbc_encrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> msg);
+std::vector<std::uint8_t> cbc_decrypt(const Key& key, const Block& iv,
+                                      std::span<const std::uint8_t> ct);
+
+/// Counter mode (32-bit big-endian counter in the last 4 bytes, per the
+/// common convention).  Works for any message length; decryption is the
+/// same operation.
+std::vector<std::uint8_t> ctr_crypt(const BlockEncryptor& enc,
+                                    const Block& initial_counter,
+                                    std::span<const std::uint8_t> msg);
+
+/// Output feedback mode.  Any message length; decryption is identical.
+std::vector<std::uint8_t> ofb_crypt(const BlockEncryptor& enc,
+                                    const Block& iv,
+                                    std::span<const std::uint8_t> msg);
+
+/// Cipher feedback mode (full-block, CFB-128).
+std::vector<std::uint8_t> cfb_encrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> msg);
+std::vector<std::uint8_t> cfb_decrypt(const BlockEncryptor& enc,
+                                      const Block& iv,
+                                      std::span<const std::uint8_t> ct);
+
+/// Convenience: a BlockEncryptor over the plain software AES (reference
+/// path, no side-channel simulation).
+BlockEncryptor software_encryptor(const Key& key);
+
+}  // namespace rftc::aes

@@ -1,0 +1,61 @@
+#include "aes/round_engine.hpp"
+
+namespace rftc::aes {
+
+EncryptionActivity::EncryptionActivity(const Block& plaintext,
+                                       const KeySchedule& ks,
+                                       const Block& previous_state) {
+  cycles_.reserve(kRounds + 1);
+
+  // Cycle 0: plaintext load.  The input register swings from the previous
+  // contents to the new plaintext; the initial AddRoundKey is combined with
+  // the load in the Hodjat core, so the registered value is pt ^ k0.
+  Block s = plaintext;
+  add_round_key(s, ks[0]);
+  CycleActivity load{};
+  load.state = s;
+  load.state_hd = hamming_distance(previous_state, s);
+  // The plaintext bus itself toggles with the raw plaintext value.
+  load.aux_hw = hamming_distance(previous_state, plaintext) / 4;
+  cycles_.push_back(load);
+
+  // Cycles 1..9: full rounds.
+  for (int r = 1; r < kRounds; ++r) {
+    Block next = s;
+    sub_bytes(next);
+    shift_rows(next);
+    mix_columns(next);
+    add_round_key(next, ks[static_cast<std::size_t>(r)]);
+    CycleActivity act{};
+    act.state = next;
+    act.state_hd = hamming_distance(s, next);
+    // Round-key bus toggles between consecutive round keys.
+    act.aux_hw = hamming_distance(ks[static_cast<std::size_t>(r - 1)],
+                                  ks[static_cast<std::size_t>(r)]) /
+                 8;
+    cycles_.push_back(act);
+    s = next;
+  }
+
+  // Cycle 10: final round (no MixColumns).
+  Block ct = s;
+  sub_bytes(ct);
+  shift_rows(ct);
+  add_round_key(ct, ks[kRounds]);
+  CycleActivity fin{};
+  fin.state = ct;
+  fin.state_hd = hamming_distance(s, ct);
+  fin.aux_hw =
+      hamming_distance(ks[kRounds - 1], ks[kRounds]) / 8;
+  cycles_.push_back(fin);
+}
+
+RoundEngine::RoundEngine(const Key& key) : ks_(expand_key(key)) {}
+
+EncryptionActivity RoundEngine::encrypt(const Block& plaintext) {
+  EncryptionActivity act(plaintext, ks_, reg_);
+  reg_ = act.ciphertext();
+  return act;
+}
+
+}  // namespace rftc::aes

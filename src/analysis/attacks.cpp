@@ -1,0 +1,156 @@
+#include "analysis/attacks.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/fft.hpp"
+#include "analysis/pca.hpp"
+
+namespace rftc::analysis {
+
+std::string attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kCpa: return "CPA";
+    case AttackKind::kPcaCpa: return "PCA-CPA";
+    case AttackKind::kDtwCpa: return "DTW-CPA";
+    case AttackKind::kFftCpa: return "FFT-CPA";
+    case AttackKind::kSwCpa: return "SW-CPA";
+  }
+  return "?";
+}
+
+std::size_t AttackOutcome::first_success() const {
+  for (std::size_t i = 0; i < checkpoints.size(); ++i)
+    if (success[i]) return checkpoints[i];
+  return 0;
+}
+
+AttackOutcome run_attack(const trace::TraceSet& raw,
+                         const aes::Block& correct_key,
+                         const AttackParams& params) {
+  if (raw.size() == 0) throw std::invalid_argument("run_attack: empty set");
+
+  const trace::TraceSet set =
+      params.downsample > 1 ? raw.downsampled(params.downsample) : raw;
+
+  std::vector<int> bytes = params.byte_positions;
+  if (bytes.empty()) {
+    bytes.resize(16);
+    std::iota(bytes.begin(), bytes.end(), 0);
+  }
+
+  std::vector<std::size_t> checkpoints = params.checkpoints;
+  if (checkpoints.empty()) checkpoints = {set.size()};
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(
+      std::remove_if(checkpoints.begin(), checkpoints.end(),
+                     [&](std::size_t c) { return c == 0 || c > set.size(); }),
+      checkpoints.end());
+  if (checkpoints.empty()) checkpoints = {set.size()};
+
+  // Preprocessing setup.
+  std::vector<double> dtw_ref;
+  PcaBasis pca;
+  std::size_t features = set.samples();
+  switch (params.kind) {
+    case AttackKind::kCpa:
+      break;
+    case AttackKind::kDtwCpa: {
+      // Reference: one real capture, as in elastic alignment [22] — every
+      // other trace is warped onto its time base.  (A mean over differently
+      // clocked traces would smear the round pulses and give the DP nothing
+      // to lock onto.)  Among the first dtw_ref_traces captures we pick the
+      // one whose length (completion) is closest to the median so extreme
+      // stretches are halved.
+      const std::size_t nref =
+          std::max<std::size_t>(1, std::min(params.dtw_ref_traces, set.size()));
+      // Rank candidate references by total energy (a proxy for capture
+      // length: longer encryptions spread energy further right), and take
+      // the median.
+      std::vector<std::pair<double, std::size_t>> energy(nref);
+      for (std::size_t i = 0; i < nref; ++i) {
+        double centroid = 0.0, mass = 0.0;
+        const auto tr = set.trace(i);
+        for (std::size_t s = 0; s < tr.size(); ++s) {
+          centroid += static_cast<double>(tr[s]) * static_cast<double>(s);
+          mass += static_cast<double>(tr[s]);
+        }
+        energy[i] = {mass > 0 ? centroid / mass : 0.0, i};
+      }
+      std::sort(energy.begin(), energy.end());
+      const std::size_t ref_idx = energy[nref / 2].second;
+      const auto ref_tr = set.trace(ref_idx);
+      dtw_ref.assign(ref_tr.begin(), ref_tr.end());
+      break;
+    }
+    case AttackKind::kPcaCpa:
+      pca = compute_pca(set, params.pca_components,
+                        std::min(params.pca_fit_traces, set.size()));
+      features = pca.dims();
+      break;
+    case AttackKind::kFftCpa:
+      features = next_pow2(set.samples()) / 2;
+      break;
+    case AttackKind::kSwCpa: {
+      const std::size_t w = std::max<std::size_t>(1, params.sw_window);
+      const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
+      features = set.samples() >= w ? (set.samples() - w) / s + 1 : 1;
+      break;
+    }
+  }
+
+  CpaEngine engine(features, bytes, params.leakage);
+  AttackOutcome out;
+  out.kind = params.kind;
+
+  std::size_t next_cp = 0;
+  std::vector<float> feat;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto tr = set.trace(i);
+    switch (params.kind) {
+      case AttackKind::kCpa:
+        engine.add(set.plaintext(i), set.ciphertext(i), tr);
+        break;
+      case AttackKind::kDtwCpa:
+        feat = dtw_align(dtw_ref, tr, params.dtw);
+        engine.add(set.plaintext(i), set.ciphertext(i), feat);
+        break;
+      case AttackKind::kPcaCpa:
+        feat = pca.project(tr);
+        engine.add(set.plaintext(i), set.ciphertext(i), feat);
+        break;
+      case AttackKind::kFftCpa: {
+        const auto mag = magnitude_spectrum(tr);
+        feat.assign(mag.size(), 0.0f);
+        for (std::size_t k = 0; k < mag.size(); ++k)
+          feat[k] = static_cast<float>(mag[k]);
+        engine.add(set.plaintext(i), set.ciphertext(i), feat);
+        break;
+      }
+      case AttackKind::kSwCpa: {
+        const std::size_t w = std::max<std::size_t>(1, params.sw_window);
+        const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
+        feat.assign(features, 0.0f);
+        for (std::size_t k = 0; k < features; ++k) {
+          double acc = 0.0;
+          const std::size_t base = k * s;
+          for (std::size_t x = 0; x < w && base + x < tr.size(); ++x)
+            acc += static_cast<double>(tr[base + x]);
+          feat[k] = static_cast<float>(acc);
+        }
+        engine.add(set.plaintext(i), set.ciphertext(i), feat);
+        break;
+      }
+    }
+    while (next_cp < checkpoints.size() && i + 1 == checkpoints[next_cp]) {
+      out.checkpoints.push_back(checkpoints[next_cp]);
+      out.success.push_back(engine.key_recovered(correct_key));
+      out.mean_rank.push_back(engine.mean_rank(correct_key));
+      ++next_cp;
+    }
+  }
+  return out;
+}
+
+}  // namespace rftc::analysis

@@ -1,0 +1,76 @@
+// Full attack campaigns: CPA and its three preprocessed variants
+// (PCA-CPA, DTW-CPA, FFT-CPA), evaluated at trace-count checkpoints.
+//
+// Preprocessing artefacts (the DTW reference trace, the PCA basis) are
+// derived from a prefix of the campaign, as a real attacker would derive
+// them from the traces at hand, then every trace is transformed and fed to
+// the streaming CPA engine.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/cpa.hpp"
+#include "analysis/dtw.hpp"
+#include "trace/trace_set.hpp"
+
+namespace rftc::analysis {
+
+// kSwCpa is the Sliding-Window CPA of Fledel & Wool [8], which the paper's
+// §8 proposes to test against RFTC as future work: each feature integrates a
+// window of consecutive samples, trading time resolution for tolerance of
+// clock jitter within the window.
+enum class AttackKind { kCpa, kPcaCpa, kDtwCpa, kFftCpa, kSwCpa };
+
+std::string attack_name(AttackKind kind);
+
+struct AttackParams {
+  AttackKind kind = AttackKind::kCpa;
+  /// Predicted intermediate: last-round register HD (the paper's attack,
+  /// recovers the round-10 key) or first-round S-box HW (recovers the
+  /// master key).
+  aes::LeakageModel leakage = aes::LeakageModel::kLastRoundHd;
+  /// Key-byte positions to attack; empty selects all 16.
+  std::vector<int> byte_positions;
+  /// Box-average factor applied to the raw traces before any attack
+  /// (standard compression; also keeps the DTW DP tractable).
+  std::size_t downsample = 4;
+  /// PCA-CPA: components kept and traces used to fit the basis.
+  std::size_t pca_components = 8;
+  std::size_t pca_fit_traces = 2'000;
+  /// DTW-CPA: band, slope constraint and reference-trace prefix.  The
+  /// defaults mirror practical elastic-alignment tooling: a moderate
+  /// Sakoe-Chiba band and the P=1 slope constraint (without which the DP
+  /// "aligns" the amplitude noise itself and launders the leakage away).
+  DtwParams dtw{.band = 8, .slope_constrained = true};
+  std::size_t dtw_ref_traces = 200;
+  /// Sliding-window CPA: window length and stride, in (downsampled)
+  /// samples.  A window of ~1 round period absorbs the per-round jitter a
+  /// single frequency switch introduces.
+  std::size_t sw_window = 6;
+  std::size_t sw_stride = 2;
+  /// Checkpoints (trace counts) at which key ranks are recorded; empty
+  /// selects just the full set.
+  std::vector<std::size_t> checkpoints;
+};
+
+struct AttackOutcome {
+  AttackKind kind{};
+  std::vector<std::size_t> checkpoints;
+  /// Full-key success (all attacked bytes rank 1) per checkpoint.
+  std::vector<bool> success;
+  /// Mean rank of the correct byte values per checkpoint (1 = broken).
+  std::vector<double> mean_rank;
+  /// Smallest checkpoint with success, or 0 when never successful.
+  std::size_t first_success() const;
+};
+
+/// Runs one campaign against `set`; `correct_key` is the ground truth used
+/// only for scoring (the round-10 key under the last-round model, the
+/// master key under the first-round model).
+AttackOutcome run_attack(const trace::TraceSet& set,
+                         const aes::Block& correct_key,
+                         const AttackParams& params);
+
+}  // namespace rftc::analysis

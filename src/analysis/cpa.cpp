@@ -1,0 +1,119 @@
+#include "analysis/cpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aes/leakage.hpp"
+#include "util/stats.hpp"
+
+namespace rftc::analysis {
+
+CpaEngine::CpaEngine(std::size_t samples, std::vector<int> byte_positions,
+                     aes::LeakageModel model)
+    : samples_(samples), bytes_(std::move(byte_positions)), model_(model) {
+  if (samples_ == 0) throw std::invalid_argument("CpaEngine: zero samples");
+  if (bytes_.empty()) throw std::invalid_argument("CpaEngine: no bytes");
+  for (const int b : bytes_)
+    if (b < 0 || b > 15)
+      throw std::invalid_argument("CpaEngine: byte position out of range");
+  sum_t_.assign(samples_, 0.0);
+  sum_t2_.assign(samples_, 0.0);
+  sum_h_.assign(bytes_.size() * 256, 0.0);
+  sum_h2_.assign(bytes_.size() * 256, 0.0);
+  sum_ht_.assign(bytes_.size() * 256 * samples_, 0.0);
+  scratch_.resize(samples_);
+}
+
+void CpaEngine::add(const aes::Block& ciphertext,
+                    std::span<const float> trace) {
+  if (model_ != aes::LeakageModel::kLastRoundHd)
+    throw std::logic_error(
+        "CpaEngine::add: first-round model needs the plaintext overload");
+  add(aes::Block{}, ciphertext, trace);
+}
+
+void CpaEngine::add(const aes::Block& plaintext, const aes::Block& ciphertext,
+                    std::span<const float> trace) {
+  if (trace.size() != samples_)
+    throw std::invalid_argument("CpaEngine::add: sample count mismatch");
+  ++n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    const double t = static_cast<double>(trace[s]);
+    scratch_[s] = t;
+    sum_t_[s] += t;
+    sum_t2_[s] += t * t;
+  }
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
+    const auto row = model_ == aes::LeakageModel::kLastRoundHd
+                         ? aes::last_round_hypothesis_row(ciphertext,
+                                                          bytes_[bi])
+                         : aes::first_round_hypothesis_row(plaintext,
+                                                           bytes_[bi]);
+    double* ht_base = sum_ht_.data() + bi * 256 * samples_;
+    for (int g = 0; g < 256; ++g) {
+      const double h = static_cast<double>(row[static_cast<std::size_t>(g)]);
+      sum_h_[bi * 256 + static_cast<std::size_t>(g)] += h;
+      sum_h2_[bi * 256 + static_cast<std::size_t>(g)] += h * h;
+      if (h == 0.0) continue;
+      double* ht = ht_base + static_cast<std::size_t>(g) * samples_;
+      const double* t = scratch_.data();
+      for (std::size_t s = 0; s < samples_; ++s) ht[s] += h * t[s];
+    }
+  }
+}
+
+int CpaEngine::ByteReport::best_guess() const {
+  return static_cast<int>(std::max_element(peak_abs_corr.begin(),
+                                           peak_abs_corr.end()) -
+                          peak_abs_corr.begin());
+}
+
+int CpaEngine::ByteReport::rank(std::uint8_t correct) const {
+  const double c = peak_abs_corr[correct];
+  int rank = 1;
+  for (int g = 0; g < 256; ++g)
+    if (peak_abs_corr[static_cast<std::size_t>(g)] > c) ++rank;
+  return rank;
+}
+
+std::vector<CpaEngine::ByteReport> CpaEngine::report() const {
+  std::vector<ByteReport> out(bytes_.size());
+  const double n = static_cast<double>(n_);
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
+    out[bi].byte_pos = bytes_[bi];
+    const double* ht_base = sum_ht_.data() + bi * 256 * samples_;
+    for (int g = 0; g < 256; ++g) {
+      const double sh = sum_h_[bi * 256 + static_cast<std::size_t>(g)];
+      const double sh2 = sum_h2_[bi * 256 + static_cast<std::size_t>(g)];
+      const double* ht = ht_base + static_cast<std::size_t>(g) * samples_;
+      double peak = 0.0;
+      for (std::size_t s = 0; s < samples_; ++s) {
+        const double c = correlation_from_sums(n, sh, sh2, sum_t_[s],
+                                               sum_t2_[s], ht[s]);
+        peak = std::max(peak, std::fabs(c));
+      }
+      out[bi].peak_abs_corr[static_cast<std::size_t>(g)] = peak;
+    }
+  }
+  return out;
+}
+
+bool CpaEngine::key_recovered(const aes::Block& round10_key) const {
+  for (const ByteReport& r : report()) {
+    if (r.best_guess() !=
+        static_cast<int>(round10_key[static_cast<std::size_t>(r.byte_pos)]))
+      return false;
+  }
+  return true;
+}
+
+double CpaEngine::mean_rank(const aes::Block& round10_key) const {
+  double acc = 0.0;
+  const auto reports = report();
+  for (const ByteReport& r : reports)
+    acc += r.rank(round10_key[static_cast<std::size_t>(r.byte_pos)]);
+  return acc / static_cast<double>(reports.size());
+}
+
+}  // namespace rftc::analysis

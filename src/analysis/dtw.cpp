@@ -1,0 +1,271 @@
+#include "analysis/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rftc::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Band description for row i (1-based): columns [lo(i), hi(i)] inclusive.
+struct Band {
+  std::size_t n, m, w;
+  std::size_t lo(std::size_t i) const {
+    // Keep the band centred on the main diagonal scaled by m/n.
+    const double center =
+        static_cast<double>(i) * static_cast<double>(m) / static_cast<double>(n);
+    const auto c = static_cast<std::ptrdiff_t>(center);
+    const std::ptrdiff_t lo = c - static_cast<std::ptrdiff_t>(w);
+    return static_cast<std::size_t>(std::max<std::ptrdiff_t>(1, lo));
+  }
+  std::size_t hi(std::size_t i) const {
+    const double center =
+        static_cast<double>(i) * static_cast<double>(m) / static_cast<double>(n);
+    const auto c = static_cast<std::size_t>(center);
+    return std::min(m, c + w);
+  }
+  std::size_t width() const { return 2 * w + 2; }
+};
+
+enum Move : std::uint8_t { kDiag = 0, kUp = 1, kLeft = 2, kNone = 3 };
+
+}  // namespace
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwParams& params) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) throw std::invalid_argument("dtw_distance: empty");
+  const std::size_t w =
+      params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));
+  Band band{n, m, w};
+
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const std::size_t lo = band.lo(i), hi = band.hi(i);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i - 1] - static_cast<double>(b[j - 1]);
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j - 1], prev[j], cur[j - 1]});
+      if (best < kInf) cur[j] = cost + best;
+    }
+    if (i == 1) {
+      // Path start: D(1,1) anchors to D(0,0).
+      if (lo <= 1 && 1 <= hi) {
+        const double d = a[0] - static_cast<double>(b[0]);
+        cur[1] = d * d;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+namespace {
+
+/// Slope-constrained alignment (Sakoe–Chiba P = 1 step pattern): the path
+/// is built from steps (1,1), (1,2) and (2,1), so each reference sample
+/// matches between half and two trace samples.
+std::vector<float> dtw_align_p1(std::span<const double> reference,
+                                std::span<const float> trace,
+                                const DtwParams& params) {
+  const std::size_t n = reference.size(), m = trace.size();
+  const std::size_t w =
+      params.band == 0 ? std::max(n, m)
+                       : std::max(params.band, (n > m ? n - m : m - n));
+  Band band{n, m, w};
+
+  auto cost = [&](std::size_t i, std::size_t j) {
+    const double d = reference[i - 1] - static_cast<double>(trace[j - 1]);
+    return d * d;
+  };
+  auto in_band = [&](std::size_t i, std::size_t j) {
+    return j >= band.lo(i) && j <= band.hi(i);
+  };
+
+  // Full (n+1) x (m+1) DP with step provenance.  Traces here are the
+  // downsampled attack representations (a few hundred samples), so the
+  // dense matrix is cheap and the code stays simple.
+  const double inf = kInf;
+  std::vector<double> d((n + 1) * (m + 1), inf);
+  std::vector<std::uint8_t> step((n + 1) * (m + 1), 255);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return d[i * (m + 1) + j];
+  };
+  at(0, 0) = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = band.lo(i); j <= band.hi(i); ++j) {
+      if (!in_band(i, j)) continue;
+      const double c = cost(i, j);
+      double best = inf;
+      std::uint8_t how = 255;
+      if (at(i - 1, j - 1) < inf && at(i - 1, j - 1) + c < best) {
+        best = at(i - 1, j - 1) + c;
+        how = 0;  // (1,1)
+      }
+      if (j >= 2 && at(i - 1, j - 2) < inf) {
+        const double v = at(i - 1, j - 2) + cost(i, j - 1) + c;
+        if (v < best) {
+          best = v;
+          how = 1;  // (1,2): one ref sample consumes two trace samples
+        }
+      }
+      if (i >= 2 && at(i - 2, j - 1) < inf) {
+        const double v = at(i - 2, j - 1) + cost(i - 1, j) + c;
+        if (v < best) {
+          best = v;
+          how = 2;  // (2,1): two ref samples share one trace sample
+        }
+      }
+      if (how != 255) {
+        at(i, j) = best;
+        step[i * (m + 1) + j] = how;
+      }
+    }
+  }
+
+  // Backtrack, accumulating matched trace samples per reference index.
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::uint32_t> cnt(n, 0);
+  std::size_t i = n, j = m;
+  if (at(n, m) >= inf) {
+    // End point unreachable under the slope constraint (extreme stretch):
+    // return the trace unwarped (resampled if lengths differ) — the
+    // alignment honestly failed, as it does on hardware.
+    std::vector<float> out(n);
+    for (std::size_t k = 0; k < n; ++k)
+      out[k] = trace[std::min(m - 1, k * m / n)];
+    return out;
+  }
+  while (i >= 1 && j >= 1) {
+    sum[i - 1] += static_cast<double>(trace[j - 1]);
+    ++cnt[i - 1];
+    const std::uint8_t how = step[i * (m + 1) + j];
+    if (i == 1 && j == 1) break;
+    switch (how) {
+      case 0:
+        --i;
+        --j;
+        break;
+      case 1:
+        sum[i - 1] += static_cast<double>(trace[j - 2]);
+        ++cnt[i - 1];
+        --i;
+        j -= 2;
+        break;
+      case 2:
+        sum[i - 1 - 1] += static_cast<double>(trace[j - 1]);
+        ++cnt[i - 1 - 1];
+        i -= 2;
+        --j;
+        break;
+      default:
+        // Should not happen on a reachable path; bail out diagonally.
+        if (i > 1) --i;
+        if (j > 1) --j;
+        break;
+    }
+  }
+
+  std::vector<float> out(n);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = cnt[k] ? static_cast<float>(sum[k] / cnt[k])
+                    : static_cast<float>(reference[k]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> dtw_align(std::span<const double> reference,
+                             std::span<const float> trace,
+                             const DtwParams& params) {
+  const std::size_t n = reference.size(), m = trace.size();
+  if (n == 0 || m == 0) throw std::invalid_argument("dtw_align: empty");
+  if (params.slope_constrained) return dtw_align_p1(reference, trace, params);
+  const std::size_t w =
+      params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));
+  Band band{n, m, w};
+  const std::size_t bw = band.width();
+
+  // Banded DP with full move matrix for backtracking.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<std::uint8_t> moves(n * bw, kNone);
+  std::vector<std::size_t> row_lo(n + 1, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const std::size_t lo = band.lo(i), hi = band.hi(i);
+    row_lo[i] = lo;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d =
+          reference[i - 1] - static_cast<double>(trace[j - 1]);
+      const double cost = d * d;
+      double best = kInf;
+      Move mv = kNone;
+      const bool start = (i == 1 && j == 1);
+      if (start) {
+        best = 0.0;
+        mv = kDiag;  // anchors to (0,0)
+      } else {
+        if (prev[j - 1] < best) { best = prev[j - 1]; mv = kDiag; }
+        if (prev[j] < best) { best = prev[j]; mv = kUp; }
+        if (cur[j - 1] < best) { best = cur[j - 1]; mv = kLeft; }
+      }
+      if (mv == kNone) continue;
+      cur[j] = cost + best;
+      moves[(i - 1) * bw + (j - lo)] = mv;
+    }
+    std::swap(prev, cur);
+  }
+
+  // Backtrack from (n, m); if (n, m) fell outside the band the alignment is
+  // degenerate — fall back to the band's last reachable column.
+  std::size_t i = n, j = m;
+  if (!(band.lo(n) <= m && m <= band.hi(n)) || prev[m] == kInf) j = band.hi(n);
+
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::uint32_t> cnt(n, 0);
+  while (true) {
+    sum[i - 1] += static_cast<double>(trace[j - 1]);
+    ++cnt[i - 1];
+    if (i == 1 && j == 1) break;
+    const std::size_t lo = row_lo[i];
+    Move mv = kNone;
+    if (j >= lo && j <= lo + bw - 1)
+      mv = static_cast<Move>(moves[(i - 1) * bw + (j - lo)]);
+    switch (mv) {
+      case kDiag:
+        if (i > 1) --i;
+        if (j > 1) --j;
+        break;
+      case kUp:
+        if (i > 1) --i; else --j;
+        break;
+      case kLeft:
+        if (j > 1) --j; else --i;
+        break;
+      case kNone:
+      default:
+        // Escape hatch for out-of-band states: walk the diagonal.
+        if (i > 1) --i;
+        if (j > 1) --j;
+        if (i == 1 && j == 1) break;
+        break;
+    }
+  }
+
+  std::vector<float> out(n);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = cnt[k] ? static_cast<float>(sum[k] / cnt[k])
+                    : static_cast<float>(reference[k]);
+  return out;
+}
+
+}  // namespace rftc::analysis

@@ -1,0 +1,59 @@
+#include "analysis/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rftc::analysis {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> magnitude_spectrum(std::span<const float> signal) {
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    buf[i] = {static_cast<double>(signal[i]), 0.0};
+  fft_inplace(buf);
+  std::vector<double> mag(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) mag[i] = std::abs(buf[i]);
+  return mag;
+}
+
+}  // namespace rftc::analysis

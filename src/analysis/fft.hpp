@@ -1,0 +1,23 @@
+// Radix-2 iterative FFT used by the FFT-CPA preprocessing [16, 17]:
+// misaligned-in-time traces concentrate key-dependent energy at the same
+// frequency bins, so CPA on |FFT(trace)| defeats plain misalignment.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace rftc::analysis {
+
+/// In-place radix-2 decimation-in-time FFT.  `data.size()` must be a power
+/// of two; throws std::invalid_argument otherwise.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Magnitude spectrum of a real signal, zero-padded to the next power of
+/// two; returns bins 0 .. N/2-1 (the non-redundant half).
+std::vector<double> magnitude_spectrum(std::span<const float> signal);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace rftc::analysis

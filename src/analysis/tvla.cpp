@@ -1,0 +1,41 @@
+#include "analysis/tvla.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace rftc::analysis {
+
+TvlaResult run_tvla(const trace::TvlaCapture& capture) {
+  if (capture.fixed.samples() != capture.random.samples())
+    throw std::invalid_argument("run_tvla: sample count mismatch");
+  WelchTTest test(capture.fixed.samples());
+  std::vector<double> buf(capture.fixed.samples());
+  for (std::size_t i = 0; i < capture.fixed.size(); ++i) {
+    const auto t = capture.fixed.trace(i);
+    for (std::size_t s = 0; s < buf.size(); ++s)
+      buf[s] = static_cast<double>(t[s]);
+    test.add_fixed(buf);
+  }
+  for (std::size_t i = 0; i < capture.random.size(); ++i) {
+    const auto t = capture.random.trace(i);
+    for (std::size_t s = 0; s < buf.size(); ++s)
+      buf[s] = static_cast<double>(t[s]);
+    test.add_random(buf);
+  }
+
+  TvlaResult res;
+  res.t_values = test.t_values();
+  for (std::size_t s = 0; s < res.t_values.size(); ++s) {
+    const double a = std::fabs(res.t_values[s]);
+    if (a > res.max_abs_t) {
+      res.max_abs_t = a;
+      res.worst_sample = s;
+    }
+    if (a > kTvlaThreshold) ++res.leaking_samples;
+  }
+  return res;
+}
+
+}  // namespace rftc::analysis

@@ -1,0 +1,26 @@
+// Test Vector Leakage Assessment [6]: fixed-vs-random Welch t-test with the
+// ±4.5 significance threshold (99.99% confidence that the populations are
+// indistinguishable when |t| stays below it) — Fig. 6 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "trace/acquisition.hpp"
+
+namespace rftc::analysis {
+
+inline constexpr double kTvlaThreshold = 4.5;
+
+struct TvlaResult {
+  std::vector<double> t_values;  // per sample
+  double max_abs_t = 0.0;
+  /// Samples exceeding the threshold.
+  std::size_t leaking_samples = 0;
+  bool passes() const { return max_abs_t < kTvlaThreshold; }
+  /// Index of the worst sample.
+  std::size_t worst_sample = 0;
+};
+
+TvlaResult run_tvla(const trace::TvlaCapture& capture);
+
+}  // namespace rftc::analysis

@@ -1,0 +1,35 @@
+#include "baselines/clock_rand4.hpp"
+
+#include <stdexcept>
+
+namespace rftc::baselines {
+
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+ClockRand4Scheduler::ClockRand4Scheduler(double base_mhz, std::uint64_t seed)
+    : rng_(seed) {
+  if (base_mhz <= 0)
+    throw std::invalid_argument("ClockRand4Scheduler: bad base frequency");
+  for (int i = 0; i < 4; ++i)
+    periods_[static_cast<std::size_t>(i)] =
+        period_ps_from_mhz(base_mhz * static_cast<double>(i + 3));
+}
+
+EncryptionSchedule ClockRand4Scheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  for (int r = 0; r < rounds; ++r) {
+    const Picoseconds p = periods_[rng_.uniform(4)];
+    t += p;
+    es.slots.push_back({t, p, SlotKind::kRound, 0.0});
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  return es;
+}
+
+std::string ClockRand4Scheduler::name() const { return "ClockRand4 [9]"; }
+
+}  // namespace rftc::baselines

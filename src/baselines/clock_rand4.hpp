@@ -1,0 +1,36 @@
+// Four-clock randomization baseline, after Fritzke [9].
+//
+// One MMCM statically generates four clocks at 3x, 4x, 5x and 6x of a base
+// frequency; a 16-bit random number selects which clock drives each AES
+// round.  With R = 10 rounds over 4 frequencies whose periods are rational
+// multiples of each other, the number of distinct completion times collapses
+// far below C(13, 10) = 286 — the paper computes ≈83 — because many round
+// multisets produce identical sums (the overlap problem RFTC's planner is
+// built to avoid).
+#pragma once
+
+#include <array>
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::baselines {
+
+class ClockRand4Scheduler final : public sched::Scheduler {
+ public:
+  /// Clocks are {3, 4, 5, 6} x base_mhz (Fritzke used a 8 MHz base on a
+  /// 24 MHz board oscillator divided down).
+  ClockRand4Scheduler(double base_mhz, std::uint64_t seed);
+
+  sched::EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+  const std::array<Picoseconds, 4>& periods() const { return periods_; }
+
+ private:
+  std::array<Picoseconds, 4> periods_;
+  Xoshiro256StarStar rng_;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::baselines

@@ -1,0 +1,49 @@
+#include "baselines/ippap.hpp"
+
+#include <stdexcept>
+
+namespace rftc::baselines {
+
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+IppapScheduler::IppapScheduler(double clock_mhz, unsigned phases,
+                               std::uint32_t fm_a, std::uint32_t fm_b,
+                               std::uint32_t fm_block, std::uint64_t seed)
+    : clock_mhz_(clock_mhz),
+      period_(period_ps_from_mhz(clock_mhz)),
+      phases_(phases),
+      fm_(fm_a, fm_b, fm_block, seed) {
+  if (clock_mhz <= 0 || phases == 0 || phases > 16)
+    throw std::invalid_argument("IppapScheduler: bad parameters");
+}
+
+EncryptionSchedule IppapScheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  const Picoseconds step = period_ / static_cast<Picoseconds>(phases_);
+  for (int r = 0; r < rounds; ++r) {
+    // The floating-mean value is a *delay* in phase steps inserted before
+    // the round is launched on the matching phase clock.
+    const std::uint32_t d = fm_.next();
+    const Picoseconds delay = static_cast<Picoseconds>(d) * step;
+    const Picoseconds phase_offset =
+        (static_cast<Picoseconds>(d) % static_cast<Picoseconds>(phases_)) *
+        step;
+    const Picoseconds earliest = t + delay + period_;
+    const Picoseconds n = (earliest - phase_offset + period_ - 1) / period_;
+    const Picoseconds edge = n * period_ + phase_offset;
+    es.slots.push_back({edge, period_, SlotKind::kRound, 0.0});
+    t = edge;
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  return es;
+}
+
+std::string IppapScheduler::name() const {
+  return "iPPAP(" + std::to_string(phases_) + " phases, floating mean)";
+}
+
+}  // namespace rftc::baselines

@@ -1,0 +1,34 @@
+// iPPAP baseline, after Ravi/Bhasin/Breier/Chattopadhyay [19].
+//
+// iPPAP improves the phase-shifted-clock countermeasure of [10] by driving
+// the phase selection with the Coron–Kizhvatov floating-mean generator [7],
+// whose block-wise drifting mean spreads the *cumulative* delay over more
+// values (≈39 distinct completion times per [19], Fig. 4) while remaining
+// a same-frequency, phase-only randomization.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::baselines {
+
+class IppapScheduler final : public sched::Scheduler {
+ public:
+  /// `phases` per period, floating-mean parameters (a, b, block) in units
+  /// of one phase step.
+  IppapScheduler(double clock_mhz, unsigned phases, std::uint32_t fm_a,
+                 std::uint32_t fm_b, std::uint32_t fm_block,
+                 std::uint64_t seed);
+
+  sched::EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+ private:
+  double clock_mhz_;
+  Picoseconds period_;
+  unsigned phases_;
+  FloatingMeanRng fm_;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::baselines

@@ -1,0 +1,50 @@
+#include "baselines/phase_shift.hpp"
+
+#include <stdexcept>
+
+namespace rftc::baselines {
+
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+PhaseShiftScheduler::PhaseShiftScheduler(double clock_mhz, unsigned phases,
+                                         std::uint64_t seed)
+    : clock_mhz_(clock_mhz),
+      period_(period_ps_from_mhz(clock_mhz)),
+      phases_(phases),
+      rng_(seed) {
+  if (clock_mhz <= 0 || phases == 0 || phases > 16)
+    throw std::invalid_argument("PhaseShiftScheduler: bad parameters");
+}
+
+EncryptionSchedule PhaseShiftScheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  for (int r = 0; r < rounds; ++r) {
+    const auto phase = rng_.uniform(phases_);
+    // Rising edges of phase clock p sit at n*T + p*T/phases.  The round
+    // completes at the first edge of the chosen phase clock at least one
+    // full period after the current time — the datapath needs its whole
+    // evaluation window regardless of which phase copy clocks it.
+    const Picoseconds offset =
+        static_cast<Picoseconds>(phase) * period_ /
+        static_cast<Picoseconds>(phases_);
+    const Picoseconds earliest = t + period_;
+    // Smallest n with n*T + offset >= earliest.
+    const Picoseconds n =
+        (earliest - offset + period_ - 1) / period_;
+    const Picoseconds edge = n * period_ + offset;
+    es.slots.push_back({edge, period_, SlotKind::kRound, 0.0});
+    t = edge;
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  return es;
+}
+
+std::string PhaseShiftScheduler::name() const {
+  return "PhaseShift(" + std::to_string(phases_) + " phases)";
+}
+
+}  // namespace rftc::baselines

@@ -1,0 +1,34 @@
+// Phase-shifted-clocks baseline, after Güneysu & Moradi [10].
+//
+// Two PLLs generate eight copies of one clock frequency shifted by k/8 of a
+// period (k = 0..7); a three-stage BUFG randomizer picks one phase per
+// round.  Because every clock has the *same* frequency, each round still
+// takes close to one period — only the edge position moves on a T/8 grid —
+// so the countermeasure accumulates at most ~2 periods of spread and ends
+// up with ≈15 distinct completion times, the number iPPAP's authors report
+// for it [19] and that our Table 1 bench measures.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::baselines {
+
+class PhaseShiftScheduler final : public sched::Scheduler {
+ public:
+  PhaseShiftScheduler(double clock_mhz, unsigned phases, std::uint64_t seed);
+
+  sched::EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+  unsigned phases() const { return phases_; }
+
+ private:
+  double clock_mhz_;
+  Picoseconds period_;
+  unsigned phases_;
+  Xoshiro256StarStar rng_;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::baselines

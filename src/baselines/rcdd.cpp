@@ -1,0 +1,50 @@
+#include "baselines/rcdd.hpp"
+
+#include <stdexcept>
+
+namespace rftc::baselines {
+
+using sched::CycleSlot;
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+RcddScheduler::RcddScheduler(double clock_mhz, unsigned max_dummies_per_slot,
+                             std::uint64_t seed)
+    : clock_mhz_(clock_mhz),
+      period_(period_ps_from_mhz(clock_mhz)),
+      max_dummies_(max_dummies_per_slot),
+      rng_(seed) {
+  if (clock_mhz <= 0) throw std::invalid_argument("RcddScheduler: bad clock");
+}
+
+EncryptionSchedule RcddScheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  for (int r = 0; r < rounds; ++r) {
+    const auto dummies = rng_.uniform(max_dummies_ + 1);
+    for (std::uint64_t d = 0; d < dummies; ++d) {
+      t += period_;
+      // Dummy data is uniform random, so the dummy round's register HD is
+      // Binomial(128, 1/2); draw it so dummy rounds are indistinguishable
+      // from real ones in amplitude.
+      double hd = 0;
+      std::uint64_t bits = rng_.next();
+      for (int i = 0; i < 64; ++i) hd += static_cast<double>((bits >> i) & 1);
+      bits = rng_.next();
+      for (int i = 0; i < 64; ++i) hd += static_cast<double>((bits >> i) & 1);
+      es.slots.push_back({t, period_, SlotKind::kDummy, hd});
+    }
+    t += period_;
+    es.slots.push_back({t, period_, SlotKind::kRound, 0.0});
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  return es;
+}
+
+std::string RcddScheduler::name() const {
+  return "RCDD(max " + std::to_string(max_dummies_) + " dummies/slot)";
+}
+
+}  // namespace rftc::baselines

@@ -1,0 +1,50 @@
+#include "baselines/rdi.hpp"
+
+#include <stdexcept>
+
+namespace rftc::baselines {
+
+using sched::CycleSlot;
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+RdiScheduler::RdiScheduler(double clock_mhz, unsigned taps_log2,
+                           Picoseconds buffer_delay_ps, std::uint64_t seed)
+    : clock_mhz_(clock_mhz),
+      period_(period_ps_from_mhz(clock_mhz)),
+      taps_log2_(taps_log2),
+      buffer_delay_(buffer_delay_ps),
+      rng_(seed) {
+  if (clock_mhz <= 0 || buffer_delay_ps <= 0 || taps_log2 == 0 ||
+      taps_log2 > 12)
+    throw std::invalid_argument("RdiScheduler: bad parameters");
+}
+
+EncryptionSchedule RdiScheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  for (int r = 0; r < rounds; ++r) {
+    const auto taps = rng_.uniform(1ULL << taps_log2_);
+    const Picoseconds delay =
+        static_cast<Picoseconds>(taps) * buffer_delay_;
+    if (delay > 0) {
+      // The buffer chain is toggling while the edge propagates: a small
+      // constant activity per delay slice.
+      es.slots.push_back(
+          {t + delay, delay, SlotKind::kDelay,
+           static_cast<double>(taps) * 0.25});
+    }
+    t += delay + period_;
+    es.slots.push_back({t, period_, SlotKind::kRound, 0.0});
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  return es;
+}
+
+std::string RdiScheduler::name() const {
+  return "RDI(2^" + std::to_string(taps_log2_) + " taps)";
+}
+
+}  // namespace rftc::baselines

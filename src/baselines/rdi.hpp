@@ -1,0 +1,37 @@
+// Random Delay Insertion (RDI) baseline, after Lu/O'Neill/McCanny [14].
+//
+// A chain of 2^n buffers is inserted at the register outputs; a random tap
+// selects how many buffer propagation delays precede each round's clock
+// edge.  The effect on the schedule is a per-round additive delay drawn
+// uniformly from {0, 1, ..., 2^n - 1} x (buffer delay); the buffers
+// themselves burn power continuously, which is why RDI's power overhead in
+// Table 1 is the largest of the compared countermeasures.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::baselines {
+
+class RdiScheduler final : public sched::Scheduler {
+ public:
+  /// `taps_log2`: n, so the chain offers 2^n distinct delays per round.
+  /// `buffer_delay_ps`: propagation delay of one buffer stage.
+  RdiScheduler(double clock_mhz, unsigned taps_log2,
+               Picoseconds buffer_delay_ps, std::uint64_t seed);
+
+  sched::EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+  unsigned distinct_delays_per_round() const { return 1u << taps_log2_; }
+
+ private:
+  double clock_mhz_;
+  Picoseconds period_;
+  unsigned taps_log2_;
+  Picoseconds buffer_delay_;
+  Xoshiro256StarStar rng_;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::baselines

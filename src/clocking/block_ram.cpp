@@ -1,0 +1,31 @@
+#include "clocking/block_ram.hpp"
+
+namespace rftc::clk {
+
+ConfigStore::ConfigStore(const std::vector<MmcmConfig>& configs,
+                         const MmcmLimits& limits)
+    : configs_(configs) {
+  index_.reserve(configs.size());
+  for (const MmcmConfig& cfg : configs) {
+    auto writes = encode_config(cfg, limits);
+    index_.push_back({entries_.size(), writes.size()});
+    entries_.insert(entries_.end(), writes.begin(), writes.end());
+  }
+}
+
+std::vector<DrpWrite> ConfigStore::fetch(std::size_t idx) const {
+  const Range r = index_.at(idx);
+  return {entries_.begin() + static_cast<std::ptrdiff_t>(r.first),
+          entries_.begin() + static_cast<std::ptrdiff_t>(r.first + r.count)};
+}
+
+std::uint64_t ConfigStore::stored_bits() const {
+  return static_cast<std::uint64_t>(entries_.size()) * kBitsPerEntry;
+}
+
+unsigned ConfigStore::ramb36_count() const {
+  return static_cast<unsigned>((stored_bits() + kRamb36Bits - 1) /
+                               kRamb36Bits);
+}
+
+}  // namespace rftc::clk

@@ -1,0 +1,53 @@
+// Block RAM model storing precalculated MMCM reconfiguration words.
+//
+// The paper stores P configurations per clock output in Block RAM and
+// reports "RFTC(3, 1024) takes 20 Block RAMs (RAMB36E1 components)" (§7).
+// Each stored entry is one DRP transaction: {7-bit address, 16-bit data,
+// 16-bit mask} packed into a 39-bit word (we charge 40 bits to the RAM for
+// alignment, matching the 36Kb + parity organisation of a RAMB36E1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clocking/drp_codec.hpp"
+
+namespace rftc::clk {
+
+/// Capacity of one RAMB36E1 in bits (36 Kb including parity bits).
+inline constexpr std::uint64_t kRamb36Bits = 36 * 1024;
+
+/// ROM of reconfiguration sequences, one per configuration index.
+class ConfigStore {
+ public:
+  /// Builds the store from a list of MMCM configurations; every
+  /// configuration is encoded to its DRP write sequence at build time
+  /// ("precalculated ... and stored in Block RAM", §4).
+  explicit ConfigStore(const std::vector<MmcmConfig>& configs,
+                       const MmcmLimits& limits = {});
+
+  std::size_t config_count() const { return index_.size(); }
+  /// The write sequence for configuration `idx` (1-cycle BRAM latency in
+  /// hardware; latency is charged by the DRP controller's cycle model).
+  std::vector<DrpWrite> fetch(std::size_t idx) const;
+  /// The decoded configuration (for inspection and tests).
+  const MmcmConfig& config(std::size_t idx) const { return configs_.at(idx); }
+
+  /// Total stored bits and the resulting RAMB36E1 count.
+  std::uint64_t stored_bits() const;
+  unsigned ramb36_count() const;
+
+  /// Bits per stored DRP entry (addr + data + mask, byte-aligned).
+  static constexpr std::uint64_t kBitsPerEntry = 40;
+
+ private:
+  struct Range {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<MmcmConfig> configs_;
+  std::vector<Range> index_;
+  std::vector<DrpWrite> entries_;
+};
+
+}  // namespace rftc::clk

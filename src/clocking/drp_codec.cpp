@@ -1,0 +1,208 @@
+#include "clocking/drp_codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rftc::clk {
+
+namespace drp_addr {
+
+std::uint8_t clkout_reg1(int output) {
+  switch (output) {
+    case 0: return kClkout0Reg1;
+    case 1: return kClkout1Reg1;
+    case 2: return kClkout2Reg1;
+    case 3: return kClkout3Reg1;
+    case 4: return kClkout4Reg1;
+    case 5: return kClkout5Reg1;
+    case 6: return kClkout6Reg1;
+    default: throw std::out_of_range("clkout_reg1: bad output index");
+  }
+}
+
+std::uint8_t clkout_reg2(int output) {
+  return static_cast<std::uint8_t>(clkout_reg1(output) + 1);
+}
+
+}  // namespace drp_addr
+
+namespace {
+
+// 6-bit counter fields use the hardware convention that a stored value of 0
+// means a count of 64, extending the reach of the counters to divide-by-128.
+unsigned field_from_count(unsigned count) {
+  assert(count >= 1 && count <= 64);
+  return count & 0x3F;
+}
+
+unsigned count_from_field(unsigned field) { return field == 0 ? 64 : field; }
+
+}  // namespace
+
+CounterFields encode_counter(int divider_8ths) {
+  if (divider_8ths < 8 || divider_8ths > 128 * 8)
+    throw std::out_of_range("encode_counter: divider out of [1, 128]");
+  CounterFields f;
+  const unsigned whole = static_cast<unsigned>(divider_8ths / 8);
+  const unsigned frac = static_cast<unsigned>(divider_8ths % 8);
+  f.frac_8ths = frac;
+  f.frac_en = frac != 0;
+  if (whole == 1 && frac == 0) {
+    f.no_count = true;
+    f.high = f.low = 1;
+    return f;
+  }
+  f.high = whole / 2;
+  f.low = whole - f.high;
+  if (f.high == 0) {  // whole == 1 with fraction: counter still runs
+    f.high = 1;
+    f.low = 1;
+    f.edge = false;
+    // Mark the "whole part is 1" case through NO_COUNT with FRAC_EN set, as
+    // the fractional counter bypasses the integer high/low pair.
+    f.no_count = true;
+    return f;
+  }
+  f.edge = (whole % 2) != 0;
+  return f;
+}
+
+int decode_counter(const CounterFields& f) {
+  const int frac = f.frac_en ? static_cast<int>(f.frac_8ths) : 0;
+  if (f.no_count) return 8 + frac;
+  return static_cast<int>(f.high + f.low) * 8 + frac;
+}
+
+std::uint16_t pack_reg1(const CounterFields& f) {
+  return static_cast<std::uint16_t>(
+      ((field_from_count(f.high) & 0x3F) << 6) |
+      (field_from_count(f.low) & 0x3F));
+}
+
+std::uint16_t pack_reg2(const CounterFields& f) {
+  std::uint16_t v = 0;
+  v |= static_cast<std::uint16_t>((f.frac_8ths & 0x3) << 12);
+  v |= static_cast<std::uint16_t>((f.frac_en ? 1 : 0) << 11);
+  v |= static_cast<std::uint16_t>(((f.frac_8ths >> 2) & 0x1) << 10);
+  v |= static_cast<std::uint16_t>((f.edge ? 1 : 0) << 7);
+  v |= static_cast<std::uint16_t>((f.no_count ? 1 : 0) << 6);
+  return v;
+}
+
+CounterFields unpack_regs(std::uint16_t reg1, std::uint16_t reg2) {
+  CounterFields f;
+  f.high = count_from_field((reg1 >> 6) & 0x3F);
+  f.low = count_from_field(reg1 & 0x3F);
+  f.frac_8ths = static_cast<unsigned>(((reg2 >> 12) & 0x3) |
+                                      (((reg2 >> 10) & 0x1) << 2));
+  f.frac_en = ((reg2 >> 11) & 1) != 0;
+  f.edge = ((reg2 >> 7) & 1) != 0;
+  f.no_count = ((reg2 >> 6) & 1) != 0;
+  if (!f.frac_en) f.frac_8ths = 0;
+  return f;
+}
+
+std::uint16_t pack_divclk(int divclk) {
+  if (divclk < 1 || divclk > 128)
+    throw std::out_of_range("pack_divclk: divider out of [1, 128]");
+  if (divclk == 1) return static_cast<std::uint16_t>(1u << 12);  // NO_COUNT
+  const unsigned high = static_cast<unsigned>(divclk) / 2;
+  const unsigned low = static_cast<unsigned>(divclk) - high;
+  const unsigned edge = static_cast<unsigned>(divclk) % 2;
+  return static_cast<std::uint16_t>((edge << 13) |
+                                    ((field_from_count(high) & 0x3F) << 6) |
+                                    (field_from_count(low) & 0x3F));
+}
+
+int unpack_divclk(std::uint16_t reg) {
+  if ((reg >> 12) & 1) return 1;
+  const unsigned high = count_from_field((reg >> 6) & 0x3F);
+  const unsigned low = count_from_field(reg & 0x3F);
+  return static_cast<int>(high + low);
+}
+
+LockConfig lock_config_for_mult(int mult_8ths) {
+  // Monotone-decreasing lock count in the feedback multiplier, shaped after
+  // the XAPP888 lock table and calibrated so the SASEBO-GIII operating
+  // point (fin=24 MHz, M~50) locks in ~34 us as reported in the paper.
+  const double mult = mult_8ths / 8.0;
+  LockConfig lc;
+  lc.lock_cnt = static_cast<unsigned>(
+      std::clamp(std::lround(24000.0 / mult), 250L, 1000L));
+  lc.lock_ref_dly = static_cast<unsigned>(
+      std::clamp(std::lround(mult / 2.0), 4L, 31L));
+  lc.lock_sat_high = static_cast<unsigned>(
+      std::clamp(std::lround(1000.0 - 9.0 * mult), 250L, 1000L) & 0x3FF);
+  return lc;
+}
+
+std::uint32_t lock_cycles(const MmcmConfig& cfg) {
+  // Lock detection counts PFD (= CLKIN/DIVCLK) reference cycles.
+  return lock_config_for_mult(cfg.mult_8ths).lock_cnt *
+         static_cast<std::uint32_t>(cfg.divclk);
+}
+
+std::vector<DrpWrite> encode_config(const MmcmConfig& cfg,
+                                    const MmcmLimits& limits) {
+  if (auto why = cfg.validate(limits))
+    throw std::invalid_argument("encode_config: illegal config: " + *why);
+  std::vector<DrpWrite> w;
+  w.reserve(2 + 2 * kMmcmOutputs + 2 + 3 + 2);
+
+  // XAPP888 step 1: unmask the power register (all interpolators on).
+  w.push_back({drp_addr::kPower, 0xFFFF, 0xFFFF});
+
+  for (int k = 0; k < kMmcmOutputs; ++k) {
+    const CounterFields f =
+        encode_counter(cfg.out_div_8ths[static_cast<std::size_t>(k)]);
+    w.push_back({drp_addr::clkout_reg1(k), pack_reg1(f), 0xEFFF});
+    w.push_back({drp_addr::clkout_reg2(k), pack_reg2(f), 0x3FFF});
+  }
+
+  const CounterFields fb = encode_counter(cfg.mult_8ths);
+  w.push_back({drp_addr::kClkFbReg1, pack_reg1(fb), 0xEFFF});
+  w.push_back({drp_addr::kClkFbReg2, pack_reg2(fb), 0x3FFF});
+  w.push_back({drp_addr::kDivClk, pack_divclk(cfg.divclk), 0x3FFF});
+
+  const LockConfig lc = lock_config_for_mult(cfg.mult_8ths);
+  w.push_back({drp_addr::kLockReg1,
+               static_cast<std::uint16_t>(lc.lock_cnt & 0x3FF), 0x03FF});
+  w.push_back({drp_addr::kLockReg2,
+               static_cast<std::uint16_t>(((lc.lock_ref_dly & 0x1F) << 10) |
+                                          (lc.lock_sat_high & 0x3FF)),
+               0x7FFF});
+  w.push_back({drp_addr::kLockReg3,
+               static_cast<std::uint16_t>(((lc.lock_ref_dly & 0x1F) << 10) |
+                                          0x03E8),
+               0x7FFF});
+
+  // Filter words depend only on the multiplier band (loop bandwidth).
+  const std::uint16_t filt =
+      static_cast<std::uint16_t>(0x0800 | ((cfg.mult_8ths / 8) & 0x3F));
+  w.push_back({drp_addr::kFiltReg1, filt, 0x9900});
+  w.push_back({drp_addr::kFiltReg2, filt, 0x9990});
+  return w;
+}
+
+MmcmConfig decode_config(const std::array<std::uint16_t, 128>& regs,
+                         double fin_mhz) {
+  MmcmConfig cfg;
+  cfg.fin_mhz = fin_mhz;
+  for (int k = 0; k < kMmcmOutputs; ++k) {
+    const CounterFields f =
+        unpack_regs(regs[drp_addr::clkout_reg1(k)], regs[drp_addr::clkout_reg2(k)]);
+    cfg.out_div_8ths[static_cast<std::size_t>(k)] = decode_counter(f);
+    // BUFG presence is a design-time property, not register state; the
+    // decoded image reports every output as available.
+    cfg.out_enabled[static_cast<std::size_t>(k)] = true;
+  }
+  const CounterFields fb =
+      unpack_regs(regs[drp_addr::kClkFbReg1], regs[drp_addr::kClkFbReg2]);
+  cfg.mult_8ths = decode_counter(fb);
+  cfg.divclk = unpack_divclk(regs[drp_addr::kDivClk]);
+  return cfg;
+}
+
+}  // namespace rftc::clk

@@ -1,0 +1,127 @@
+// DRP register codec for MMCME2 dynamic reconfiguration, after Xilinx
+// XAPP888 ("MMCM and PLL Dynamic Reconfiguration", Tatsukawa).
+//
+// Every counter (CLKOUT0..6, CLKFBOUT, DIVCLK) is programmed through one or
+// two 16-bit DRP registers:
+//
+//   ClkReg1  [15:13] PHASE_MUX   (phase in VCO/8 steps; unused here)
+//            [12]    reserved
+//            [11:6]  HIGH_TIME   (VCO cycles the output is high)
+//            [5:0]   LOW_TIME    (VCO cycles the output is low)
+//
+//   ClkReg2  [15:14] reserved
+//            [13:12] FRAC        (fractional eighths, CLKOUT0/CLKFBOUT only,
+//                                 lower 2 of 3 bits; bit 2 in [10])
+//            [11]    FRAC_EN
+//            [10]    FRAC bit 2
+//            [9:8]   MX          (must be 0b00 per XAPP888)
+//            [7]     EDGE        (duty-cycle correction for odd divides)
+//            [6]     NO_COUNT    (bypass counter: divide-by-1)
+//            [5:0]   DELAY_TIME  (coarse phase delay; unused here)
+//
+// The DIVCLK counter uses a single register with the same HIGH/LOW split and
+// EDGE/NO_COUNT in [13:12].  The register *addresses* follow XAPP888 Table 2
+// for MMCME2.  The codec is exact and round-trips: encode(decode(x)) == x
+// for every legal divider, which the unit tests sweep exhaustively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "clocking/mmcm_config.hpp"
+
+namespace rftc::clk {
+
+/// One DRP write: 7-bit address, 16-bit data, and the bitmask of data bits
+/// the write owns (read-modify-write semantics, as the XAPP888 FSM does).
+struct DrpWrite {
+  std::uint8_t addr = 0;
+  std::uint16_t data = 0;
+  std::uint16_t mask = 0xFFFF;
+};
+
+/// DRP addresses (MMCME2, XAPP888 Table 2).
+namespace drp_addr {
+inline constexpr std::uint8_t kPower = 0x28;
+inline constexpr std::uint8_t kClkout0Reg1 = 0x08;
+inline constexpr std::uint8_t kClkout0Reg2 = 0x09;
+inline constexpr std::uint8_t kClkout1Reg1 = 0x0A;
+inline constexpr std::uint8_t kClkout1Reg2 = 0x0B;
+inline constexpr std::uint8_t kClkout2Reg1 = 0x0C;
+inline constexpr std::uint8_t kClkout2Reg2 = 0x0D;
+inline constexpr std::uint8_t kClkout3Reg1 = 0x0E;
+inline constexpr std::uint8_t kClkout3Reg2 = 0x0F;
+inline constexpr std::uint8_t kClkout4Reg1 = 0x10;
+inline constexpr std::uint8_t kClkout4Reg2 = 0x11;
+inline constexpr std::uint8_t kClkout5Reg1 = 0x06;
+inline constexpr std::uint8_t kClkout5Reg2 = 0x07;
+inline constexpr std::uint8_t kClkout6Reg1 = 0x12;
+inline constexpr std::uint8_t kClkout6Reg2 = 0x13;
+inline constexpr std::uint8_t kClkFbReg1 = 0x14;
+inline constexpr std::uint8_t kClkFbReg2 = 0x15;
+inline constexpr std::uint8_t kDivClk = 0x16;
+inline constexpr std::uint8_t kLockReg1 = 0x18;
+inline constexpr std::uint8_t kLockReg2 = 0x19;
+inline constexpr std::uint8_t kLockReg3 = 0x1A;
+inline constexpr std::uint8_t kFiltReg1 = 0x4E;
+inline constexpr std::uint8_t kFiltReg2 = 0x4F;
+
+std::uint8_t clkout_reg1(int output);
+std::uint8_t clkout_reg2(int output);
+}  // namespace drp_addr
+
+/// Split an integer divider into the HIGH/LOW/EDGE/NO_COUNT fields.
+struct CounterFields {
+  unsigned high = 1;
+  unsigned low = 1;
+  bool edge = false;
+  bool no_count = false;
+  unsigned frac_8ths = 0;  // 0..7, only meaningful with frac_en
+  bool frac_en = false;
+};
+
+/// Encode a divider given in eighths (8 => divide-by-1) into counter fields.
+CounterFields encode_counter(int divider_8ths);
+/// Recover the divider (in eighths) from counter fields.
+int decode_counter(const CounterFields& f);
+
+/// Pack/unpack the two clock registers.
+std::uint16_t pack_reg1(const CounterFields& f);
+std::uint16_t pack_reg2(const CounterFields& f);
+CounterFields unpack_regs(std::uint16_t reg1, std::uint16_t reg2);
+
+/// Pack/unpack the single DIVCLK register.
+std::uint16_t pack_divclk(int divclk);
+int unpack_divclk(std::uint16_t reg);
+
+/// Lock-detector configuration word derived from the feedback multiplier.
+/// XAPP888 derives LockRefDly/LockSatHigh/LockCnt from a 64-entry table in
+/// CLKFBOUT_MULT; this model reproduces the monotone structure (higher
+/// multiplication -> more reference cycles to lock) with the property that
+/// the default SASEBO-GIII configuration (fin = 24 MHz) locks in ~34 us, the
+/// figure reported in §5 of the paper.
+struct LockConfig {
+  unsigned lock_ref_dly = 0;
+  unsigned lock_sat_high = 0;
+  unsigned lock_cnt = 0;
+};
+LockConfig lock_config_for_mult(int mult_8ths);
+
+/// Number of CLKIN cycles from reset release to LOCKED for a configuration.
+std::uint32_t lock_cycles(const MmcmConfig& cfg);
+
+/// Full write sequence reprogramming every counter of an MMCM, in XAPP888
+/// order: power register first, then all CLKOUT counters, DIVCLK, CLKFBOUT,
+/// then lock/filter words.  `limits` selects the electrical rule set the
+/// configuration is validated against (7-series MMCM by default).
+std::vector<DrpWrite> encode_config(const MmcmConfig& cfg,
+                                    const MmcmLimits& limits = {});
+
+/// Rebuild a configuration from a DRP register file (inverse of
+/// encode_config as applied to a register image).  `fin_mhz` is external to
+/// the register file and must be supplied.
+MmcmConfig decode_config(const std::array<std::uint16_t, 128>& regs,
+                         double fin_mhz);
+
+}  // namespace rftc::clk

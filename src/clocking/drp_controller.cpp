@@ -1,0 +1,48 @@
+#include "clocking/drp_controller.hpp"
+
+#include <stdexcept>
+
+namespace rftc::clk {
+
+DrpController::DrpController(double dclk_mhz)
+    : dclk_mhz_(dclk_mhz), dclk_period_(period_ps_from_mhz(dclk_mhz)) {
+  if (dclk_mhz <= 0) throw std::invalid_argument("DrpController: bad DCLK");
+}
+
+ReconfigReport DrpController::reconfigure(MmcmModel& mmcm,
+                                          const MmcmConfig& target,
+                                          Picoseconds start,
+                                          const MmcmLimits& limits) {
+  const auto writes = encode_config(target, limits);
+  return apply(mmcm, writes, start);
+}
+
+ReconfigReport DrpController::apply(MmcmModel& mmcm,
+                                    std::span<const DrpWrite> writes,
+                                    Picoseconds start) {
+  ReconfigReport rep;
+  rep.started = start;
+  std::uint64_t cycles = kDrpRestartCycles;
+
+  mmcm.assert_reset(start + cycles * dclk_period_);
+
+  for (const DrpWrite& w : writes) {
+    // READ phase fetches the current register so reserved bits survive.
+    cycles += kDrpReadCycles;
+    const std::uint16_t current = mmcm.drp_read(w.addr);
+    cycles += kDrpModifyCycles;
+    const auto merged = static_cast<std::uint16_t>(
+        (current & ~w.mask) | (w.data & w.mask));
+    cycles += kDrpWriteCycles;
+    mmcm.drp_write(w.addr, merged, 0xFFFF);
+    ++rep.drp_transactions;
+  }
+
+  rep.writes_done = start + static_cast<Picoseconds>(cycles) * dclk_period_;
+  mmcm.release_reset(rep.writes_done);
+  rep.locked = mmcm.locked_at();
+  rep.dclk_cycles = cycles;
+  return rep;
+}
+
+}  // namespace rftc::clk

@@ -1,0 +1,61 @@
+// The MMCM_DRP reconfiguration state machine of XAPP888, at transaction
+// granularity.
+//
+// The hardware FSM walks: RESTART -> WAIT_LOCK -> ... -> ADDRESS -> READ ->
+// WAIT_READ -> BIT_MASK -> BIT_SET -> WRITE -> WAIT_WRITE per register, with
+// the MMCM held in reset for the whole sequence.  This model charges the
+// documented DCLK cycle counts per transaction and returns the absolute
+// times of the interesting events so the RFTC controller can schedule the
+// ping-pong (§4: "the other N−1 MMCMs can drive the AES circuit" while one
+// reconfigures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "clocking/mmcm_model.hpp"
+
+namespace rftc::clk {
+
+struct ReconfigReport {
+  Picoseconds started = 0;
+  /// When the last DRP write completed and reset was released.
+  Picoseconds writes_done = 0;
+  /// When LOCKED rose (reconfiguration complete; clock usable).
+  Picoseconds locked = 0;
+  unsigned drp_transactions = 0;
+  std::uint64_t dclk_cycles = 0;
+};
+
+class DrpController {
+ public:
+  /// `dclk_mhz` is the clock feeding the DRP port and the FSM — the board
+  /// oscillator (24 MHz on SASEBO-GIII).
+  explicit DrpController(double dclk_mhz);
+
+  /// Runs the full XAPP888 sequence against `mmcm`, starting at
+  /// `start`: assert reset, read-modify-write every register of `target`,
+  /// release reset, and report when LOCKED rises.  `limits` must match the
+  /// device rule set the MMCM model was built with.
+  ReconfigReport reconfigure(MmcmModel& mmcm, const MmcmConfig& target,
+                             Picoseconds start, const MmcmLimits& limits = {});
+
+  /// Same sequence driven from a precomputed write stream (the Block RAM
+  /// path the RFTC controller uses at runtime).
+  ReconfigReport apply(MmcmModel& mmcm, std::span<const DrpWrite> writes,
+                       Picoseconds start);
+
+  double dclk_mhz() const { return dclk_mhz_; }
+
+ private:
+  double dclk_mhz_;
+  Picoseconds dclk_period_;
+};
+
+// Per-transaction DCLK cycle costs of the XAPP888 FSM.
+inline constexpr unsigned kDrpReadCycles = 3;   // ADDRESS, READ, WAIT_READ
+inline constexpr unsigned kDrpModifyCycles = 2; // BIT_MASK, BIT_SET
+inline constexpr unsigned kDrpWriteCycles = 3;  // WRITE, WAIT_WRITE, DRDY
+inline constexpr unsigned kDrpRestartCycles = 4;
+
+}  // namespace rftc::clk

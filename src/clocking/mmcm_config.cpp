@@ -1,0 +1,186 @@
+#include "clocking/mmcm_config.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rftc::clk {
+
+MmcmLimits altera_iopll_limits() {
+  MmcmLimits lim;
+  lim.vco_min_mhz = 600.0;
+  lim.vco_max_mhz = 1600.0;
+  lim.pfd_min_mhz = 5.0;
+  lim.pfd_max_mhz = 325.0;
+  lim.mult_min_8ths = 1 * 8;
+  // The IOPLL's M counter reaches far higher, but a 24 MHz input already
+  // saturates the 1600 MHz VCO at M=66; capping at the DRP codec's counter
+  // range keeps the reconfiguration-stream model shared across vendors.
+  lim.mult_max_8ths = 64 * 8;
+  lim.divclk_max = 110;
+  // The IOPLL's C counters reach 512, but the reconfiguration stream model
+  // shares the 7-series DRP codec, whose counters top out at 128; the
+  // 12-48 MHz band never needs more.
+  lim.out_div_max_8ths = 128 * 8;
+  lim.fractional_clkout0 = false;
+  return lim;
+}
+
+namespace {
+
+bool is_whole(int eighths) { return eighths % 8 == 0; }
+
+/// Closest legal divider (in eighths) for `vco / target`, honouring the
+/// fractional capability of the output.
+int best_divider_8ths(double vco_mhz, double target_mhz, bool fractional,
+                      const MmcmLimits& lim) {
+  const double ideal = vco_mhz / target_mhz;
+  int div8;
+  if (fractional) {
+    div8 = static_cast<int>(std::llround(ideal * 8.0));
+  } else {
+    div8 = static_cast<int>(std::llround(ideal)) * 8;
+  }
+  if (div8 < lim.out_div_min_8ths) div8 = lim.out_div_min_8ths;
+  if (div8 > lim.out_div_max_8ths) div8 = lim.out_div_max_8ths;
+  if (!fractional) div8 = (div8 / 8) * 8;
+  if (div8 < 8) div8 = 8;
+  return div8;
+}
+
+}  // namespace
+
+std::optional<std::string> MmcmConfig::validate(const MmcmLimits& lim) const {
+  std::ostringstream err;
+  if (fin_mhz <= 0) return "input frequency must be positive";
+  if (mult_8ths < lim.mult_min_8ths || mult_8ths > lim.mult_max_8ths) {
+    err << "CLKFBOUT_MULT_F=" << mult_8ths / 8.0 << " outside ["
+        << lim.mult_min_8ths / 8.0 << ", " << lim.mult_max_8ths / 8.0 << "]";
+    return err.str();
+  }
+  if (divclk < lim.divclk_min || divclk > lim.divclk_max) {
+    err << "DIVCLK_DIVIDE=" << divclk << " outside [" << lim.divclk_min << ", "
+        << lim.divclk_max << "]";
+    return err.str();
+  }
+  const double pfd = pfd_mhz();
+  if (pfd < lim.pfd_min_mhz || pfd > lim.pfd_max_mhz) {
+    err << "PFD frequency " << pfd << " MHz outside [" << lim.pfd_min_mhz
+        << ", " << lim.pfd_max_mhz << "]";
+    return err.str();
+  }
+  const double vco = vco_mhz();
+  if (vco < lim.vco_min_mhz || vco > lim.vco_max_mhz) {
+    err << "VCO frequency " << vco << " MHz outside [" << lim.vco_min_mhz
+        << ", " << lim.vco_max_mhz << "]";
+    return err.str();
+  }
+  for (int k = 0; k < kMmcmOutputs; ++k) {
+    const int d = out_div_8ths[static_cast<std::size_t>(k)];
+    if (d < lim.out_div_min_8ths || d > lim.out_div_max_8ths) {
+      err << "CLKOUT" << k << "_DIVIDE=" << d / 8.0 << " outside ["
+          << lim.out_div_min_8ths / 8.0 << ", " << lim.out_div_max_8ths / 8.0
+          << "]";
+      return err.str();
+    }
+    if ((k != 0 || !lim.fractional_clkout0) && !is_whole(d)) {
+      err << "CLKOUT" << k << "_DIVIDE=" << d / 8.0
+          << " fractional divide is not available on this output";
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SynthesisResult> synthesize_frequency(double fin_mhz,
+                                                    double target_mhz,
+                                                    int output_index,
+                                                    const MmcmLimits& lim) {
+  if (target_mhz <= 0) return std::nullopt;
+  const bool fractional = (output_index == 0) && lim.fractional_clkout0;
+  SynthesisResult best;
+  double best_err = std::numeric_limits<double>::infinity();
+
+  for (int d = lim.divclk_min; d <= lim.divclk_max; ++d) {
+    const double pfd = fin_mhz / d;
+    if (pfd < lim.pfd_min_mhz) break;  // d only grows from here
+    if (pfd > lim.pfd_max_mhz) continue;
+    // Legal multiplier range for this d so the VCO stays in band.
+    const int m_lo = std::max(
+        lim.mult_min_8ths,
+        static_cast<int>(std::ceil(lim.vco_min_mhz * d / fin_mhz * 8.0)));
+    const int m_hi = std::min(
+        lim.mult_max_8ths,
+        static_cast<int>(std::floor(lim.vco_max_mhz * d / fin_mhz * 8.0)));
+    for (int m = m_lo; m <= m_hi; ++m) {
+      const double vco = fin_mhz * (m / 8.0) / d;
+      const int div8 = best_divider_8ths(vco, target_mhz, fractional, lim);
+      const double achieved = vco / (div8 / 8.0);
+      const double err = std::fabs(achieved - target_mhz);
+      if (err < best_err) {
+        best_err = err;
+        best.config = MmcmConfig{};
+        best.config.fin_mhz = fin_mhz;
+        best.config.mult_8ths = m;
+        best.config.divclk = d;
+        best.config.out_div_8ths.fill(lim.out_div_max_8ths);
+        best.config.out_div_8ths[static_cast<std::size_t>(output_index)] = div8;
+        best.config.out_enabled.fill(false);
+        best.config.out_enabled[static_cast<std::size_t>(output_index)] = true;
+        best.output_index = output_index;
+        best.achieved_mhz = achieved;
+        best.error_mhz = err;
+      }
+    }
+  }
+  if (!std::isfinite(best_err)) return std::nullopt;
+  if (auto why = best.config.validate(lim)) return std::nullopt;
+  return best;
+}
+
+std::optional<MmcmConfig> synthesize_frequency_set(
+    double fin_mhz, const std::array<double, kMmcmOutputs>& targets_mhz,
+    int count, const MmcmLimits& lim) {
+  if (count < 1 || count > kMmcmOutputs) return std::nullopt;
+  std::optional<MmcmConfig> best;
+  double best_err = std::numeric_limits<double>::infinity();
+
+  for (int d = lim.divclk_min; d <= lim.divclk_max; ++d) {
+    const double pfd = fin_mhz / d;
+    if (pfd < lim.pfd_min_mhz) break;
+    if (pfd > lim.pfd_max_mhz) continue;
+    const int m_lo = std::max(
+        lim.mult_min_8ths,
+        static_cast<int>(std::ceil(lim.vco_min_mhz * d / fin_mhz * 8.0)));
+    const int m_hi = std::min(
+        lim.mult_max_8ths,
+        static_cast<int>(std::floor(lim.vco_max_mhz * d / fin_mhz * 8.0)));
+    for (int m = m_lo; m <= m_hi; ++m) {
+      const double vco = fin_mhz * (m / 8.0) / d;
+      MmcmConfig cfg;
+      cfg.fin_mhz = fin_mhz;
+      cfg.mult_8ths = m;
+      cfg.divclk = d;
+      cfg.out_div_8ths.fill(lim.out_div_max_8ths);
+      cfg.out_enabled.fill(false);
+      double err = 0.0;
+      for (int k = 0; k < count; ++k) {
+        const double t = targets_mhz[static_cast<std::size_t>(k)];
+        const int div8 = best_divider_8ths(
+            vco, t, /*fractional=*/k == 0 && lim.fractional_clkout0, lim);
+        cfg.out_div_8ths[static_cast<std::size_t>(k)] = div8;
+        cfg.out_enabled[static_cast<std::size_t>(k)] = true;
+        const double achieved = vco / (div8 / 8.0);
+        err += std::fabs(achieved - t) / t;
+      }
+      if (err < best_err) {
+        best_err = err;
+        best = cfg;
+      }
+    }
+  }
+  if (best && best->validate(lim)) return std::nullopt;
+  return best;
+}
+
+}  // namespace rftc::clk

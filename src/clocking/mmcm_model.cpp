@@ -1,0 +1,63 @@
+#include "clocking/mmcm_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rftc::clk {
+
+MmcmModel::MmcmModel(MmcmConfig initial, MmcmLimits limits)
+    : limits_(limits), active_(initial) {
+  if (auto why = initial.validate(limits_))
+    throw std::invalid_argument("MmcmModel: illegal initial config: " + *why);
+  // Mirror the initial configuration into the register file so a partial
+  // DRP rewrite composes with the bitstream values, as in hardware.
+  for (const DrpWrite& w : encode_config(initial, limits_))
+    regs_[w.addr] = static_cast<std::uint16_t>(
+        (regs_[w.addr] & ~w.mask) | (w.data & w.mask));
+}
+
+std::uint16_t MmcmModel::drp_read(std::uint8_t addr) const {
+  return regs_.at(addr);
+}
+
+void MmcmModel::drp_write(std::uint8_t addr, std::uint16_t data,
+                          std::uint16_t mask) {
+  if (!in_reset_)
+    throw std::logic_error(
+        "MmcmModel: DRP write while not in reset (XAPP888 requires RST high "
+        "during reconfiguration)");
+  regs_.at(addr) = static_cast<std::uint16_t>(
+      (regs_.at(addr) & ~mask) | (data & mask));
+}
+
+void MmcmModel::assert_reset(Picoseconds) { in_reset_ = true; }
+
+void MmcmModel::release_reset(Picoseconds now) {
+  if (!in_reset_) return;
+  in_reset_ = false;
+  active_ = staged_config();
+  locked_at_ = now + static_cast<Picoseconds>(lock_cycles(active_)) *
+                         period_ps_from_mhz(active_.fin_mhz);
+}
+
+MmcmConfig MmcmModel::staged_config() const {
+  MmcmConfig cfg = decode_config(regs_, active_.fin_mhz);
+  cfg.out_enabled = active_.out_enabled;
+  return cfg;
+}
+
+Picoseconds MmcmModel::output_period_ps(int k) const {
+  if (k < 0 || k >= kMmcmOutputs)
+    throw std::out_of_range("MmcmModel::output_period_ps");
+  return active_.output_period_ps(k);
+}
+
+Picoseconds MmcmModel::lock_time_ps() const {
+  // lock_cycles() is expressed in CLKIN cycles (lock_cnt PFD cycles, each
+  // DIVCLK_DIVIDE input cycles long).
+  const MmcmConfig cfg = staged_config();
+  return static_cast<Picoseconds>(lock_cycles(cfg)) *
+         period_ps_from_mhz(cfg.fin_mhz);
+}
+
+}  // namespace rftc::clk

@@ -1,0 +1,65 @@
+// Behavioural model of one MMCME2 primitive: DRP register file, reset/lock
+// sequencing, and output clock synthesis.
+//
+// Timing model: the MMCM is a passive component addressed through its DRP
+// port; the caller (DrpController) owns the DCLK cycle accounting.  What the
+// MMCM model owns is the *lock* behaviour: output clocks are valid only
+// while LOCKED is high, LOCKED drops on reset assertion, and rises
+// lock_cycles(config) PFD cycles after reset release — which is how the
+// 34 us reconfiguration figure of the paper (§5) arises at a 24 MHz input.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "clocking/drp_codec.hpp"
+#include "clocking/mmcm_config.hpp"
+#include "util/time_types.hpp"
+
+namespace rftc::clk {
+
+class MmcmModel {
+ public:
+  /// Constructs with an initial configuration (as loaded from the bitstream)
+  /// and starts locked at t=0.  `limits` selects the device rule set
+  /// (7-series MMCM by default; altera_iopll_limits() for an IOPLL).
+  explicit MmcmModel(MmcmConfig initial, MmcmLimits limits = {});
+
+  // --- DRP port -----------------------------------------------------------
+  /// One DRP read transaction.
+  std::uint16_t drp_read(std::uint8_t addr) const;
+  /// One DRP write transaction with read-modify-write mask semantics.
+  /// Writes are only legal while the MMCM is held in reset (XAPP888
+  /// requirement); a write while running throws std::logic_error.
+  void drp_write(std::uint8_t addr, std::uint16_t data, std::uint16_t mask);
+
+  // --- Reset / lock -------------------------------------------------------
+  void assert_reset(Picoseconds now);
+  /// Releases reset: the register file is latched into the active
+  /// configuration and LOCKED will rise after the lock time.
+  void release_reset(Picoseconds now);
+  bool in_reset() const { return in_reset_; }
+  bool locked(Picoseconds now) const { return !in_reset_ && now >= locked_at_; }
+  Picoseconds locked_at() const { return locked_at_; }
+
+  // --- Clock outputs ------------------------------------------------------
+  /// The configuration currently driving the VCO (latched at last reset
+  /// release, NOT the possibly half-written register file).
+  const MmcmConfig& active_config() const { return active_; }
+  /// The configuration described by the register file right now.
+  MmcmConfig staged_config() const;
+  /// Active output period; throws if the output index is out of range.
+  Picoseconds output_period_ps(int k) const;
+
+  /// Lock wait (ps) for the *staged* configuration at the current input.
+  Picoseconds lock_time_ps() const;
+
+ private:
+  std::array<std::uint16_t, 128> regs_{};
+  MmcmLimits limits_;
+  MmcmConfig active_;
+  bool in_reset_ = false;
+  Picoseconds locked_at_ = 0;
+};
+
+}  // namespace rftc::clk

@@ -1,0 +1,68 @@
+#include "fpga/overhead.hpp"
+
+namespace rftc::fpga {
+
+DesignReport evaluate_design(const std::string& name,
+                             sched::Scheduler& scheduler,
+                             const ResourceInventory& resources,
+                             std::size_t n_encryptions, int rounds,
+                             const PowerParams& power) {
+  DesignReport rep;
+  rep.name = name;
+  rep.resources = resources;
+
+  double total_completion_ps = 0.0;
+  double total_wall_ps = 0.0;
+  double total_extra_hd = 0.0;
+  std::size_t total_rounds = 0;
+
+  Picoseconds wall_start = 0, wall_end = 0;
+  for (std::size_t i = 0; i < n_encryptions; ++i) {
+    const sched::EncryptionSchedule es = scheduler.next(rounds);
+    if (i == 0) wall_start = es.global_start;
+    wall_end = es.global_start + es.completion_ps();
+    total_completion_ps += static_cast<double>(es.completion_ps());
+    total_rounds += static_cast<std::size_t>(es.round_count());
+    for (const sched::CycleSlot& s : es.slots)
+      if (s.kind != sched::SlotKind::kRound) total_extra_hd += s.extra_activity;
+  }
+  total_wall_ps = static_cast<double>(wall_end - wall_start) +
+                  static_cast<double>(sched::kInterEncryptionGapPs);
+
+  rep.mean_completion_ns =
+      total_completion_ps / static_cast<double>(n_encryptions) / 1e3;
+  const double wall_s = total_wall_ps * 1e-12;
+  rep.throughput_enc_per_s =
+      wall_s > 0 ? static_cast<double>(n_encryptions) / wall_s : 0.0;
+
+  // Dynamic power: energy of all rounds and all extra activity over the
+  // wall-clock interval.
+  const double round_j =
+      static_cast<double>(total_rounds) * power.round_energy_nj * 1e-9 *
+      (power.mean_round_activity_hd / 64.0);
+  const double extra_j = total_extra_hd * power.extra_energy_per_hd_nj * 1e-9;
+  rep.dynamic_mw = (wall_s > 0 ? (round_j + extra_j) / wall_s * 1e3 : 0.0) +
+                   resources.always_on_dynamic_mw;
+
+  rep.static_mw =
+      power.board_static_mw +
+      static_cast<double>(resources.luts) / 1000.0 * power.static_per_klut_mw +
+      static_cast<double>(resources.mmcms) * power.static_per_mmcm_mw +
+      static_cast<double>(resources.plls) * power.static_per_pll_mw +
+      static_cast<double>(resources.ramb36) * power.static_per_ramb36_mw +
+      static_cast<double>(resources.bufgs) * power.static_per_bufg_mw;
+  return rep;
+}
+
+void compute_overheads(DesignReport& report, const DesignReport& reference) {
+  if (reference.mean_completion_ns > 0)
+    report.time_overhead =
+        report.mean_completion_ns / reference.mean_completion_ns;
+  if (reference.total_mw() > 0)
+    report.power_overhead = report.total_mw() / reference.total_mw();
+  if (reference.resources.slice_area() > 0)
+    report.area_overhead =
+        report.resources.slice_area() / reference.resources.slice_area();
+}
+
+}  // namespace rftc::fpga

@@ -1,0 +1,66 @@
+// XPower-style overhead estimation: time, power and area of a protected
+// design relative to the unprotected AES reference (Table 1's last three
+// rows).
+//
+// Power model: P = P_static(resources) + E_round * round_rate
+//                + E_extra * extra_rate + P_clocking(resources)
+// where rates are measured by running the actual scheduler — so RCDD's
+// dummy rounds, RDI's toggling buffer chains and RFTC's lower average clock
+// frequency all show up exactly the way they do on silicon.
+#pragma once
+
+#include <string>
+
+#include "fpga/resources.hpp"
+#include "sched/schedule.hpp"
+
+namespace rftc::fpga {
+
+struct PowerParams {
+  /// Dynamic energy of one AES round evaluation (nJ); frequency-independent
+  /// (CV^2 scaling), so dynamic *power* scales with the round rate.
+  double round_energy_nj = 1.1;
+  /// Dynamic energy per unit of extra slot activity (dummy rounds, buffer
+  /// chains), in nJ per HD unit.
+  double extra_energy_per_hd_nj = 1.1 / 64.0;
+  /// Standing power per primitive (mW) — static leakage plus the
+  /// schedule-independent clocking power of the primitive itself.
+  double static_per_klut_mw = 1.2;
+  double static_per_mmcm_mw = 60.0;
+  double static_per_pll_mw = 50.0;
+  double static_per_ramb36_mw = 2.0;
+  double static_per_bufg_mw = 1.5;
+  /// Board-level baseline consumed by the FPGA regardless of design (mW);
+  /// the Kintex-7 325T on a SASEBO-GIII idles at a few hundred mW.
+  double board_static_mw = 300.0;
+  /// Mean switching activity of one real round, in HD units (state register
+  /// plus combinational cloud).
+  double mean_round_activity_hd = 64.0;
+};
+
+struct DesignReport {
+  std::string name;
+  ResourceInventory resources;
+  double mean_completion_ns = 0.0;
+  double throughput_enc_per_s = 0.0;
+  double dynamic_mw = 0.0;
+  double static_mw = 0.0;
+  double total_mw() const { return dynamic_mw + static_mw; }
+
+  // Ratios vs the unprotected reference (1.0 = parity).
+  double time_overhead = 1.0;
+  double power_overhead = 1.0;
+  double area_overhead = 1.0;
+};
+
+/// Evaluates a design by running `n_encryptions` through its scheduler.
+DesignReport evaluate_design(const std::string& name,
+                             sched::Scheduler& scheduler,
+                             const ResourceInventory& resources,
+                             std::size_t n_encryptions, int rounds = 10,
+                             const PowerParams& power = {});
+
+/// Fill in the *_overhead ratios of `report` against `reference`.
+void compute_overheads(DesignReport& report, const DesignReport& reference);
+
+}  // namespace rftc::fpga

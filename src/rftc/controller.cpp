@@ -1,0 +1,98 @@
+#include "rftc/controller.hpp"
+
+#include <stdexcept>
+
+namespace rftc::core {
+
+using sched::CycleSlot;
+using sched::EncryptionSchedule;
+using sched::SlotKind;
+
+RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
+    : plan_(std::move(plan)),
+      params_(params),
+      store_(plan_.configs, plan_.params.limits),
+      drp_(plan_.params.fin_mhz),
+      lfsr_(params.lfsr_seed_lo, params.lfsr_seed_hi) {
+  if (params_.n_mmcms < 2)
+    throw std::invalid_argument(
+        "RftcController: need at least 2 MMCMs for uninterrupted operation "
+        "(one drives the cipher while the other reconfigures)");
+  if (plan_.configs.empty())
+    throw std::invalid_argument("RftcController: empty frequency plan");
+
+  mmcms_.reserve(static_cast<std::size_t>(params_.n_mmcms));
+  for (int i = 0; i < params_.n_mmcms; ++i) {
+    const std::size_t idx = lfsr_.uniform(plan_.p());
+    mmcms_.emplace_back(store_.config(idx), plan_.params.limits);
+  }
+  active_ = 0;
+  reconfiguring_ = 1;
+  start_reconfig(reconfiguring_);
+}
+
+void RftcController::start_reconfig(int mmcm_index) {
+  // Fetch the precomputed write stream from Block RAM — the runtime path
+  // of Fig. 1 — rather than re-encoding the configuration.
+  const std::size_t idx = lfsr_.uniform(plan_.p());
+  const std::vector<clk::DrpWrite> writes = store_.fetch(idx);
+  const clk::ReconfigReport rep = drp_.apply(
+      mmcms_[static_cast<std::size_t>(mmcm_index)], writes, now_);
+  reconfig_done_at_ = rep.locked;
+  ++stats_.reconfigurations;
+  stats_.total_drp_transactions += rep.drp_transactions;
+  stats_.last_reconfig_duration_ps = rep.locked - rep.started;
+}
+
+void RftcController::maybe_swap() {
+  if (now_ < reconfig_done_at_) return;
+  // The freshly reconfigured MMCM takes over; the previously active one is
+  // immediately sent off to fetch its next configuration (Fig. 2-B,
+  // "Encryption x+1").
+  const int previous_active = active_;
+  active_ = reconfiguring_;
+  reconfiguring_ = previous_active;
+  start_reconfig(reconfiguring_);
+}
+
+std::vector<Picoseconds> RftcController::active_periods() const {
+  std::vector<Picoseconds> out;
+  out.reserve(static_cast<std::size_t>(plan_.m()));
+  for (int k = 0; k < plan_.m(); ++k)
+    out.push_back(mmcms_[static_cast<std::size_t>(active_)].output_period_ps(k));
+  return out;
+}
+
+EncryptionSchedule RftcController::next(int rounds) {
+  maybe_swap();
+
+  EncryptionSchedule es;
+  es.load_edge = sched::kLoadEdgePs;
+  es.global_start = now_;
+  const std::vector<Picoseconds> periods = active_periods();
+  const auto m = static_cast<std::uint64_t>(plan_.m());
+
+  Picoseconds t = es.load_edge;
+  int prev_sel = -1;
+  for (int r = 0; r < rounds; ++r) {
+    const auto sel = static_cast<int>(lfsr_.uniform(m));
+    const Picoseconds p = periods[static_cast<std::size_t>(sel)];
+    if (params_.model_switch_overhead && prev_sel >= 0 && sel != prev_sel) {
+      const Picoseconds from = periods[static_cast<std::size_t>(prev_sel)];
+      t += clk::switch_latency(from, p, t % from, t % p);
+    }
+    t += p;
+    es.slots.push_back({t, p, SlotKind::kRound, 0.0});
+    prev_sel = sel;
+  }
+  now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
+  ++stats_.encryptions;
+  return es;
+}
+
+std::string RftcController::name() const {
+  return "RFTC(" + std::to_string(plan_.m()) + ", " +
+         std::to_string(plan_.p()) + ")";
+}
+
+}  // namespace rftc::core

@@ -1,0 +1,83 @@
+// RftcController: the runtime half of RFTC (paper §4, Fig. 1 & Fig. 2-B).
+//
+// N MMCMs ping-pong: one drives the AES clock mux while another is being
+// rewritten over its DRP port with a configuration fetched from Block RAM at
+// an LFSR-chosen index.  Because MMCM reconfiguration (~34 us at a 24 MHz
+// DRP clock) is much longer than one encryption, x ≈ 82 encryptions run per
+// frequency set; each encryption's rounds are individually clocked by an
+// LFSR-chosen output of the active MMCM through a glitch-free BUFG mux.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clocking/block_ram.hpp"
+#include "clocking/clock_mux.hpp"
+#include "clocking/drp_controller.hpp"
+#include "clocking/mmcm_model.hpp"
+#include "rftc/frequency_planner.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::core {
+
+struct ControllerParams {
+  /// N — number of MMCMs (>= 2 for uninterrupted operation; the paper's
+  /// board uses 2).
+  int n_mmcms = 2;
+  /// Seed of the 128-bit LFSR choosing configurations and round clocks.
+  std::uint64_t lfsr_seed_lo = 0xACE1ACE1ACE1ACE1ULL;
+  std::uint64_t lfsr_seed_hi = 0x1;
+  /// Charge glitch-free BUFG switch dead time between rounds (off in the
+  /// paper's completion-time arithmetic; on for the ablation bench).
+  bool model_switch_overhead = false;
+};
+
+struct ControllerStats {
+  std::uint64_t encryptions = 0;
+  std::uint64_t reconfigurations = 0;
+  /// Mean encryptions completed per reconfiguration interval (paper: ~82).
+  double encryptions_per_reconfig() const {
+    return reconfigurations == 0
+               ? 0.0
+               : static_cast<double>(encryptions) /
+                     static_cast<double>(reconfigurations);
+  }
+  std::uint64_t total_drp_transactions = 0;
+  Picoseconds last_reconfig_duration_ps = 0;
+};
+
+class RftcController final : public sched::Scheduler {
+ public:
+  RftcController(FrequencyPlan plan, ControllerParams params);
+
+  sched::EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+  const ControllerStats& stats() const { return stats_; }
+  const FrequencyPlan& plan() const { return plan_; }
+  /// The MMCM currently driving the cipher clock mux.
+  int active_mmcm() const { return active_; }
+  /// Periods of the M usable outputs of the active MMCM.
+  std::vector<Picoseconds> active_periods() const;
+
+ private:
+  void start_reconfig(int mmcm_index);
+  void maybe_swap();
+
+  FrequencyPlan plan_;
+  ControllerParams params_;
+  clk::ConfigStore store_;
+  std::vector<clk::MmcmModel> mmcms_;
+  clk::DrpController drp_;
+  Lfsr128 lfsr_;
+  ControllerStats stats_;
+
+  int active_ = 0;
+  int reconfiguring_ = 1;
+  Picoseconds reconfig_done_at_ = 0;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::core

@@ -1,0 +1,41 @@
+#include "rftc/device.hpp"
+
+namespace rftc::core {
+
+RftcDevice::RftcDevice(const aes::Key& key, FrequencyPlan plan,
+                       ControllerParams params)
+    : engine_(key),
+      controller_(
+          std::make_unique<RftcController>(std::move(plan), params)) {}
+
+RftcDevice RftcDevice::make(const aes::Key& key, int m, int p,
+                            std::uint64_t seed) {
+  PlannerParams pp;
+  pp.m_outputs = m;
+  pp.p_configs = p;
+  pp.seed = seed;
+  ControllerParams cp;
+  cp.lfsr_seed_lo = seed * 0x9E3779B97F4A7C15ULL + 1;
+  cp.lfsr_seed_hi = seed ^ 0xDEADBEEFCAFEBABEULL;
+  return RftcDevice(key, plan_frequencies(pp), cp);
+}
+
+EncryptionRecord RftcDevice::encrypt(const aes::Block& plaintext) {
+  EncryptionRecord rec{aes::Block{}, controller_->next(aes::kRounds),
+                       engine_.encrypt(plaintext)};
+  rec.ciphertext = rec.activity.ciphertext();
+  return rec;
+}
+
+ScheduledAesDevice::ScheduledAesDevice(
+    const aes::Key& key, std::unique_ptr<sched::Scheduler> scheduler)
+    : engine_(key), scheduler_(std::move(scheduler)) {}
+
+EncryptionRecord ScheduledAesDevice::encrypt(const aes::Block& plaintext) {
+  EncryptionRecord rec{aes::Block{}, scheduler_->next(aes::kRounds),
+                       engine_.encrypt(plaintext)};
+  rec.ciphertext = rec.activity.ciphertext();
+  return rec;
+}
+
+}  // namespace rftc::core

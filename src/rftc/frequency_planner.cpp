@@ -1,0 +1,196 @@
+#include "rftc/frequency_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rftc::core {
+
+std::uint64_t completion_times_per_set(int m, int rounds) {
+  // C(rounds + m - 1, rounds) computed without overflow for the small
+  // arguments we use (m <= 7, rounds <= 32).
+  std::uint64_t num = 1;
+  for (int i = 1; i <= m - 1; ++i) {
+    num = num * static_cast<std::uint64_t>(rounds + i) /
+          static_cast<std::uint64_t>(i);
+  }
+  return num;
+}
+
+namespace {
+
+void enumerate_rec(const std::vector<Picoseconds>& periods, int index,
+                   int remaining, Picoseconds acc,
+                   std::vector<Picoseconds>& out) {
+  if (index == static_cast<int>(periods.size()) - 1) {
+    out.push_back(acc + static_cast<Picoseconds>(remaining) *
+                            periods[static_cast<std::size_t>(index)]);
+    return;
+  }
+  for (int c = 0; c <= remaining; ++c) {
+    enumerate_rec(periods, index + 1, remaining - c,
+                  acc + static_cast<Picoseconds>(c) *
+                            periods[static_cast<std::size_t>(index)],
+                  out);
+  }
+}
+
+}  // namespace
+
+std::vector<Picoseconds> enumerate_completion_times(
+    const std::vector<Picoseconds>& periods_ps, int rounds) {
+  if (periods_ps.empty())
+    throw std::invalid_argument("enumerate_completion_times: no periods");
+  std::vector<Picoseconds> out;
+  out.reserve(completion_times_per_set(static_cast<int>(periods_ps.size()),
+                                       rounds));
+  enumerate_rec(periods_ps, 0, rounds, 0, out);
+  return out;
+}
+
+std::uint64_t FrequencyPlan::total_completion_times() const {
+  return static_cast<std::uint64_t>(configs.size()) *
+         completion_times_per_set(params.m_outputs, params.rounds);
+}
+
+std::size_t FrequencyPlan::distinct_frequencies() const {
+  std::unordered_set<Picoseconds> seen;
+  for (const auto& ps : periods_ps) seen.insert(ps.begin(), ps.end());
+  return seen.size();
+}
+
+FrequencyPlan plan_frequencies(const PlannerParams& params) {
+  if (params.m_outputs < 1 || params.m_outputs > clk::kMmcmOutputs)
+    throw std::invalid_argument("plan_frequencies: bad M");
+  if (params.p_configs < 1)
+    throw std::invalid_argument("plan_frequencies: bad P");
+  if (params.f_max_mhz <= params.f_min_mhz || params.grid_step_mhz <= 0)
+    throw std::invalid_argument("plan_frequencies: bad frequency range");
+
+  // Candidate frequency grid (the paper's 0.012 MHz pitch over 12–48 MHz).
+  std::vector<double> grid;
+  for (double f = params.f_min_mhz; f <= params.f_max_mhz + 1e-9;
+       f += params.grid_step_mhz)
+    grid.push_back(f);
+
+  Xoshiro256StarStar rng(params.seed);
+  const std::int64_t res = std::max<std::int64_t>(params.collision_resolution_fs, 1);
+
+  FrequencyPlan plan;
+  plan.params = params;
+  std::unordered_set<Picoseconds> used_times;
+  // A set whose *frequency tuple* was already accepted adds nothing; track
+  // period tuples to avoid storing duplicates in the naive mode too.
+  std::unordered_set<std::uint64_t> used_tuples;
+
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(params.p_configs) * 400 + 10'000;
+  std::uint64_t attempts = 0;
+  std::size_t grid_cursor = 0;
+
+  while (plan.configs.size() < static_cast<std::size_t>(params.p_configs)) {
+    if (++attempts > budget)
+      throw std::runtime_error(
+          "plan_frequencies: candidate budget exhausted before reaching P; "
+          "widen the range or lower P");
+
+    // Draw M grid targets and snap the whole set onto one VCO.
+    std::array<double, clk::kMmcmOutputs> targets{};
+    for (int k = 0; k < params.m_outputs; ++k) {
+      double f;
+      if (params.naive_grid_partition) {
+        f = grid[(grid_cursor + static_cast<std::size_t>(k)) % grid.size()];
+      } else if (params.uniform_in_period) {
+        const double p_min = 1.0 / params.f_max_mhz;
+        const double p_max = 1.0 / params.f_min_mhz;
+        const double p = p_min + (p_max - p_min) * rng.uniform01();
+        // Snap the drawn period's frequency onto the design grid.
+        const double raw = 1.0 / p;
+        const auto idx = static_cast<std::size_t>(std::clamp(
+            std::llround((raw - params.f_min_mhz) / params.grid_step_mhz),
+            0LL, static_cast<long long>(grid.size() - 1)));
+        f = grid[idx];
+      } else {
+        f = grid[rng.uniform(grid.size())];
+      }
+      targets[static_cast<std::size_t>(k)] = f;
+    }
+    if (params.naive_grid_partition)
+      grid_cursor = (grid_cursor + static_cast<std::size_t>(params.m_outputs)) %
+                    grid.size();
+    auto cfg = clk::synthesize_frequency_set(params.fin_mhz, targets,
+                                             params.m_outputs, params.limits);
+    if (!cfg) continue;
+
+    std::vector<Picoseconds> periods(static_cast<std::size_t>(params.m_outputs));
+    std::vector<std::int64_t> periods_fs(static_cast<std::size_t>(params.m_outputs));
+    bool in_range = true;
+    // Integer-divider outputs snap at VCO/O granularity (~0.3 MHz near the
+    // top of the band), so the band check must tolerate at least that much.
+    const double tolerance = std::max(params.grid_step_mhz, 0.3);
+    for (int k = 0; k < params.m_outputs; ++k) {
+      const double f = cfg->output_mhz(k);
+      if (f < params.f_min_mhz - tolerance ||
+          f > params.f_max_mhz + tolerance) {
+        in_range = false;
+        break;
+      }
+      periods[static_cast<std::size_t>(k)] = cfg->output_period_ps(k);
+      periods_fs[static_cast<std::size_t>(k)] =
+          static_cast<std::int64_t>(std::llround(1e9 / f));
+    }
+    if (!in_range) continue;
+
+    // All M outputs of a set must have unique frequencies (§4).  The naive
+    // mode skips this — near-equal targets snapping to one integer divider
+    // is exactly the kind of accident careful planning prevents.
+    std::vector<std::int64_t> sorted = periods_fs;
+    std::sort(sorted.begin(), sorted.end());
+    if (params.avoid_overlaps &&
+        std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      continue;
+
+    // Skip exact repeats of an already-accepted tuple (except in the naive
+    // grid partition, which stores whatever the grid walk produced — the
+    // whole point of Fig. 3-b).
+    std::uint64_t tuple_hash = 1469598103934665603ULL;
+    for (const std::int64_t p : sorted) {
+      tuple_hash ^= static_cast<std::uint64_t>(p);
+      tuple_hash *= 1099511628211ULL;
+    }
+    if (!params.naive_grid_partition && used_tuples.contains(tuple_hash))
+      continue;
+
+    if (params.avoid_overlaps) {
+      const auto times = enumerate_completion_times(periods_fs, params.rounds);
+      std::unordered_set<std::int64_t> candidate;
+      candidate.reserve(times.size());
+      bool clash = false;
+      for (const std::int64_t t : times) {
+        const std::int64_t q = t / res;
+        // Reject on collision with any accepted set, and on *internal*
+        // collisions (two round multisets of this very set with identical
+        // sums — the 396.1 ns example of §5 is exactly such a case).
+        if (used_times.contains(q) || !candidate.insert(q).second) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) {
+        ++plan.rejected_sets;
+        continue;
+      }
+      used_times.insert(candidate.begin(), candidate.end());
+    }
+
+    used_tuples.insert(tuple_hash);
+    plan.configs.push_back(*cfg);
+    plan.periods_ps.push_back(std::move(periods));
+    plan.periods_fs.push_back(std::move(periods_fs));
+  }
+  return plan;
+}
+
+}  // namespace rftc::core

@@ -1,0 +1,95 @@
+// FrequencyPlanner: the design-time half of RFTC (paper §4–§5).
+//
+// The planner chooses P frequency *sets* of M frequencies each, all within
+// [f_min, f_max] on a `grid_step` grid, snapped to MMCM-realizable values
+// (one shared VCO per set, fractional divide only on CLKOUT0).  A set is
+// accepted only if none of its C(R+M−1, R) possible completion times
+// collides with a completion time of any previously accepted set — the
+// "exhaustively searching for duplicated completion times" step whose
+// effect is Fig. 3-b (naive, overlapping) vs Fig. 3-c (overlap-free).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "clocking/mmcm_config.hpp"
+#include "util/time_types.hpp"
+
+namespace rftc::core {
+
+struct PlannerParams {
+  double fin_mhz = 24.0;
+  double f_min_mhz = 12.0;
+  double f_max_mhz = 48.0;
+  /// Candidate grid pitch; the paper uses 0.012 MHz increments over
+  /// 12–48 MHz ("3,072 clock frequencies ... with 0.012 MHz increments").
+  double grid_step_mhz = 0.012;
+  /// M — clock outputs used per MMCM (1, 2 or 3 in the paper; >3 failed
+  /// routing on their part).
+  int m_outputs = 3;
+  /// P — number of stored frequency sets.
+  int p_configs = 1024;
+  /// R — crypto rounds per encryption (10 for AES-128 [11]).
+  int rounds = 10;
+  /// Completion times are quantized to this resolution (in femtoseconds)
+  /// before the duplicate check.  MMCM periods are rational, not integer
+  /// picoseconds, so the check runs on femtosecond-rounded periods: at the
+  /// default of 1 fs it is effectively the paper's exact MATLAB duplicate
+  /// search (picosecond rounding would manufacture a birthday problem —
+  /// 67,584 times inside a 625,000-ps span).  Coarser values model an
+  /// adversary's effective timing resolution (ablation bench).
+  std::int64_t collision_resolution_fs = 1;
+  /// When false, sets are accepted without the duplicate check (Fig. 3-b).
+  bool avoid_overlaps = true;
+  /// Partition the frequency grid into consecutive M-tuples instead of
+  /// sampling — the "without carefully choosing" configuration of Fig. 3-b,
+  /// where each set holds three nearly equal frequencies and completion
+  /// times pile up into the annotated peaks.
+  bool naive_grid_partition = false;
+  /// Draw candidate frequencies uniformly in *period* rather than frequency.
+  /// A uniform-frequency draw concentrates completion times at the short
+  /// end (periods pile up near 1/f_max); uniform-period sampling yields the
+  /// near-uniform completion-time histogram of Fig. 3-c.
+  bool uniform_in_period = true;
+  /// Candidate exploration order.
+  std::uint64_t seed = 1;
+  clk::MmcmLimits limits{};
+};
+
+/// Number of multisets of size `rounds` over `m` distinct frequencies:
+/// C(rounds + m - 1, rounds).  For M=3, R=10 this is 66, giving the paper's
+/// 1024 x 66 = 67,584 completion times.
+std::uint64_t completion_times_per_set(int m, int rounds);
+
+/// All achievable completion times for one set of round periods: every
+/// Σ c_i * period_i with c_i >= 0 and Σ c_i = rounds.
+std::vector<Picoseconds> enumerate_completion_times(
+    const std::vector<Picoseconds>& periods_ps, int rounds);
+
+/// The result of planning: P MMCM configurations plus bookkeeping.
+struct FrequencyPlan {
+  PlannerParams params;
+  std::vector<clk::MmcmConfig> configs;
+  /// Output periods rounded to ps (simulation granularity) and fs (the
+  /// planner's duplicate-check granularity), index [config][output 0..M-1].
+  std::vector<std::vector<Picoseconds>> periods_ps;
+  std::vector<std::vector<std::int64_t>> periods_fs;
+  /// Candidate sets rejected by the duplicate check.
+  std::uint64_t rejected_sets = 0;
+
+  std::size_t p() const { return configs.size(); }
+  int m() const { return params.m_outputs; }
+  /// Total nominal completion-time count P * C(R+M-1, R).
+  std::uint64_t total_completion_times() const;
+  /// Count of distinct frequencies across the whole plan.
+  std::size_t distinct_frequencies() const;
+};
+
+/// Runs the planner.  Throws std::runtime_error if fewer than P acceptable
+/// sets exist within the candidate budget.
+FrequencyPlan plan_frequencies(const PlannerParams& params);
+
+}  // namespace rftc::core

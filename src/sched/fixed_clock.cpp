@@ -1,0 +1,31 @@
+#include "sched/fixed_clock.hpp"
+
+#include <stdexcept>
+
+namespace rftc::sched {
+
+FixedClockScheduler::FixedClockScheduler(double clock_mhz)
+    : clock_mhz_(clock_mhz), period_(period_ps_from_mhz(clock_mhz)) {
+  if (clock_mhz <= 0)
+    throw std::invalid_argument("FixedClockScheduler: bad frequency");
+}
+
+EncryptionSchedule FixedClockScheduler::next(int rounds) {
+  EncryptionSchedule es;
+  es.load_edge = kLoadEdgePs;
+  es.global_start = now_;
+  Picoseconds t = es.load_edge;
+  es.slots.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    t += period_;
+    es.slots.push_back({t, period_, SlotKind::kRound, 0.0});
+  }
+  now_ += (t - es.load_edge) + kInterEncryptionGapPs;
+  return es;
+}
+
+std::string FixedClockScheduler::name() const {
+  return "Unprotected(" + std::to_string(clock_mhz_) + " MHz)";
+}
+
+}  // namespace rftc::sched

@@ -1,0 +1,23 @@
+// Unprotected reference: a single constant crypto clock (Fig. 3-a).
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace rftc::sched {
+
+class FixedClockScheduler final : public Scheduler {
+ public:
+  explicit FixedClockScheduler(double clock_mhz = 48.0);
+
+  EncryptionSchedule next(int rounds) override;
+  std::string name() const override;
+
+  double clock_mhz() const { return clock_mhz_; }
+
+ private:
+  double clock_mhz_;
+  Picoseconds period_;
+  Picoseconds now_ = 0;
+};
+
+}  // namespace rftc::sched

@@ -1,0 +1,25 @@
+#include "sched/schedule.hpp"
+
+#include "util/time_types.hpp"
+
+namespace rftc::sched {
+
+Picoseconds EncryptionSchedule::completion_ps() const {
+  Picoseconds last = load_edge;
+  for (const CycleSlot& s : slots)
+    if (s.kind == SlotKind::kRound) last = s.edge_time;
+  return last - load_edge;
+}
+
+int EncryptionSchedule::round_count() const {
+  int n = 0;
+  for (const CycleSlot& s : slots)
+    if (s.kind == SlotKind::kRound) ++n;
+  return n;
+}
+
+Picoseconds Scheduler::unprotected_completion_ps(int rounds) const {
+  return static_cast<Picoseconds>(rounds) * period_ps_from_mhz(48.0);
+}
+
+}  // namespace rftc::sched

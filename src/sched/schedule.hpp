@@ -1,0 +1,79 @@
+// Round-timing schedules: the common currency between countermeasures
+// (which decide *when* each cipher round is clocked) and the power-trace
+// simulator (which decides what each clock edge does to the power rail).
+//
+// A schedule is expressed in time relative to the start of the capture
+// window, exactly as an oscilloscope triggered on the encryption-start
+// signal would see it: the plaintext-load edge is on the fixed interface
+// clock (aligned across traces), while the crypto-clock edges move around
+// under randomization countermeasures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace rftc::sched {
+
+enum class SlotKind : std::uint8_t {
+  kRound,  // a real AES round; consumes the next activity cycle
+  kDummy,  // RCDD-style dummy operation; scheduler supplies the activity
+  kDelay,  // RDI-style buffer-chain delay slice; small constant activity
+};
+
+struct CycleSlot {
+  /// Rising-edge time relative to the capture window start.
+  Picoseconds edge_time = 0;
+  /// Period of the clock that produced this edge.
+  Picoseconds period = 0;
+  SlotKind kind = SlotKind::kRound;
+  /// For kDummy/kDelay: switching activity in state-register HD units.
+  double extra_activity = 0.0;
+};
+
+struct EncryptionSchedule {
+  /// Plaintext-load edge (interface clock; constant across encryptions).
+  Picoseconds load_edge = 0;
+  /// Crypto-clock slots in time order; exactly `rounds` of them have
+  /// kind == kRound.
+  std::vector<CycleSlot> slots;
+  /// Global (wall-clock) time at which this encryption started; lets the
+  /// RFTC controller overlap MMCM reconfiguration with encryptions.
+  Picoseconds global_start = 0;
+
+  /// Completion time: last round edge minus the load edge — the quantity
+  /// whose histogram the paper plots in Fig. 3.
+  Picoseconds completion_ps() const;
+  /// Number of kRound slots.
+  int round_count() const;
+};
+
+/// A countermeasure's clocking policy.  Each call to `next()` produces the
+/// schedule for one encryption and advances the scheduler's internal wall
+/// clock (so reconfiguration pipelines, as in Fig. 2-B, are expressible).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Schedule one encryption of `rounds` cipher rounds.
+  virtual EncryptionSchedule next(int rounds) = 0;
+
+  /// Human-readable countermeasure name for reports.
+  virtual std::string name() const = 0;
+
+  /// Nominal unprotected completion for the same round count, used to
+  /// compute the time-overhead column of Table 1.  Default: 48 MHz rounds.
+  virtual Picoseconds unprotected_completion_ps(int rounds) const;
+};
+
+/// Offset of the plaintext-load edge inside the capture window.  One
+/// interface-clock period (24 MHz) of front porch.
+inline constexpr Picoseconds kLoadEdgePs = 41'667;
+/// Gap charged between encryptions for ciphertext/plaintext I/O on the
+/// interface clock (affects only the wall clock, not the capture window).
+inline constexpr Picoseconds kInterEncryptionGapPs = 4 * 41'667;
+
+}  // namespace rftc::sched

@@ -1,0 +1,58 @@
+#include "trace/acquisition.hpp"
+
+namespace rftc::trace {
+
+aes::Block random_block(Xoshiro256StarStar& rng) {
+  aes::Block b{};
+  for (int half = 0; half < 2; ++half) {
+    const std::uint64_t w = rng.next();
+    for (int i = 0; i < 8; ++i)
+      b[static_cast<std::size_t>(8 * half + i)] =
+          static_cast<std::uint8_t>(w >> (8 * i));
+  }
+  return b;
+}
+
+TraceSet acquire_random(const Encryptor& encryptor, TraceSimulator& sim,
+                        std::size_t n, Xoshiro256StarStar& rng) {
+  TraceSet set(sim.samples());
+  for (std::size_t i = 0; i < n; ++i) {
+    const aes::Block pt = random_block(rng);
+    const core::EncryptionRecord rec = encryptor(pt);
+    set.add(sim.simulate(rec.schedule, rec.activity), pt, rec.ciphertext);
+  }
+  return set;
+}
+
+TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
+                         std::size_t n_per_population,
+                         const aes::Block& fixed_plaintext,
+                         Xoshiro256StarStar& rng) {
+  TvlaCapture cap{TraceSet(sim.samples()), TraceSet(sim.samples())};
+  std::size_t remaining_fixed = n_per_population;
+  std::size_t remaining_random = n_per_population;
+  while (remaining_fixed > 0 || remaining_random > 0) {
+    // Random interleave so environmental drift cannot separate the sets.
+    bool take_fixed;
+    if (remaining_fixed == 0) {
+      take_fixed = false;
+    } else if (remaining_random == 0) {
+      take_fixed = true;
+    } else {
+      take_fixed = (rng.next() & 1) != 0;
+    }
+    const aes::Block pt = take_fixed ? fixed_plaintext : random_block(rng);
+    const core::EncryptionRecord rec = encryptor(pt);
+    auto tr = sim.simulate(rec.schedule, rec.activity);
+    if (take_fixed) {
+      cap.fixed.add(std::move(tr), pt, rec.ciphertext);
+      --remaining_fixed;
+    } else {
+      cap.random.add(std::move(tr), pt, rec.ciphertext);
+      --remaining_random;
+    }
+  }
+  return cap;
+}
+
+}  // namespace rftc::trace

@@ -1,0 +1,35 @@
+// Acquisition campaigns: random-plaintext capture (for CPA) and the
+// interleaved fixed-vs-random capture of the TVLA methodology [6].
+#pragma once
+
+#include <functional>
+
+#include "rftc/device.hpp"
+#include "trace/power_model.hpp"
+#include "trace/trace_set.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::trace {
+
+/// Anything that encrypts one block and reports its physical observables.
+using Encryptor = std::function<core::EncryptionRecord(const aes::Block&)>;
+
+/// Draw a uniform random block.
+aes::Block random_block(Xoshiro256StarStar& rng);
+
+/// Capture `n` traces with uniform random plaintexts.
+TraceSet acquire_random(const Encryptor& encryptor, TraceSimulator& sim,
+                        std::size_t n, Xoshiro256StarStar& rng);
+
+/// TVLA capture: traces for the fixed plaintext and for random plaintexts,
+/// interleaved in random order under the same key, as [6] prescribes.
+struct TvlaCapture {
+  TraceSet fixed;
+  TraceSet random;
+};
+TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
+                         std::size_t n_per_population,
+                         const aes::Block& fixed_plaintext,
+                         Xoshiro256StarStar& rng);
+
+}  // namespace rftc::trace

@@ -1,0 +1,113 @@
+#include "trace/power_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rftc::trace {
+
+using sched::SlotKind;
+
+TraceSimulator::TraceSimulator(PowerModelParams params,
+                               std::uint64_t noise_seed)
+    : params_(params), noise_(noise_seed) {
+  if (params_.sample_period_ps <= 0 || params_.window_ps <= 0 ||
+      params_.pulse_tau_ps <= 0)
+    throw std::invalid_argument("TraceSimulator: bad timing parameters");
+  if (params_.adc_bits < 1 || params_.adc_bits > 16)
+    throw std::invalid_argument("TraceSimulator: bad ADC resolution");
+  if (params_.bandwidth_mhz <= 0 || params_.pdn_bandwidth_mhz <= 0)
+    throw std::invalid_argument("TraceSimulator: bad bandwidth");
+  // Single-pole RC per stage: alpha = exp(-Ts / RC), RC = 1 / (2*pi*BW).
+  const double ts_s = static_cast<double>(params_.sample_period_ps) * 1e-12;
+  const double rc_s = 1.0 / (2.0 * std::numbers::pi * params_.bandwidth_mhz * 1e6);
+  lpf_alpha_ = std::exp(-ts_s / rc_s);
+  const double rc_pdn_s =
+      1.0 / (2.0 * std::numbers::pi * params_.pdn_bandwidth_mhz * 1e6);
+  pdn_alpha_ = std::exp(-ts_s / rc_pdn_s);
+  adc_lsb_mv_ =
+      params_.adc_full_scale_mv / static_cast<double>(1 << params_.adc_bits);
+}
+
+void TraceSimulator::add_pulse(std::vector<double>& analog,
+                               Picoseconds t_edge, double amplitude_mv) const {
+  if (amplitude_mv == 0.0) return;
+  const Picoseconds ts = params_.sample_period_ps;
+  // First sample at or after the edge.
+  auto k = static_cast<std::int64_t>((t_edge + ts - 1) / ts);
+  if (k < 0) k = 0;
+  const double tau = static_cast<double>(params_.pulse_tau_ps);
+  // Truncate the exponential tail at 1e-3 of the peak.
+  const auto span = static_cast<std::int64_t>(
+      std::ceil(tau * 6.9 / static_cast<double>(ts))) + 1;
+  const auto n = static_cast<std::int64_t>(analog.size());
+  for (std::int64_t i = k; i < std::min(k + span, n); ++i) {
+    const double dt = static_cast<double>(i * ts - t_edge);
+    analog[static_cast<std::size_t>(i)] += amplitude_mv * std::exp(-dt / tau);
+  }
+}
+
+std::vector<float> TraceSimulator::simulate(
+    const sched::EncryptionSchedule& schedule,
+    const aes::EncryptionActivity& activity) {
+  const std::size_t n = samples();
+  std::vector<double> analog(n, params_.static_level_mv);
+
+  // Plaintext-load edge (interface clock; aligned across captures).
+  const auto& cycles = activity.cycles();
+  add_pulse(analog, schedule.load_edge,
+            params_.hd_gain_mv * static_cast<double>(cycles.front().state_hd) +
+                params_.aux_gain_mv *
+                    static_cast<double>(cycles.front().aux_hw));
+
+  // Crypto-clock slots.
+  std::size_t round_cycle = 1;  // cycles[1..R] are the rounds
+  for (const sched::CycleSlot& slot : schedule.slots) {
+    double amp = 0.0;
+    switch (slot.kind) {
+      case SlotKind::kRound: {
+        if (round_cycle >= cycles.size())
+          throw std::logic_error(
+              "TraceSimulator: schedule has more rounds than activity cycles");
+        const auto& c = cycles[round_cycle++];
+        amp = params_.hd_gain_mv * static_cast<double>(c.state_hd) +
+              params_.aux_gain_mv * static_cast<double>(c.aux_hw);
+        break;
+      }
+      case SlotKind::kDummy:
+        amp = params_.hd_gain_mv * slot.extra_activity;
+        break;
+      case SlotKind::kDelay:
+        amp = params_.aux_gain_mv * slot.extra_activity;
+        break;
+    }
+    add_pulse(analog, slot.edge_time, amp);
+  }
+  if (round_cycle != cycles.size())
+    throw std::logic_error(
+        "TraceSimulator: schedule has fewer rounds than activity cycles");
+
+  // PDN smoothing, scope front end (1-pole low-pass), baseline wander,
+  // additive noise, quantization.
+  std::vector<float> out(n);
+  const double offset = params_.baseline_offset_sigma_mv * noise_.gaussian();
+  const double drift_total =
+      params_.baseline_drift_sigma_mv * noise_.gaussian();
+  double y_pdn = params_.static_level_mv;  // settled DC before the window
+  double y = params_.static_level_mv;
+  for (std::size_t i = 0; i < n; ++i) {
+    y_pdn = pdn_alpha_ * y_pdn + (1.0 - pdn_alpha_) * analog[i];
+    y = lpf_alpha_ * y + (1.0 - lpf_alpha_) * y_pdn;
+    const double wander =
+        offset + drift_total * static_cast<double>(i) / static_cast<double>(n);
+    double v = y + wander + params_.noise_sigma_mv * noise_.gaussian();
+    v = std::round(v / adc_lsb_mv_) * adc_lsb_mv_;
+    const double fs = params_.adc_full_scale_mv;
+    if (v > fs) v = fs;
+    if (v < 0.0) v = 0.0;
+    out[i] = static_cast<float>(v);
+  }
+  return out;
+}
+
+}  // namespace rftc::trace

@@ -1,0 +1,101 @@
+#include "trace/trace_set.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace rftc::trace {
+
+TraceSet::TraceSet(std::size_t n_samples) : n_samples_(n_samples) {
+  if (n_samples == 0) throw std::invalid_argument("TraceSet: zero samples");
+}
+
+void TraceSet::add(std::vector<float> trace, const aes::Block& plaintext,
+                   const aes::Block& ciphertext) {
+  if (trace.size() != n_samples_)
+    throw std::invalid_argument("TraceSet::add: sample count mismatch");
+  data_.insert(data_.end(), trace.begin(), trace.end());
+  plaintexts_.push_back(plaintext);
+  ciphertexts_.push_back(ciphertext);
+}
+
+std::span<const float> TraceSet::trace(std::size_t i) const {
+  return {data_.data() + i * n_samples_, n_samples_};
+}
+
+std::vector<double> TraceSet::mean_trace() const {
+  std::vector<double> mean(n_samples_, 0.0);
+  if (size() == 0) return mean;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto t = trace(i);
+    for (std::size_t s = 0; s < n_samples_; ++s) mean[s] += t[s];
+  }
+  for (double& v : mean) v /= static_cast<double>(size());
+  return mean;
+}
+
+TraceSet TraceSet::downsampled(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("TraceSet::downsampled");
+  const std::size_t out_samples = n_samples_ / factor;
+  if (out_samples == 0)
+    throw std::invalid_argument("TraceSet::downsampled: factor too large");
+  TraceSet out(out_samples);
+  std::vector<float> buf(out_samples);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto t = trace(i);
+    for (std::size_t s = 0; s < out_samples; ++s) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < factor; ++k) acc += t[s * factor + k];
+      buf[s] = static_cast<float>(acc / static_cast<double>(factor));
+    }
+    out.add(buf, plaintexts_[i], ciphertexts_[i]);
+  }
+  return out;
+}
+
+namespace {
+constexpr char kMagic[8] = {'R', 'T', 'R', 'C', '0', '0', '0', '1'};
+}  // namespace
+
+void TraceSet::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("TraceSet::save: cannot open " + path);
+  f.write(kMagic, sizeof kMagic);
+  const std::uint64_t n = size(), s = n_samples_;
+  f.write(reinterpret_cast<const char*>(&n), sizeof n);
+  f.write(reinterpret_cast<const char*>(&s), sizeof s);
+  for (const auto& b : plaintexts_)
+    f.write(reinterpret_cast<const char*>(b.data()), 16);
+  for (const auto& b : ciphertexts_)
+    f.write(reinterpret_cast<const char*>(b.data()), 16);
+  f.write(reinterpret_cast<const char*>(data_.data()),
+          static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (!f) throw std::runtime_error("TraceSet::save: write failed for " + path);
+}
+
+TraceSet TraceSet::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("TraceSet::load: cannot open " + path);
+  char magic[8];
+  f.read(magic, sizeof magic);
+  if (!f || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("TraceSet::load: bad magic in " + path);
+  std::uint64_t n = 0, s = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof n);
+  f.read(reinterpret_cast<char*>(&s), sizeof s);
+  if (!f || s == 0)
+    throw std::runtime_error("TraceSet::load: corrupt header in " + path);
+  TraceSet set(s);
+  set.plaintexts_.resize(n);
+  set.ciphertexts_.resize(n);
+  set.data_.resize(n * s);
+  for (auto& b : set.plaintexts_) f.read(reinterpret_cast<char*>(b.data()), 16);
+  for (auto& b : set.ciphertexts_)
+    f.read(reinterpret_cast<char*>(b.data()), 16);
+  f.read(reinterpret_cast<char*>(set.data_.data()),
+         static_cast<std::streamsize>(set.data_.size() * sizeof(float)));
+  if (!f) throw std::runtime_error("TraceSet::load: truncated file " + path);
+  return set;
+}
+
+}  // namespace rftc::trace

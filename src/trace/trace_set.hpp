@@ -1,0 +1,50 @@
+// TraceSet: a captured campaign — the trace matrix plus the known
+// plaintexts and observed ciphertexts the threat model grants the attacker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.hpp"
+
+namespace rftc::trace {
+
+class TraceSet {
+ public:
+  TraceSet(std::size_t n_samples);
+
+  void add(std::vector<float> trace, const aes::Block& plaintext,
+           const aes::Block& ciphertext);
+
+  std::size_t size() const { return plaintexts_.size(); }
+  std::size_t samples() const { return n_samples_; }
+
+  std::span<const float> trace(std::size_t i) const;
+  const aes::Block& plaintext(std::size_t i) const { return plaintexts_[i]; }
+  const aes::Block& ciphertext(std::size_t i) const {
+    return ciphertexts_[i];
+  }
+
+  /// Mean trace over the whole set (reference trace for DTW alignment).
+  std::vector<double> mean_trace() const;
+
+  /// Box-average downsampling by an integer factor (attack-side
+  /// preprocessing; trailing partial boxes are dropped).
+  TraceSet downsampled(std::size_t factor) const;
+
+  /// Persist/restore a campaign as a binary .rtrc file (little-endian
+  /// header + plaintexts + ciphertexts + float32 trace matrix), so long
+  /// acquisitions can be captured once and attacked repeatedly.
+  void save(const std::string& path) const;
+  static TraceSet load(const std::string& path);
+
+ private:
+  std::size_t n_samples_;
+  std::vector<float> data_;
+  std::vector<aes::Block> plaintexts_;
+  std::vector<aes::Block> ciphertexts_;
+};
+
+}  // namespace rftc::trace

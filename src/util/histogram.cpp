@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace rftc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    // The exact upper edge belongs to the last bin.
+    if (x == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::uint64_t Histogram::max_count() const {
+  return counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::size_t Histogram::occupied_bins() const {
+  return static_cast<std::size_t>(
+      std::count_if(counts_.begin(), counts_.end(),
+                    [](std::uint64_t c) { return c > 0; }));
+}
+
+std::string Histogram::ascii(std::size_t rows, std::size_t width) const {
+  if (rows == 0) rows = std::min<std::size_t>(counts_.size(), 40);
+  const std::size_t group = (counts_.size() + rows - 1) / rows;
+  const std::uint64_t peak = max_count();
+  std::ostringstream os;
+  for (std::size_t r = 0; r * group < counts_.size(); ++r) {
+    std::uint64_t c = 0;
+    const std::size_t b0 = r * group;
+    const std::size_t b1 = std::min(counts_.size(), b0 + group);
+    for (std::size_t b = b0; b < b1; ++b) c += counts_[b];
+    const std::uint64_t rowpeak = std::max<std::uint64_t>(peak * group, 1);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(c) / static_cast<double>(rowpeak) *
+        static_cast<double>(width));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%10.2f ", bin_lo(b0));
+    os << buf << std::string(bar, '#') << "  " << c << "\n";
+  }
+  return os.str();
+}
+
+void ExactHistogram::add(std::int64_t key) {
+  ++counts_[key];
+  ++total_;
+}
+
+std::uint64_t ExactHistogram::max_multiplicity() const {
+  std::uint64_t m = 0;
+  for (const auto& [k, c] : counts_) m = std::max(m, c);
+  return m;
+}
+
+std::uint64_t ExactHistogram::colliding_items() const {
+  std::uint64_t n = 0;
+  for (const auto& [k, c] : counts_)
+    if (c > 1) n += c;
+  return n;
+}
+
+}  // namespace rftc

@@ -1,0 +1,65 @@
+// Fixed-bin and exact (hash-map) histograms.
+//
+// The completion-time analysis of Fig. 3 needs two views: a binned histogram
+// for plotting the distribution shape, and an *exact* multiset of completion
+// times to count collisions ("less than 130 encryptions with identical
+// completion times among one million" in §5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rftc {
+
+/// Equal-width binned histogram over [lo, hi].
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::uint64_t max_count() const;
+
+  /// Number of non-empty bins.
+  std::size_t occupied_bins() const;
+
+  /// Render as a compact ASCII bar chart (one line per group of bins).
+  std::string ascii(std::size_t rows = 0, std::size_t width = 72) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+/// Exact multiset of integer keys (e.g. completion times in picoseconds).
+class ExactHistogram {
+ public:
+  void add(std::int64_t key);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t distinct() const { return counts_.size(); }
+  /// Largest multiplicity of any single key.
+  std::uint64_t max_multiplicity() const;
+  /// Number of items whose key occurs more than once (collision mass).
+  std::uint64_t colliding_items() const;
+  const std::unordered_map<std::int64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rftc

@@ -1,0 +1,23 @@
+// Small output helpers: CSV writing and ASCII line plots for bench binaries.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rftc {
+
+/// Write a CSV file with a header row and one row per entry of `columns`
+/// (all columns must have equal length).  Throws std::runtime_error on I/O
+/// failure.
+void write_csv(const std::string& path, std::span<const std::string> header,
+               std::span<const std::vector<double>> columns);
+
+/// Render a set of equally-sampled series as an ASCII chart, one character
+/// per series ('a', 'b', ...), y auto-scaled.  Used by bench binaries to
+/// show figure shapes directly in the terminal.
+std::string ascii_plot(std::span<const std::vector<double>> series,
+                       std::size_t width = 78, std::size_t height = 20,
+                       double y_lo = 0.0, double y_hi = -1.0);
+
+}  // namespace rftc

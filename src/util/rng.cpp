@@ -1,0 +1,125 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rftc {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256StarStar::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::uniform(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire-style rejection using the top of the multiplication.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256StarStar::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 1e-300);
+  u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+Lfsr128::Lfsr128(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
+  if (lo_ == 0 && hi_ == 0) lo_ = 1;
+}
+
+unsigned Lfsr128::step() {
+  // Galois LFSR for the primitive polynomial
+  // x^128 + x^126 + x^101 + x^99 + 1 (the classic 128-bit tap set
+  // {128, 126, 101, 99}).  The Galois form is a bijection on nonzero
+  // states, so the sequence is maximal length (2^128 - 1).
+  const unsigned out = static_cast<unsigned>((hi_ >> 63) & 1);
+  hi_ = (hi_ << 1) | (lo_ >> 63);
+  lo_ <<= 1;
+  if (out) {
+    // Flip the bits for x^126, x^101, x^99 and x^0.
+    hi_ ^= (1ULL << 62) | (1ULL << 37) | (1ULL << 35);
+    lo_ ^= 1ULL;
+  }
+  return out;
+}
+
+std::uint64_t Lfsr128::next_bits(unsigned bits) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits; ++i) v |= static_cast<std::uint64_t>(step()) << i;
+  return v;
+}
+
+std::uint64_t Lfsr128::uniform(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  unsigned bits = 0;
+  while ((1ULL << bits) < bound) ++bits;
+  for (;;) {
+    const std::uint64_t v = next_bits(bits);
+    if (v < bound) return v;
+  }
+}
+
+FloatingMeanRng::FloatingMeanRng(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t block, std::uint64_t seed)
+    : a_(a), b_(b), block_(block == 0 ? 1 : block), rng_(seed) {
+  redraw_mean();
+}
+
+void FloatingMeanRng::redraw_mean() {
+  const std::uint32_t span = (b_ > a_) ? (b_ - a_) : 0;
+  mean_ = static_cast<std::uint32_t>(rng_.uniform(span + 1));
+}
+
+std::uint32_t FloatingMeanRng::next() {
+  if (count_ == block_) {
+    count_ = 0;
+    redraw_mean();
+  }
+  ++count_;
+  return mean_ + static_cast<std::uint32_t>(rng_.uniform(a_ + 1));
+}
+
+}  // namespace rftc

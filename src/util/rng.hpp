@@ -1,0 +1,109 @@
+// Random number generators used by the RFTC model and its baselines.
+//
+// * SplitMix64        — seed expander (Vigna).
+// * Xoshiro256StarStar— general-purpose simulation PRNG (plaintexts, noise).
+// * Lfsr128           — the 128-bit Fibonacci LFSR the paper uses on-FPGA to
+//                       pick a frequency configuration from Block RAM (§6).
+// * FloatingMeanRng   — the Coron–Kizhvatov "floating mean" generator [7]
+//                       used by the iPPAP baseline [19] and offered as the
+//                       alternative selector in §4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rftc {
+
+/// Seed expander: turns one 64-bit seed into a stream of well-mixed words.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality simulation PRNG.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) by rejection (unbiased).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Standard normal via Box–Muller (stateless per call pair).
+  double gaussian();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// 128-bit Fibonacci LFSR with a maximal-length tap polynomial
+/// x^128 + x^126 + x^101 + x^99 + 1 (taps 128, 126, 101, 99).
+///
+/// The paper's experimental setup (§6) uses a 128-bit LFSR to choose the
+/// random frequency configuration stored in Block RAM and the per-round
+/// clock-output select.  This model shifts one bit per clock as the hardware
+/// would, and exposes a convenience word extractor.
+class Lfsr128 {
+ public:
+  /// Seeds the register; an all-zero seed is silently mapped to 1 (the
+  /// all-zero state is a fixed point of the LFSR and must never be loaded).
+  explicit Lfsr128(std::uint64_t lo = 0xACE1u, std::uint64_t hi = 0);
+
+  /// Advance one bit; returns the output (shifted-out) bit.
+  unsigned step();
+
+  /// Shift `bits` times and return them packed LSB-first.
+  std::uint64_t next_bits(unsigned bits);
+
+  /// Uniform value in [0, bound) via rejection sampling over ceil(log2(bound))
+  /// bit draws — mirrors how a hardware sampler avoids modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  std::uint64_t lo() const { return lo_; }
+  std::uint64_t hi() const { return hi_; }
+
+ private:
+  std::uint64_t lo_, hi_;
+};
+
+/// Coron–Kizhvatov floating-mean random number generator [7].
+///
+/// Produces values v = m + u where u is uniform in [0, a] and the "floating
+/// mean" m is itself redrawn uniformly in [0, b - a] every `block` outputs.
+/// Compared to plain uniform draws over [0, b], the variance of the *sum* of
+/// many consecutive outputs grows much faster, which is what makes the
+/// cumulative delay of a random-delay countermeasure hard to average out.
+class FloatingMeanRng {
+ public:
+  FloatingMeanRng(std::uint32_t a, std::uint32_t b, std::uint32_t block,
+                  std::uint64_t seed);
+
+  std::uint32_t next();
+
+  std::uint32_t a() const { return a_; }
+  std::uint32_t b() const { return b_; }
+
+ private:
+  std::uint32_t a_, b_, block_, count_ = 0, mean_ = 0;
+  Xoshiro256StarStar rng_;
+  void redraw_mean();
+};
+
+}  // namespace rftc

@@ -1,0 +1,91 @@
+// Streaming statistics used by the side-channel analysis stack.
+//
+// Every attack in the paper (CPA and its PCA/DTW/FFT-preprocessed variants,
+// plus the TVLA leakage assessment) reduces to running first/second moments
+// and cross moments over a stream of traces, so these accumulators are the
+// shared numerical core.  All accumulation is in double precision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rftc {
+
+/// Welford one-pass mean/variance accumulator.
+class RunningMoments {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length spans.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Welch's t statistic between two populations given by their moments.
+/// Returns 0 when either population has fewer than 2 samples or both
+/// variances are zero.
+double welch_t(const RunningMoments& a, const RunningMoments& b);
+
+/// Streaming per-sample Welch t-test over two trace populations
+/// (fixed-input vs random-input), the TVLA methodology of [6].
+class WelchTTest {
+ public:
+  explicit WelchTTest(std::size_t samples);
+
+  void add_fixed(std::span<const double> trace);
+  void add_random(std::span<const double> trace);
+
+  std::size_t samples() const { return fixed_.size(); }
+  std::size_t fixed_count() const;
+  std::size_t random_count() const;
+
+  /// Per-sample t statistic.
+  std::vector<double> t_values() const;
+  /// max |t| over all samples.
+  double max_abs_t() const;
+
+ private:
+  std::vector<RunningMoments> fixed_;
+  std::vector<RunningMoments> random_;
+};
+
+/// Streaming Pearson correlation accumulator between a scalar hypothesis and
+/// every sample of a trace — the CPA inner loop.  For a batch of guesses the
+/// CpaEngine keeps one of these per (byte, guess) pair conceptually, but a
+/// flattened layout is used there for speed; this class is the reference
+/// implementation used by tests.
+class StreamingCorrelation {
+ public:
+  explicit StreamingCorrelation(std::size_t samples);
+
+  void add(double h, std::span<const double> trace);
+
+  /// Correlation per sample; 0 where degenerate.
+  std::vector<double> correlations() const;
+  double max_abs_correlation() const;
+  std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_h_ = 0.0, sum_h2_ = 0.0;
+  std::vector<double> sum_t_, sum_t2_, sum_ht_;
+};
+
+/// Population Pearson correlation from raw sums:
+/// n, Σh, Σh², Σt, Σt², Σht.  Returns 0 when degenerate.
+double correlation_from_sums(double n, double sh, double sh2, double st,
+                             double st2, double sht);
+
+}  // namespace rftc

@@ -1,0 +1,36 @@
+// Fixed-point simulation time used throughout the clocking and trace models.
+//
+// All schedule arithmetic is done in integer picoseconds so that completion
+// times computed by the FrequencyPlanner and by the event-driven clock model
+// agree bit-for-bit (a prerequisite for the overlap-free frequency search of
+// the paper's Section 5, which must detect *exact* completion-time
+// collisions).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace rftc {
+
+/// Simulation time in integer picoseconds.
+using Picoseconds = std::int64_t;
+
+inline constexpr Picoseconds kPicosPerNano = 1'000;
+inline constexpr Picoseconds kPicosPerMicro = 1'000'000;
+inline constexpr Picoseconds kPicosPerMilli = 1'000'000'000;
+
+/// Clock period in integer picoseconds for a frequency given in MHz.
+/// 24 MHz -> 41,667 ps (rounded to nearest picosecond).
+inline Picoseconds period_ps_from_mhz(double f_mhz) {
+  return static_cast<Picoseconds>(std::llround(1e6 / f_mhz));
+}
+
+/// Frequency in MHz for an integer-picosecond period.
+inline double mhz_from_period_ps(Picoseconds period) {
+  return 1e6 / static_cast<double>(period);
+}
+
+inline double to_ns(Picoseconds t) { return static_cast<double>(t) / 1e3; }
+inline double to_us(Picoseconds t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace rftc

@@ -1,0 +1,210 @@
+#include "aes/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aes/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::aes {
+namespace {
+
+Block from_hex_words(std::initializer_list<std::uint8_t> bytes) {
+  Block b{};
+  std::size_t i = 0;
+  for (const std::uint8_t v : bytes) b[i++] = v;
+  return b;
+}
+
+// FIPS-197 Appendix B example.
+const Block kFipsPlain = from_hex_words({0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A,
+                                         0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2,
+                                         0xE0, 0x37, 0x07, 0x34});
+const Key kFipsKey = from_hex_words({0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2,
+                                     0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+                                     0x4F, 0x3C});
+const Block kFipsCipher = from_hex_words({0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC,
+                                          0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97,
+                                          0x19, 0x6A, 0x0B, 0x32});
+
+// FIPS-197 Appendix C.1 (AES-128) known-answer vector.
+const Block kKatPlain = from_hex_words({0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                        0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB,
+                                        0xCC, 0xDD, 0xEE, 0xFF});
+const Key kKatKey = from_hex_words({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                    0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D,
+                                    0x0E, 0x0F});
+const Block kKatCipher = from_hex_words({0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B,
+                                         0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80,
+                                         0x70, 0xB4, 0xC5, 0x5A});
+
+TEST(GF256, MulAgainstKnownProducts) {
+  EXPECT_EQ(gf::mul(0x57, 0x83), 0xC1);  // FIPS-197 example
+  EXPECT_EQ(gf::mul(0x57, 0x13), 0xFE);
+  EXPECT_EQ(gf::mul(0x01, 0xAB), 0xAB);
+  EXPECT_EQ(gf::mul(0x00, 0xFF), 0x00);
+}
+
+TEST(GF256, InverseIsMultiplicativeInverse) {
+  for (int v = 1; v < 256; ++v) {
+    const auto x = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(gf::mul(x, gf::inverse(x)), 1) << "v=" << v;
+  }
+  EXPECT_EQ(gf::inverse(0), 0);
+}
+
+TEST(GF256, SboxMatchesFipsSpotValues) {
+  EXPECT_EQ(gf::kSbox[0x00], 0x63);
+  EXPECT_EQ(gf::kSbox[0x01], 0x7C);
+  EXPECT_EQ(gf::kSbox[0x53], 0xED);
+  EXPECT_EQ(gf::kSbox[0xFF], 0x16);
+  EXPECT_EQ(gf::kSbox[0x10], 0xCA);
+}
+
+TEST(GF256, SboxIsBijective) {
+  bool seen[256] = {};
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_FALSE(seen[gf::kSbox[static_cast<std::size_t>(i)]]);
+    seen[gf::kSbox[static_cast<std::size_t>(i)]] = true;
+  }
+}
+
+TEST(GF256, InvSboxInvertsSbox) {
+  for (int i = 0; i < 256; ++i)
+    EXPECT_EQ(gf::kInvSbox[gf::kSbox[static_cast<std::size_t>(i)]], i);
+}
+
+TEST(Aes128, FipsAppendixBEncrypt) {
+  EXPECT_EQ(encrypt(kFipsPlain, kFipsKey), kFipsCipher);
+}
+
+TEST(Aes128, FipsAppendixC1Encrypt) {
+  EXPECT_EQ(encrypt(kKatPlain, kKatKey), kKatCipher);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  EXPECT_EQ(decrypt(kFipsCipher, kFipsKey), kFipsPlain);
+  EXPECT_EQ(decrypt(kKatCipher, kKatKey), kKatPlain);
+}
+
+TEST(Aes128, KeyExpansionFirstAndLastWords) {
+  // FIPS-197 Appendix A.1 expansion of kFipsKey.
+  const KeySchedule ks = expand_key(kFipsKey);
+  EXPECT_EQ(ks[0], kFipsKey);
+  // w[40..43] = b6630ca6 ... the round-10 key.
+  const Block rk10 = from_hex_words({0xD0, 0x14, 0xF9, 0xA8, 0xC9, 0xEE, 0x25,
+                                     0x89, 0xE1, 0x3F, 0x0C, 0xC8, 0xB6, 0x63,
+                                     0x0C, 0xA6});
+  EXPECT_EQ(ks[10], rk10);
+}
+
+TEST(Aes128, InvertKeyScheduleRecoversMaster) {
+  Xoshiro256StarStar rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    Key key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    const KeySchedule ks = expand_key(key);
+    EXPECT_EQ(invert_key_schedule_from_round10(ks[10]), key);
+  }
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandom) {
+  Xoshiro256StarStar rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    Key key{};
+    Block pt{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(decrypt(encrypt(pt, key), key), pt);
+  }
+}
+
+TEST(Aes128, ShiftRowsInverse) {
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  Block t = s;
+  shift_rows(t);
+  EXPECT_NE(t, s);
+  inv_shift_rows(t);
+  EXPECT_EQ(t, s);
+}
+
+TEST(Aes128, ShiftRowsRowZeroFixed) {
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  shift_rows(s);
+  // Row 0 (indices 0, 4, 8, 12) is not rotated.
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[4], 4);
+  EXPECT_EQ(s[8], 8);
+  EXPECT_EQ(s[12], 12);
+  // Row 1 rotates left by one column: position (r=1, c=0) receives byte 5.
+  EXPECT_EQ(s[1], 5);
+}
+
+TEST(Aes128, MixColumnsKnownVector) {
+  // FIPS-197 §5.1.3 example column: db 13 53 45 -> 8e 4d a1 bc.
+  Block s{};
+  s[0] = 0xDB; s[1] = 0x13; s[2] = 0x53; s[3] = 0x45;
+  mix_columns(s);
+  EXPECT_EQ(s[0], 0x8E);
+  EXPECT_EQ(s[1], 0x4D);
+  EXPECT_EQ(s[2], 0xA1);
+  EXPECT_EQ(s[3], 0xBC);
+}
+
+TEST(Aes128, MixColumnsInverse) {
+  Xoshiro256StarStar rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block s{};
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.next());
+    Block t = s;
+    mix_columns(t);
+    inv_mix_columns(t);
+    EXPECT_EQ(t, s);
+  }
+}
+
+TEST(Aes128, ShiftRowsSourceConsistentWithShiftRows) {
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 7 + 3);
+  Block t = s;
+  shift_rows(t);
+  for (int p = 0; p < 16; ++p)
+    EXPECT_EQ(t[static_cast<std::size_t>(p)],
+              s[static_cast<std::size_t>(shift_rows_source(p))]);
+}
+
+TEST(Hamming, WeightAndDistance) {
+  EXPECT_EQ(hamming_weight(0x00), 0);
+  EXPECT_EQ(hamming_weight(0xFF), 8);
+  EXPECT_EQ(hamming_weight(0xA5), 4);
+  EXPECT_EQ(hamming_distance(std::uint8_t{0x0F}, std::uint8_t{0xF0}), 8);
+  EXPECT_EQ(hamming_distance(std::uint8_t{0xAA}, std::uint8_t{0xAB}), 1);
+  Block a{}, b{};
+  b[3] = 0xFF;
+  b[9] = 0x01;
+  EXPECT_EQ(hamming_distance(a, b), 9);
+}
+
+class AvalancheTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvalancheTest, SingleBitFlipChangesAboutHalfTheCiphertext) {
+  const int bit = GetParam();
+  Block pt = kKatPlain;
+  const Block c0 = encrypt(pt, kKatKey);
+  pt[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(1u << (bit % 8));
+  const Block c1 = encrypt(pt, kKatKey);
+  const int d = hamming_distance(c0, c1);
+  EXPECT_GE(d, 40);  // ideal 64, wide tolerance
+  EXPECT_LE(d, 88);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AvalancheTest,
+                         ::testing::Values(0, 1, 7, 8, 31, 63, 64, 100, 127));
+
+}  // namespace
+}  // namespace rftc::aes

@@ -1,0 +1,146 @@
+#include "analysis/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+
+namespace rftc::analysis {
+namespace {
+
+aes::Key test_key() {
+  aes::Key k{};
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(0x3C ^ (11 * i));
+  return k;
+}
+
+TEST(AttackName, AllDistinct) {
+  EXPECT_EQ(attack_name(AttackKind::kCpa), "CPA");
+  EXPECT_EQ(attack_name(AttackKind::kPcaCpa), "PCA-CPA");
+  EXPECT_EQ(attack_name(AttackKind::kDtwCpa), "DTW-CPA");
+  EXPECT_EQ(attack_name(AttackKind::kFftCpa), "FFT-CPA");
+}
+
+class UnprotectedAttack : public ::testing::TestWithParam<AttackKind> {
+ protected:
+  static const trace::TraceSet& shared_set() {
+    static trace::TraceSet set = [] {
+      core::ScheduledAesDevice dev(
+          test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+      trace::PowerModelParams pm;
+      trace::TraceSimulator sim(pm, 41);
+      Xoshiro256StarStar rng(42);
+      return trace::acquire_random(
+          [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 4'000,
+          rng);
+    }();
+    return set;
+  }
+};
+
+TEST_P(UnprotectedAttack, BreaksUnprotectedAes) {
+  // All four attacks break the unprotected implementation (§7: ~2,000
+  // traces for CPA/PCA/DTW, ~8,000 for FFT — FFT needs ~4x more there too,
+  // which is why this campaign is twice the CPA budget).
+  AttackParams params;
+  params.kind = GetParam();
+  params.byte_positions = {0, 5, 10, 15};
+  params.checkpoints = {1'000, 2'000, 4'000};
+  const aes::Block rk10 = aes::expand_key(test_key())[10];
+  const AttackOutcome out = run_attack(shared_set(), rk10, params);
+  ASSERT_EQ(out.checkpoints.size(), 3u);
+  if (GetParam() == AttackKind::kSwCpa) {
+    // Window integration trades a little SNR for jitter tolerance; on this
+    // small campaign the correct key must at least be within the top 2.
+    EXPECT_LE(out.mean_rank.back(), 2.0);
+  } else {
+    EXPECT_TRUE(out.success.back())
+        << attack_name(GetParam()) << " mean rank " << out.mean_rank.back();
+  }
+  // Rank must improve (or stay at 1) as traces accumulate.
+  EXPECT_LE(out.mean_rank.back(), out.mean_rank.front() + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UnprotectedAttack,
+                         ::testing::Values(AttackKind::kCpa,
+                                           AttackKind::kPcaCpa,
+                                           AttackKind::kDtwCpa,
+                                           AttackKind::kFftCpa,
+                                           AttackKind::kSwCpa));
+
+TEST(SwCpa, WindowFeatureCountIsCorrect) {
+  // 125 samples, window 6, stride 2 -> 60 features; the attack must run
+  // without dimension mismatches for odd window/stride combinations.
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 81);
+  Xoshiro256StarStar rng(82);
+  const trace::TraceSet set = trace::acquire_random(
+      [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 40, rng);
+  for (const auto& [w, s] : {std::pair<std::size_t, std::size_t>{1, 1},
+                             {6, 2},
+                             {125, 1},
+                             {200, 3}}) {
+    AttackParams params;
+    params.kind = AttackKind::kSwCpa;
+    params.byte_positions = {0};
+    params.sw_window = w;
+    params.sw_stride = s;
+    EXPECT_NO_THROW(run_attack(set, aes::expand_key(test_key())[10], params))
+        << "window " << w << " stride " << s;
+  }
+}
+
+TEST(RunAttack, ChecksArguments) {
+  trace::TraceSet empty(8);
+  AttackParams params;
+  EXPECT_THROW(run_attack(empty, aes::Block{}, params),
+               std::invalid_argument);
+}
+
+TEST(RunAttack, ChekpointsClampedToSetSize) {
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 51);
+  Xoshiro256StarStar rng(52);
+  const trace::TraceSet set = trace::acquire_random(
+      [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 60, rng);
+  AttackParams params;
+  params.byte_positions = {0};
+  params.checkpoints = {10, 50, 10'000};  // last is beyond the set
+  const AttackOutcome out =
+      run_attack(set, aes::expand_key(test_key())[10], params);
+  EXPECT_EQ(out.checkpoints, (std::vector<std::size_t>{10, 50}));
+}
+
+TEST(RunAttack, FirstSuccessReportsSmallestBreakingCheckpoint) {
+  AttackOutcome out;
+  out.checkpoints = {100, 200, 300};
+  out.success = {false, true, true};
+  EXPECT_EQ(out.first_success(), 200u);
+  out.success = {false, false, false};
+  EXPECT_EQ(out.first_success(), 0u);
+}
+
+TEST(RunAttack, DefaultsAttackAllSixteenBytes) {
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 61);
+  Xoshiro256StarStar rng(62);
+  const trace::TraceSet set = trace::acquire_random(
+      [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 30, rng);
+  AttackParams params;  // byte_positions empty -> all 16
+  const AttackOutcome out =
+      run_attack(set, aes::expand_key(test_key())[10], params);
+  EXPECT_EQ(out.checkpoints, (std::vector<std::size_t>{30}));
+}
+
+}  // namespace
+}  // namespace rftc::analysis

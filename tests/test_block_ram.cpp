@@ -1,0 +1,61 @@
+#include "clocking/block_ram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc::clk {
+namespace {
+
+MmcmConfig make_config(int mult) {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = mult * 8;
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8, 24 * 8, 30 * 8, 8, 8, 8, 8};
+  cfg.out_enabled = {true, true, true, false, false, false, false};
+  return cfg;
+}
+
+TEST(ConfigStore, FetchReturnsEncodedSequence) {
+  std::vector<MmcmConfig> configs = {make_config(40), make_config(48)};
+  ConfigStore store(configs);
+  EXPECT_EQ(store.config_count(), 2u);
+  const auto writes = store.fetch(1);
+  const auto expected = encode_config(configs[1]);
+  ASSERT_EQ(writes.size(), expected.size());
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    EXPECT_EQ(writes[i].addr, expected[i].addr);
+    EXPECT_EQ(writes[i].data, expected[i].data);
+    EXPECT_EQ(writes[i].mask, expected[i].mask);
+  }
+}
+
+TEST(ConfigStore, OutOfRangeFetchThrows) {
+  ConfigStore store({make_config(40)});
+  EXPECT_THROW(store.fetch(1), std::out_of_range);
+}
+
+TEST(ConfigStore, BitAccounting) {
+  ConfigStore store({make_config(40), make_config(44), make_config(48)});
+  // 3 configs x 23 entries x 40 bits.
+  EXPECT_EQ(store.stored_bits(), 3u * 23u * 40u);
+}
+
+TEST(ConfigStore, Ramb36CountForPaperScale) {
+  // P = 1024 configurations: the paper reports 20 RAMB36E1 for
+  // RFTC(3, 1024); the model should land in the same ballpark (the exact
+  // count depends on how many registers are stored per configuration).
+  std::vector<MmcmConfig> configs(1024, make_config(40));
+  ConfigStore store(configs);
+  const unsigned brams = store.ramb36_count();
+  EXPECT_GE(brams, 15u);
+  EXPECT_LE(brams, 30u);
+}
+
+TEST(ConfigStore, ConfigAccessorReturnsOriginal) {
+  const MmcmConfig cfg = make_config(44);
+  ConfigStore store({cfg});
+  EXPECT_EQ(store.config(0).mult_8ths, cfg.mult_8ths);
+}
+
+}  // namespace
+}  // namespace rftc::clk

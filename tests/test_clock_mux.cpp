@@ -1,0 +1,80 @@
+#include "clocking/clock_mux.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc::clk {
+namespace {
+
+TEST(SwitchLatency, AlwaysPositive) {
+  for (Picoseconds from : {20'833, 41'667, 83'333}) {
+    for (Picoseconds to : {20'833, 41'667, 83'333}) {
+      for (Picoseconds ph = 0; ph < from; ph += from / 7 + 1) {
+        const Picoseconds lat = switch_latency(from, to, ph, ph % to);
+        EXPECT_GT(lat, 0) << from << " " << to << " " << ph;
+      }
+    }
+  }
+}
+
+TEST(SwitchLatency, BoundedByOldPlusTwoNewPeriods) {
+  // Glitch-free switching costs at most half the old period (wait for the
+  // fall) plus under two periods of the new clock.
+  for (Picoseconds from : {20'833, 50'000, 83'333}) {
+    for (Picoseconds to : {20'833, 50'000, 83'333}) {
+      for (Picoseconds ph = 0; ph < from; ph += 997) {
+        const Picoseconds lat = switch_latency(from, to, ph, (ph * 3) % to);
+        EXPECT_LE(lat, from / 2 + 2 * to);
+      }
+    }
+  }
+}
+
+TEST(SwitchLatency, RejectsBadPeriods) {
+  EXPECT_THROW(switch_latency(0, 100, 0, 0), std::invalid_argument);
+  EXPECT_THROW(switch_latency(100, -1, 0, 0), std::invalid_argument);
+}
+
+TEST(MuxedClock, IdealModeSumsPeriodsExactly) {
+  MuxedClock mux({20'000, 30'000, 50'000}, /*model_overhead=*/false);
+  EXPECT_EQ(mux.advance(0), 20'000);
+  EXPECT_EQ(mux.advance(2), 70'000);
+  EXPECT_EQ(mux.advance(1), 100'000);
+  EXPECT_EQ(mux.advance(1), 130'000);
+  EXPECT_EQ(mux.now(), 130'000);
+}
+
+TEST(MuxedClock, OverheadModeChargesDeadTimeOnSwitch) {
+  MuxedClock ideal({20'000, 30'000}, false);
+  MuxedClock real({20'000, 30'000}, true);
+  ideal.advance(0);
+  real.advance(0);
+  // Same source: no penalty.
+  EXPECT_EQ(ideal.advance(0), real.advance(0));
+  // Switch: the overhead-modelling mux falls behind.
+  const Picoseconds t_ideal = ideal.advance(1);
+  const Picoseconds t_real = real.advance(1);
+  EXPECT_GT(t_real, t_ideal);
+}
+
+TEST(MuxedClock, SelectValidation) {
+  MuxedClock mux({10'000}, false);
+  EXPECT_THROW(mux.advance(-1), std::out_of_range);
+  EXPECT_THROW(mux.advance(1), std::out_of_range);
+}
+
+TEST(MuxedClock, RetargetSwapsPeriods) {
+  MuxedClock mux({10'000, 20'000}, false);
+  mux.advance(0);
+  mux.retarget({40'000, 50'000});
+  EXPECT_EQ(mux.advance(0), 50'000);
+  EXPECT_THROW(mux.retarget({1'000}), std::invalid_argument);
+  EXPECT_THROW(mux.retarget({0, 5}), std::invalid_argument);
+}
+
+TEST(MuxedClock, ConstructionValidation) {
+  EXPECT_THROW(MuxedClock m({}, false), std::invalid_argument);
+  EXPECT_THROW(MuxedClock m({0}, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rftc::clk

@@ -1,0 +1,167 @@
+#include "rftc/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/histogram.hpp"
+
+namespace rftc::core {
+namespace {
+
+FrequencyPlan small_plan(int m, int p, std::uint64_t seed = 3) {
+  PlannerParams params;
+  params.m_outputs = m;
+  params.p_configs = p;
+  params.seed = seed;
+  return plan_frequencies(params);
+}
+
+TEST(Controller, RequiresTwoMmcms) {
+  ControllerParams cp;
+  cp.n_mmcms = 1;
+  EXPECT_THROW(RftcController c(small_plan(3, 4), cp),
+               std::invalid_argument);
+}
+
+TEST(Controller, ScheduleHasRequestedRounds) {
+  RftcController c(small_plan(3, 8), {});
+  const sched::EncryptionSchedule es = c.next(10);
+  EXPECT_EQ(es.round_count(), 10);
+  EXPECT_EQ(es.slots.size(), 10u);
+}
+
+TEST(Controller, EveryRoundPeriodComesFromActivePlanSet) {
+  const FrequencyPlan plan = small_plan(3, 8);
+  std::unordered_set<Picoseconds> all_periods;
+  for (const auto& ps : plan.periods_ps)
+    all_periods.insert(ps.begin(), ps.end());
+  RftcController c(plan, {});
+  for (int e = 0; e < 500; ++e) {
+    for (const auto& slot : c.next(10).slots) {
+      EXPECT_TRUE(all_periods.contains(slot.period))
+          << "period " << slot.period << " not in plan";
+    }
+  }
+}
+
+TEST(Controller, CompletionTimesBoundedByBand) {
+  RftcController c(small_plan(3, 16), {});
+  const Picoseconds fastest = 10 * period_ps_from_mhz(48.1);
+  const Picoseconds slowest = 10 * period_ps_from_mhz(11.9);
+  for (int e = 0; e < 1'000; ++e) {
+    const Picoseconds t = c.next(10).completion_ps();
+    EXPECT_GE(t, fastest);
+    EXPECT_LE(t, slowest);
+  }
+}
+
+TEST(Controller, PingPongSwapsActiveMmcm) {
+  RftcController c(small_plan(3, 8), {});
+  std::unordered_set<int> actives;
+  for (int e = 0; e < 2'000; ++e) {
+    c.next(10);
+    actives.insert(c.active_mmcm());
+  }
+  EXPECT_EQ(actives.size(), 2u);  // both MMCMs drove the cipher
+  EXPECT_GT(c.stats().reconfigurations, 2u);
+}
+
+TEST(Controller, EncryptionsPerReconfigNearPaperX) {
+  // Paper: ~82 encryptions complete while one MMCM reconfigures (34 us).
+  // The model's interface gap differs slightly; accept the same decade.
+  RftcController c(small_plan(3, 16), {});
+  for (int e = 0; e < 20'000; ++e) c.next(10);
+  const double x = c.stats().encryptions_per_reconfig();
+  EXPECT_GT(x, 20.0);
+  EXPECT_LT(x, 200.0);
+}
+
+TEST(Controller, ManyDistinctCompletionTimes) {
+  RftcController c(small_plan(3, 16), {});
+  ExactHistogram h;
+  for (int e = 0; e < 20'000; ++e) h.add(c.next(10).completion_ps());
+  // 16 sets x 66 = 1056 possible times; with ~20 reconfig windows only a
+  // subset is visited, but far more than any baseline reaches.
+  EXPECT_GT(h.distinct(), 150u);
+}
+
+TEST(Controller, DeterministicForSeeds) {
+  ControllerParams cp;
+  cp.lfsr_seed_lo = 77;
+  cp.lfsr_seed_hi = 88;
+  RftcController a(small_plan(3, 8, 4), cp);
+  RftcController b(small_plan(3, 8, 4), cp);
+  for (int e = 0; e < 200; ++e)
+    EXPECT_EQ(a.next(10).completion_ps(), b.next(10).completion_ps());
+}
+
+TEST(Controller, StatsAccumulate) {
+  RftcController c(small_plan(2, 8), {});
+  for (int e = 0; e < 100; ++e) c.next(10);
+  EXPECT_EQ(c.stats().encryptions, 100u);
+  EXPECT_GE(c.stats().reconfigurations, 1u);
+  EXPECT_GT(c.stats().total_drp_transactions, 0u);
+  EXPECT_GT(c.stats().last_reconfig_duration_ps, 0);
+}
+
+TEST(Controller, NameEncodesMAndP) {
+  RftcController c(small_plan(3, 8), {});
+  EXPECT_EQ(c.name(), "RFTC(3, 8)");
+}
+
+TEST(Controller, SwitchOverheadModeStretchesCompletion) {
+  const FrequencyPlan plan = small_plan(3, 8, 11);
+  ControllerParams ideal_cp, real_cp;
+  real_cp.model_switch_overhead = true;
+  RftcController ideal(plan, ideal_cp);
+  RftcController real(plan, real_cp);
+  double sum_ideal = 0, sum_real = 0;
+  for (int e = 0; e < 1'000; ++e) {
+    sum_ideal += static_cast<double>(ideal.next(10).completion_ps());
+    sum_real += static_cast<double>(real.next(10).completion_ps());
+  }
+  EXPECT_GT(sum_real, sum_ideal);
+}
+
+TEST(Controller, ActivePeriodsMatchPlanSetSize) {
+  RftcController c(small_plan(3, 8), {});
+  EXPECT_EQ(c.active_periods().size(), 3u);
+}
+
+TEST(Controller, RunsUnderAlteraIopllLimits) {
+  // §8 portability: planner + Block RAM + DRP + ping-pong under IOPLL
+  // electrical rules, with functional ciphertext behaviour untouched.
+  core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = 8;
+  pp.limits = clk::altera_iopll_limits();
+  pp.seed = 61;
+  RftcController c(core::plan_frequencies(pp), {});
+  for (int e = 0; e < 500; ++e) {
+    const auto es = c.next(10);
+    ASSERT_EQ(es.round_count(), 10);
+  }
+  EXPECT_GT(c.stats().reconfigurations, 0u);
+}
+
+class ControllerMP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ControllerMP, RunsCleanlyAcrossConfigurations) {
+  const auto [m, p] = GetParam();
+  RftcController c(small_plan(m, p, static_cast<std::uint64_t>(10 * m + p)),
+                   {});
+  for (int e = 0; e < 300; ++e) {
+    const auto es = c.next(10);
+    ASSERT_EQ(es.round_count(), 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ControllerMP,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(1, 16),
+                      std::make_tuple(2, 4), std::make_tuple(2, 16),
+                      std::make_tuple(3, 4), std::make_tuple(3, 16)));
+
+}  // namespace
+}  // namespace rftc::core

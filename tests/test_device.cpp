@@ -1,0 +1,74 @@
+#include "rftc/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/fixed_clock.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::core {
+namespace {
+
+aes::Key test_key() {
+  aes::Key k{};
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(0xC0 + i);
+  return k;
+}
+
+TEST(RftcDevice, CiphertextsAreCorrectRegardlessOfClocking) {
+  // The whole point of a hiding countermeasure: functional behaviour is
+  // untouched.  RFTC-clocked encryptions must equal reference AES.
+  RftcDevice dev = RftcDevice::make(test_key(), 3, 8, 21);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 200; ++i) {
+    aes::Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionRecord rec = dev.encrypt(pt);
+    EXPECT_EQ(rec.ciphertext, aes::encrypt(pt, test_key()));
+  }
+}
+
+TEST(RftcDevice, CompletionTimesVary) {
+  RftcDevice dev = RftcDevice::make(test_key(), 3, 8, 22);
+  std::set<Picoseconds> completions;
+  for (int i = 0; i < 200; ++i)
+    completions.insert(dev.encrypt(aes::Block{}).schedule.completion_ps());
+  EXPECT_GT(completions.size(), 10u);
+}
+
+TEST(RftcDevice, ScheduleAndActivityAreConsistent) {
+  RftcDevice dev = RftcDevice::make(test_key(), 2, 4, 23);
+  const EncryptionRecord rec = dev.encrypt(aes::Block{});
+  EXPECT_EQ(rec.schedule.round_count(),
+            aes::EncryptionActivity::round_cycles());
+  EXPECT_EQ(rec.activity.cycles().size(), 11u);
+}
+
+TEST(RftcDevice, KeyScheduleExposedForEvaluation) {
+  RftcDevice dev = RftcDevice::make(test_key(), 1, 4, 24);
+  EXPECT_EQ(dev.key_schedule()[0], test_key());
+}
+
+TEST(ScheduledAesDevice, MatchesReferenceAesUnderFixedClock) {
+  ScheduledAesDevice dev(test_key(),
+                         std::make_unique<sched::FixedClockScheduler>(48.0));
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 100; ++i) {
+    aes::Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionRecord rec = dev.encrypt(pt);
+    EXPECT_EQ(rec.ciphertext, aes::encrypt(pt, test_key()));
+    EXPECT_EQ(rec.schedule.completion_ps(), 10 * period_ps_from_mhz(48.0));
+  }
+}
+
+TEST(ScheduledAesDevice, SchedulerAccessible) {
+  ScheduledAesDevice dev(test_key(),
+                         std::make_unique<sched::FixedClockScheduler>(48.0));
+  EXPECT_FALSE(dev.scheduler().name().empty());
+}
+
+}  // namespace
+}  // namespace rftc::core

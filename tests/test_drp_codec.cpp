@@ -1,0 +1,151 @@
+#include "clocking/drp_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc::clk {
+namespace {
+
+TEST(DrpCodec, CounterRoundTripExhaustiveInteger) {
+  // Every whole divider 1..128 must survive encode -> pack -> unpack ->
+  // decode.
+  for (int div = 1; div <= 128; ++div) {
+    const CounterFields f = encode_counter(div * 8);
+    const std::uint16_t r1 = pack_reg1(f);
+    const std::uint16_t r2 = pack_reg2(f);
+    const CounterFields g = unpack_regs(r1, r2);
+    EXPECT_EQ(decode_counter(g), div * 8) << "div=" << div;
+  }
+}
+
+TEST(DrpCodec, CounterRoundTripExhaustiveFractional) {
+  // Fractional dividers in eighths (CLKOUT0 / CLKFBOUT capability).
+  for (int e = 8; e <= 128 * 8; ++e) {
+    const CounterFields f = encode_counter(e);
+    const CounterFields g = unpack_regs(pack_reg1(f), pack_reg2(f));
+    EXPECT_EQ(decode_counter(g), e) << "eighths=" << e;
+  }
+}
+
+TEST(DrpCodec, EncodeRejectsOutOfRange) {
+  EXPECT_THROW(encode_counter(7), std::out_of_range);     // < 1.0
+  EXPECT_THROW(encode_counter(129 * 8), std::out_of_range);
+}
+
+TEST(DrpCodec, DivideByOneUsesNoCount) {
+  const CounterFields f = encode_counter(8);
+  EXPECT_TRUE(f.no_count);
+  EXPECT_FALSE(f.frac_en);
+}
+
+TEST(DrpCodec, OddDividerSetsEdge) {
+  const CounterFields f = encode_counter(9 * 8);
+  EXPECT_TRUE(f.edge);
+  EXPECT_EQ(f.high + f.low, 9u);
+}
+
+TEST(DrpCodec, EvenDividerSymmetricHighLow) {
+  const CounterFields f = encode_counter(20 * 8);
+  EXPECT_FALSE(f.edge);
+  EXPECT_EQ(f.high, 10u);
+  EXPECT_EQ(f.low, 10u);
+}
+
+TEST(DrpCodec, DivClkRoundTrip) {
+  for (int d = 1; d <= 106; ++d)
+    EXPECT_EQ(unpack_divclk(pack_divclk(d)), d) << d;
+}
+
+TEST(DrpCodec, ClkoutRegisterAddressesMatchXapp888) {
+  EXPECT_EQ(drp_addr::clkout_reg1(0), 0x08);
+  EXPECT_EQ(drp_addr::clkout_reg2(0), 0x09);
+  EXPECT_EQ(drp_addr::clkout_reg1(5), 0x06);
+  EXPECT_EQ(drp_addr::clkout_reg1(6), 0x12);
+  EXPECT_THROW(drp_addr::clkout_reg1(7), std::out_of_range);
+}
+
+TEST(DrpCodec, LockConfigMonotoneInMult) {
+  unsigned prev = 1'001;
+  for (int m = 2 * 8; m <= 64 * 8; m += 8) {
+    const LockConfig lc = lock_config_for_mult(m);
+    EXPECT_LE(lc.lock_cnt, prev) << "mult=" << m / 8;
+    EXPECT_GE(lc.lock_cnt, 250u);
+    EXPECT_LE(lc.lock_cnt, 1'000u);
+    prev = lc.lock_cnt;
+  }
+}
+
+TEST(DrpCodec, LockTimeNearPaperFigure) {
+  // Operating point of the paper: fin=24 MHz, VCO around 1.0-1.2 GHz
+  // (mult ~ 40-50, divclk 1).  The paper reports ~34 us to reconfigure.
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 50 * 8;
+  cfg.divclk = 1;
+  // Lock wait plus the ~8 us DRP write sequence should land near 34 us.
+  const double lock_us =
+      static_cast<double>(lock_cycles(cfg)) * (1.0 / 24.0);
+  EXPECT_GT(lock_us, 15.0);
+  EXPECT_LT(lock_us, 40.0);
+}
+
+TEST(DrpCodec, EncodeConfigCoversAllCounters) {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 40 * 8;
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8, 24 * 8, 30 * 8, 8, 8, 8, 8};
+  const auto writes = encode_config(cfg);
+  // power + 7 outputs x 2 + fb x 2 + divclk + 3 lock + 2 filter = 23.
+  EXPECT_EQ(writes.size(), 23u);
+  bool saw_power = false, saw_divclk = false, saw_fb = false;
+  for (const DrpWrite& w : writes) {
+    if (w.addr == drp_addr::kPower) saw_power = true;
+    if (w.addr == drp_addr::kDivClk) saw_divclk = true;
+    if (w.addr == drp_addr::kClkFbReg1) saw_fb = true;
+  }
+  EXPECT_TRUE(saw_power);
+  EXPECT_TRUE(saw_divclk);
+  EXPECT_TRUE(saw_fb);
+}
+
+TEST(DrpCodec, EncodeConfigRejectsIllegal) {
+  MmcmConfig cfg;
+  cfg.mult_8ths = 1;  // illegal
+  EXPECT_THROW(encode_config(cfg), std::invalid_argument);
+}
+
+TEST(DrpCodec, ConfigRoundTripThroughRegisterImage) {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 37 * 8 + 3;  // fractional feedback
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {25 * 8 + 5, 21 * 8, 33 * 8, 64 * 8, 128 * 8, 8, 77 * 8};
+  cfg.out_enabled = {true, true, true, false, false, false, false};
+  ASSERT_FALSE(cfg.validate().has_value());
+
+  std::array<std::uint16_t, 128> regs{};
+  for (const DrpWrite& w : encode_config(cfg))
+    regs[w.addr] = static_cast<std::uint16_t>(
+        (regs[w.addr] & ~w.mask) | (w.data & w.mask));
+  const MmcmConfig back = decode_config(regs, 24.0);
+  EXPECT_EQ(back.mult_8ths, cfg.mult_8ths);
+  EXPECT_EQ(back.divclk, cfg.divclk);
+  for (int k = 0; k < kMmcmOutputs; ++k)
+    EXPECT_EQ(back.out_div_8ths[static_cast<std::size_t>(k)],
+              cfg.out_div_8ths[static_cast<std::size_t>(k)])
+        << "output " << k;
+}
+
+class DivclkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivclkSweep, RoundTrips) {
+  const int d = GetParam();
+  EXPECT_EQ(unpack_divclk(pack_divclk(d)), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Various, DivclkSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64, 100, 106,
+                                           128));
+
+}  // namespace
+}  // namespace rftc::clk

@@ -1,0 +1,118 @@
+#include "analysis/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rftc::analysis {
+namespace {
+
+std::vector<double> to_double(const std::vector<float>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(DtwDistance, IdenticalSequencesHaveZeroDistance) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+}
+
+TEST(DtwDistance, ShiftedPulseIsRecoverable) {
+  // A pulse shifted by 3 samples: DTW distance should be near zero while
+  // the Euclidean distance is large.
+  std::vector<double> a(32, 0.0), b(32, 0.0);
+  for (int i = 10; i < 14; ++i) a[static_cast<std::size_t>(i)] = 5.0;
+  for (int i = 13; i < 17; ++i) b[static_cast<std::size_t>(i)] = 5.0;
+  EXPECT_LT(dtw_distance(a, b, {.band = 8}), 1e-9);
+  double euclid = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    euclid += (a[i] - b[i]) * (a[i] - b[i]);
+  EXPECT_GT(euclid, 100.0);
+}
+
+TEST(DtwDistance, MonotoneInMismatch) {
+  std::vector<double> a(16, 0.0);
+  a[8] = 10.0;
+  std::vector<double> b = a;
+  b[8] = 9.0;
+  std::vector<double> c = a;
+  c[8] = 0.0;
+  EXPECT_LT(dtw_distance(a, b), dtw_distance(a, c));
+}
+
+TEST(DtwDistance, EmptyInputThrows) {
+  std::vector<double> a, b = {1.0};
+  EXPECT_THROW(dtw_distance(a, b), std::invalid_argument);
+}
+
+TEST(DtwDistance, UnconstrainedMatchesWideBand) {
+  Xoshiro256StarStar rng(3);
+  std::vector<double> a(40), b(40);
+  for (auto& v : a) v = rng.gaussian();
+  for (auto& v : b) v = rng.gaussian();
+  const double full = dtw_distance(a, b, {.band = 0});
+  const double wide = dtw_distance(a, b, {.band = 40});
+  EXPECT_NEAR(full, wide, 1e-9);
+}
+
+TEST(DtwAlign, AlignedOutputHasReferenceLength) {
+  std::vector<double> ref(50, 0.0);
+  std::vector<float> tr(64, 0.0f);
+  const auto out = dtw_align(ref, tr);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(DtwAlign, UndoesAShift) {
+  // Reference has a pulse at 20; the trace has it at 26.  After alignment
+  // the pulse must sit back at (or next to) 20.
+  std::vector<double> ref(64, 0.0);
+  std::vector<float> tr(64, 0.0f);
+  for (int i = 20; i < 24; ++i) ref[static_cast<std::size_t>(i)] = 8.0;
+  for (int i = 26; i < 30; ++i) tr[static_cast<std::size_t>(i)] = 8.0f;
+  const auto out = dtw_align(ref, tr, {.band = 12});
+  // Energy concentrated near the reference pulse location.
+  float at_ref = 0, away = 0;
+  for (int i = 18; i < 26; ++i) at_ref += out[static_cast<std::size_t>(i)];
+  for (int i = 34; i < 42; ++i) away += out[static_cast<std::size_t>(i)];
+  EXPECT_GT(at_ref, 20.0f);
+  EXPECT_LT(away, 4.0f);
+}
+
+TEST(DtwAlign, IdentityWhenAlreadyAligned) {
+  Xoshiro256StarStar rng(5);
+  std::vector<float> tr(48);
+  for (auto& v : tr) v = static_cast<float>(rng.gaussian());
+  const auto ref = to_double(tr);
+  const auto out = dtw_align(ref, tr, {.band = 8});
+  for (std::size_t i = 0; i < tr.size(); ++i)
+    EXPECT_NEAR(out[i], tr[i], 1e-5) << i;
+}
+
+TEST(DtwAlign, HandlesLengthMismatch) {
+  std::vector<double> ref(30, 1.0);
+  std::vector<float> tr(45, 1.0f);
+  const auto out = dtw_align(ref, tr, {.band = 4});
+  EXPECT_EQ(out.size(), 30u);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 1e-6);
+}
+
+TEST(DtwAlign, StretchedTraceCompressesBack) {
+  // The trace is the reference played at half speed (each sample doubled);
+  // warping should reconstruct something close to the reference.
+  std::vector<double> ref(32);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ref[i] = std::sin(static_cast<double>(i) * 0.4);
+  std::vector<float> tr(64);
+  for (std::size_t i = 0; i < tr.size(); ++i)
+    tr[i] = static_cast<float>(ref[i / 2]);
+  const auto out = dtw_align(ref, tr, {.band = 0});
+  double err = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    err += std::fabs(out[i] - ref[i]);
+  EXPECT_LT(err / static_cast<double>(ref.size()), 0.08);
+}
+
+}  // namespace
+}  // namespace rftc::analysis

@@ -1,0 +1,100 @@
+#include "fpga/overhead.hpp"
+#include "fpga/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/rcdd.hpp"
+#include "baselines/rdi.hpp"
+#include "sched/fixed_clock.hpp"
+
+namespace rftc::fpga {
+namespace {
+
+TEST(Resources, AdditionOperator) {
+  const ResourceInventory a{100, 50, 1, 0, 0, 2, 10.0};
+  const ResourceInventory b{10, 5, 1, 2, 1, 3, 5.0};
+  const ResourceInventory c = a + b;
+  EXPECT_EQ(c.luts, 110u);
+  EXPECT_EQ(c.ffs, 55u);
+  EXPECT_EQ(c.bufgs, 2u);
+  EXPECT_EQ(c.mmcms, 2u);
+  EXPECT_EQ(c.plls, 1u);
+  EXPECT_EQ(c.ramb36, 5u);
+  EXPECT_DOUBLE_EQ(c.always_on_dynamic_mw, 15.0);
+}
+
+TEST(Resources, SliceAreaExcludesHardMacros) {
+  const ResourceInventory inv{1'000, 400, 5, 3, 2, 20};
+  EXPECT_DOUBLE_EQ(inv.slice_area(), 1'200.0);
+}
+
+TEST(Resources, RelativeAreaOrderingMatchesTable1) {
+  // Table 1 area: RDI 1.81 > RCDD 1.70 > RFTC 1.3 > iPPAP 1.05 > CR 1.02.
+  const ResourceInventory base = unprotected_aes();
+  const double rdi = (base + rdi_addition(5)).slice_area() / base.slice_area();
+  const double rcdd = (base + rcdd_addition()).slice_area() / base.slice_area();
+  const double rftc =
+      (base + rftc_addition(2, 3, 21)).slice_area() / base.slice_area();
+  const double ippap =
+      (base + ippap_addition()).slice_area() / base.slice_area();
+  const double cr =
+      (base + clock_rand4_addition()).slice_area() / base.slice_area();
+  EXPECT_GT(rdi, rcdd);
+  EXPECT_GT(rcdd, rftc);
+  EXPECT_GT(rftc, ippap);
+  EXPECT_GT(ippap, cr);
+  EXPECT_NEAR(rdi, 1.81, 0.35);
+  EXPECT_NEAR(rcdd, 1.70, 0.35);
+  EXPECT_NEAR(rftc, 1.30, 0.25);
+  EXPECT_NEAR(cr, 1.02, 0.05);
+}
+
+TEST(Resources, FormatMentionsEveryPrimitive) {
+  const std::string s = format_inventory({1, 2, 3, 4, 5, 6});
+  EXPECT_NE(s.find("LUT"), std::string::npos);
+  EXPECT_NE(s.find("MMCM"), std::string::npos);
+  EXPECT_NE(s.find("RAMB36"), std::string::npos);
+}
+
+TEST(Overhead, UnprotectedReferenceIsUnity) {
+  sched::FixedClockScheduler sch(48.0);
+  DesignReport rep = evaluate_design("Unprotected", sch, unprotected_aes(),
+                                     2'000);
+  compute_overheads(rep, rep);
+  EXPECT_DOUBLE_EQ(rep.time_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(rep.power_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(rep.area_overhead, 1.0);
+  EXPECT_NEAR(rep.mean_completion_ns, 208.33, 0.01);
+  EXPECT_GT(rep.throughput_enc_per_s, 0.0);
+}
+
+TEST(Overhead, RcddTimeOverheadNearTwo) {
+  sched::FixedClockScheduler base_sch(48.0);
+  DesignReport base =
+      evaluate_design("Unprotected", base_sch, unprotected_aes(), 2'000);
+  baselines::RcddScheduler rcdd_sch(48.0, 2, 5);
+  DesignReport rcdd = evaluate_design(
+      "RCDD", rcdd_sch, unprotected_aes() + rcdd_addition(), 2'000);
+  compute_overheads(rcdd, base);
+  EXPECT_NEAR(rcdd.time_overhead, 2.0, 0.15);
+  // Dummy rounds burn real switching power.
+  EXPECT_GT(rcdd.power_overhead, 1.05);
+}
+
+TEST(Overhead, RdiBuffersBurnExtraPower) {
+  sched::FixedClockScheduler base_sch(48.0);
+  DesignReport base =
+      evaluate_design("Unprotected", base_sch, unprotected_aes(), 2'000);
+  baselines::RdiScheduler rdi_sch(48.0, 5, 800, 6);
+  DesignReport rdi = evaluate_design(
+      "RDI", rdi_sch, unprotected_aes() + rdi_addition(5), 2'000);
+  compute_overheads(rdi, base);
+  EXPECT_GT(rdi.time_overhead, 1.2);
+  EXPECT_LT(rdi.time_overhead, 2.2);
+  // Table 1 reports 4.11x for RDI; the buffer chains dominate.
+  EXPECT_GT(rdi.power_overhead, 2.0);
+  EXPECT_LT(rdi.power_overhead, 6.0);
+}
+
+}  // namespace
+}  // namespace rftc::fpga

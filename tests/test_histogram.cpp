@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc {
+namespace {
+
+TEST(Histogram, BinningIsCorrect) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(1.0);   // bin 1
+  h.add(9.99);  // bin 9
+  h.add(10.0);  // exact upper edge -> last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
+}
+
+TEST(Histogram, OccupiedBinsAndPeak) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  EXPECT_EQ(h.occupied_bins(), 2u);
+  EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(Histogram, AsciiRendersWithoutCrashing) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 1'000; ++i) h.add((i % 100) / 100.0);
+  const std::string art = h.ascii(10, 40);
+  EXPECT_FALSE(art.empty());
+}
+
+TEST(ExactHistogram, CountsCollisions) {
+  ExactHistogram h;
+  h.add(100);
+  h.add(200);
+  h.add(100);
+  h.add(300);
+  h.add(100);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.distinct(), 3u);
+  EXPECT_EQ(h.max_multiplicity(), 3u);
+  // Items participating in a collision: the three 100s.
+  EXPECT_EQ(h.colliding_items(), 3u);
+}
+
+TEST(ExactHistogram, NoCollisions) {
+  ExactHistogram h;
+  for (int i = 0; i < 1'000; ++i) h.add(i);
+  EXPECT_EQ(h.distinct(), 1'000u);
+  EXPECT_EQ(h.max_multiplicity(), 1u);
+  EXPECT_EQ(h.colliding_items(), 0u);
+}
+
+}  // namespace
+}  // namespace rftc

@@ -1,0 +1,112 @@
+#include "aes/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aes/gf256.hpp"
+#include "aes/round_engine.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::aes {
+namespace {
+
+TEST(Leakage, HypothesisRowMatchesScalarFunction) {
+  Xoshiro256StarStar rng(3);
+  Block ct{};
+  for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
+  for (int pos = 0; pos < 16; ++pos) {
+    const auto row = last_round_hypothesis_row(ct, pos);
+    for (int g = 0; g < 256; ++g) {
+      EXPECT_EQ(static_cast<int>(row[static_cast<std::size_t>(g)]),
+                last_round_hd_hypothesis(ct, pos,
+                                         static_cast<std::uint8_t>(g)));
+    }
+  }
+}
+
+TEST(Leakage, CorrectKeyPredictsActualRegisterSwing) {
+  // With the *correct* round-10 key byte, the hypothesis must equal the
+  // true per-byte Hamming distance between the round-9 register byte and
+  // the ciphertext byte at the pre-ShiftRows position.
+  Key key{};
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 31 + 5);
+  RoundEngine engine(key);
+  const Block& rk10 = engine.key_schedule()[10];
+
+  Xoshiro256StarStar rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionActivity act = engine.encrypt(pt);
+    const Block& round9 = act.cycles()[9].state;
+    const Block& ct = act.ciphertext();
+    for (int p = 0; p < 16; ++p) {
+      const int src = shift_rows_source(p);
+      const int predicted = last_round_hd_hypothesis(
+          ct, p, rk10[static_cast<std::size_t>(p)]);
+      const int actual =
+          hamming_distance(round9[static_cast<std::size_t>(src)],
+                           ct[static_cast<std::size_t>(src)]);
+      EXPECT_EQ(predicted, actual) << "byte " << p << " trial " << trial;
+    }
+  }
+}
+
+TEST(Leakage, WrongKeyDecorrelatesOnAverage) {
+  // Mean absolute deviation of hypotheses for a wrong guess should hover
+  // around the binomial mean 4 with no systematic tie to the correct swing.
+  Key key{};
+  key[0] = 0xAB;
+  RoundEngine engine(key);
+  const Block& rk10 = engine.key_schedule()[10];
+  const std::uint8_t wrong = static_cast<std::uint8_t>(rk10[0] ^ 0x5A);
+
+  Xoshiro256StarStar rng(29);
+  double sum_correct = 0, sum_wrong = 0, sum_actual = 0;
+  const int n = 2'000;
+  for (int i = 0; i < n; ++i) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionActivity act = engine.encrypt(pt);
+    const Block& ct = act.ciphertext();
+    sum_correct += last_round_hd_hypothesis(ct, 0, rk10[0]);
+    sum_wrong += last_round_hd_hypothesis(ct, 0, wrong);
+    const int src = shift_rows_source(0);
+    sum_actual += hamming_distance(act.cycles()[9].state[static_cast<std::size_t>(src)],
+                                   ct[static_cast<std::size_t>(src)]);
+  }
+  // Both hover near 4 (mean of HW over bytes), but only the correct guess
+  // *equals* the actual swing trace-by-trace — checked in the test above.
+  EXPECT_NEAR(sum_correct / n, 4.0, 0.3);
+  EXPECT_NEAR(sum_wrong / n, 4.0, 0.3);
+  EXPECT_DOUBLE_EQ(sum_correct, sum_actual);
+}
+
+TEST(Leakage, FirstRoundHwHypothesis) {
+  Block pt{};
+  pt[3] = 0x12;
+  const std::uint8_t guess = 0x34;
+  EXPECT_EQ(first_round_hw_hypothesis(pt, 3, guess),
+            hamming_weight(gf::kSbox[0x12 ^ 0x34]));
+}
+
+class HypothesisDistribution : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypothesisDistribution, MeanNearFourForEveryBytePosition) {
+  const int pos = GetParam();
+  Xoshiro256StarStar rng(1000 + static_cast<std::uint64_t>(pos));
+  double sum = 0;
+  const int n = 4'000;
+  for (int i = 0; i < n; ++i) {
+    Block ct{};
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
+    sum += last_round_hd_hypothesis(ct, pos, 0x7E);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytes, HypothesisDistribution,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace rftc::aes

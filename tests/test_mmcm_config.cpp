@@ -1,0 +1,177 @@
+#include "clocking/mmcm_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rftc::clk {
+namespace {
+
+MmcmConfig legal_config() {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 40 * 8;  // VCO = 960 MHz
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8, 24 * 8, 30 * 8, 8 * 8, 8 * 8, 8 * 8, 8 * 8};
+  cfg.out_enabled = {true, true, true, false, false, false, false};
+  return cfg;
+}
+
+TEST(MmcmConfig, LegalConfigValidates) {
+  EXPECT_FALSE(legal_config().validate().has_value());
+}
+
+TEST(MmcmConfig, OutputFrequencyArithmetic) {
+  const MmcmConfig cfg = legal_config();
+  EXPECT_DOUBLE_EQ(cfg.vco_mhz(), 960.0);
+  EXPECT_DOUBLE_EQ(cfg.output_mhz(0), 48.0);
+  EXPECT_DOUBLE_EQ(cfg.output_mhz(1), 40.0);
+  EXPECT_DOUBLE_EQ(cfg.output_mhz(2), 32.0);
+  EXPECT_EQ(cfg.output_period_ps(0), 20'833);
+  EXPECT_EQ(cfg.output_period_ps(1), 25'000);
+}
+
+TEST(MmcmConfig, VcoTooLowRejected) {
+  MmcmConfig cfg = legal_config();
+  cfg.mult_8ths = 20 * 8;  // VCO = 480 MHz < 600
+  const auto why = cfg.validate();
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("VCO"), std::string::npos);
+}
+
+TEST(MmcmConfig, VcoTooHighRejected) {
+  MmcmConfig cfg = legal_config();
+  cfg.mult_8ths = 60 * 8;  // VCO = 1440 MHz > 1200
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(MmcmConfig, MultOutOfRangeRejected) {
+  MmcmConfig cfg = legal_config();
+  cfg.mult_8ths = 1 * 8;  // < 2.0
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.mult_8ths = 65 * 8;  // > 64.0
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(MmcmConfig, FractionalDivideOnlyOnOutputZero) {
+  MmcmConfig cfg = legal_config();
+  cfg.out_div_8ths[0] = 20 * 8 + 3;  // 20.375: legal on CLKOUT0
+  EXPECT_FALSE(cfg.validate().has_value());
+  cfg.out_div_8ths[1] = 24 * 8 + 1;  // fractional on CLKOUT1: illegal
+  const auto why = cfg.validate();
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("fractional"), std::string::npos);
+}
+
+TEST(MmcmConfig, PfdRangeEnforced) {
+  MmcmConfig cfg = legal_config();
+  cfg.divclk = 3;  // PFD = 8 MHz < 10 MHz
+  cfg.mult_8ths = 64 * 8;
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Synthesize, HitsExactlyRepresentableTarget) {
+  const auto res = synthesize_frequency(24.0, 48.0);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->achieved_mhz, 48.0, 1e-9);
+  EXPECT_FALSE(res->config.validate().has_value());
+}
+
+TEST(Synthesize, SnapsCloseToArbitraryTargets) {
+  for (const double target : {12.0, 13.7, 21.456, 30.744, 40.240, 47.988}) {
+    const auto res = synthesize_frequency(24.0, target);
+    ASSERT_TRUE(res.has_value()) << target;
+    // Fractional feedback + fractional CLKOUT0 gives dense coverage:
+    // accept 0.02 MHz of snap error.
+    EXPECT_NEAR(res->achieved_mhz, target, 0.02) << target;
+    EXPECT_FALSE(res->config.validate().has_value());
+  }
+}
+
+TEST(Synthesize, NonPositiveTargetReturnsNullopt) {
+  EXPECT_FALSE(synthesize_frequency(24.0, -5.0).has_value());
+  EXPECT_FALSE(synthesize_frequency(24.0, 0.0).has_value());
+}
+
+TEST(Synthesize, FarTargetSnapsToBandEdgeWithHonestError) {
+  // 0.001 MHz is below what VCO/128 can reach; the synthesizer returns the
+  // closest edge and reports the miss in error_mhz.
+  const auto res = synthesize_frequency(24.0, 0.001);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(res->error_mhz, 1.0);
+  EXPECT_NEAR(res->achieved_mhz, 600.0 / 128.0, 0.1);
+}
+
+TEST(SynthesizeSet, SharedVcoForThreeOutputs) {
+  std::array<double, kMmcmOutputs> targets{};
+  targets[0] = 12.012;
+  targets[1] = 40.240;
+  targets[2] = 30.744;
+  const auto cfg = synthesize_frequency_set(24.0, targets, 3);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_FALSE(cfg->validate().has_value());
+  // Output 0 is fractional and should be tight; 1 and 2 are integer
+  // dividers off a shared VCO, so allow a wider snap.
+  EXPECT_NEAR(cfg->output_mhz(0), targets[0], 0.05);
+  EXPECT_NEAR(cfg->output_mhz(1), targets[1], 1.0);
+  EXPECT_NEAR(cfg->output_mhz(2), targets[2], 1.0);
+  EXPECT_TRUE(cfg->out_enabled[0]);
+  EXPECT_TRUE(cfg->out_enabled[1]);
+  EXPECT_TRUE(cfg->out_enabled[2]);
+  EXPECT_FALSE(cfg->out_enabled[3]);
+}
+
+TEST(SynthesizeSet, RejectsBadCount) {
+  std::array<double, kMmcmOutputs> targets{};
+  targets[0] = 24.0;
+  EXPECT_FALSE(synthesize_frequency_set(24.0, targets, 0).has_value());
+  EXPECT_FALSE(synthesize_frequency_set(24.0, targets, 8).has_value());
+}
+
+TEST(AlteraIopll, LimitsDifferFromMmcm) {
+  const MmcmLimits lim = altera_iopll_limits();
+  EXPECT_GT(lim.vco_max_mhz, MmcmLimits{}.vco_max_mhz);
+  EXPECT_FALSE(lim.fractional_clkout0);
+}
+
+TEST(AlteraIopll, FractionalOutputZeroRejected) {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 40 * 8;
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8 + 1, 24 * 8, 30 * 8, 8, 8, 8, 8};
+  EXPECT_FALSE(cfg.validate().has_value());  // legal on an MMCM
+  EXPECT_TRUE(cfg.validate(altera_iopll_limits()).has_value());
+}
+
+TEST(AlteraIopll, SynthesisStillCoversTheBand) {
+  const MmcmLimits lim = altera_iopll_limits();
+  for (const double target : {12.0, 24.0, 30.744, 48.0}) {
+    const auto res = synthesize_frequency(24.0, target, 0, lim);
+    ASSERT_TRUE(res.has_value()) << target;
+    // Integer-only output counters snap more coarsely than an MMCM.
+    EXPECT_NEAR(res->achieved_mhz, target, 0.5) << target;
+    EXPECT_FALSE(res->config.validate(lim).has_value());
+  }
+}
+
+class SynthesisSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SynthesisSweep, WholeBandReachableWithinTolerance) {
+  const double target = GetParam();
+  const auto res = synthesize_frequency(24.0, target);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->achieved_mhz, target, 0.05);
+  // Achieved frequency must itself obey VCO limits.
+  const double vco = res->config.vco_mhz();
+  EXPECT_GE(vco, 600.0 - 1e-9);
+  EXPECT_LE(vco, 1200.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band12to48, SynthesisSweep,
+                         ::testing::Values(12.0, 14.4, 16.8, 19.2, 21.6, 24.0,
+                                           26.4, 28.8, 31.2, 33.6, 36.0, 38.4,
+                                           40.8, 43.2, 45.6, 48.0));
+
+}  // namespace
+}  // namespace rftc::clk

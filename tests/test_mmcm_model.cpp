@@ -1,0 +1,139 @@
+#include "clocking/mmcm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocking/drp_controller.hpp"
+
+namespace rftc::clk {
+namespace {
+
+MmcmConfig config_a() {
+  MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.mult_8ths = 40 * 8;
+  cfg.divclk = 1;
+  cfg.out_div_8ths = {20 * 8, 24 * 8, 30 * 8, 8, 8, 8, 8};
+  cfg.out_enabled = {true, true, true, false, false, false, false};
+  return cfg;
+}
+
+MmcmConfig config_b() {
+  MmcmConfig cfg = config_a();
+  cfg.mult_8ths = 48 * 8;  // VCO 1152
+  cfg.out_div_8ths = {24 * 8, 32 * 8, 36 * 8, 8, 8, 8, 8};
+  return cfg;
+}
+
+TEST(MmcmModel, StartsLockedWithInitialConfig) {
+  MmcmModel mmcm(config_a());
+  EXPECT_TRUE(mmcm.locked(0));
+  EXPECT_EQ(mmcm.output_period_ps(0), period_ps_from_mhz(48.0));
+}
+
+TEST(MmcmModel, RejectsIllegalInitialConfig) {
+  MmcmConfig bad = config_a();
+  bad.mult_8ths = 8;  // VCO too low
+  EXPECT_THROW(MmcmModel m(bad), std::invalid_argument);
+}
+
+TEST(MmcmModel, DrpWriteOutsideResetThrows) {
+  MmcmModel mmcm(config_a());
+  EXPECT_THROW(mmcm.drp_write(0x08, 0x1234, 0xFFFF), std::logic_error);
+}
+
+TEST(MmcmModel, ActiveConfigOnlyChangesAtResetRelease) {
+  MmcmModel mmcm(config_a());
+  const Picoseconds p0 = mmcm.output_period_ps(0);
+  mmcm.assert_reset(1'000);
+  for (const DrpWrite& w : encode_config(config_b()))
+    mmcm.drp_write(w.addr, w.data, w.mask);
+  // Register file is staged; the VCO still runs the old settings.
+  EXPECT_EQ(mmcm.output_period_ps(0), p0);
+  mmcm.release_reset(2'000);
+  EXPECT_EQ(mmcm.output_period_ps(0), config_b().output_period_ps(0));
+}
+
+TEST(MmcmModel, LockedDropsDuringResetAndRisesAfterLockTime) {
+  MmcmModel mmcm(config_a());
+  mmcm.assert_reset(5'000);
+  EXPECT_FALSE(mmcm.locked(6'000));
+  for (const DrpWrite& w : encode_config(config_b()))
+    mmcm.drp_write(w.addr, w.data, w.mask);
+  mmcm.release_reset(10'000);
+  EXPECT_FALSE(mmcm.locked(10'001));
+  const Picoseconds t_lock = mmcm.locked_at();
+  EXPECT_GT(t_lock, 10'000);
+  EXPECT_TRUE(mmcm.locked(t_lock));
+  // Lock time should be tens of microseconds at a 24 MHz input.
+  const double us = to_us(t_lock - 10'000);
+  EXPECT_GT(us, 10.0);
+  EXPECT_LT(us, 60.0);
+}
+
+TEST(MmcmModel, StagedConfigReflectsRegisterFile) {
+  MmcmModel mmcm(config_a());
+  mmcm.assert_reset(0);
+  for (const DrpWrite& w : encode_config(config_b()))
+    mmcm.drp_write(w.addr, w.data, w.mask);
+  const MmcmConfig staged = mmcm.staged_config();
+  EXPECT_EQ(staged.mult_8ths, config_b().mult_8ths);
+  EXPECT_EQ(staged.out_div_8ths[1], config_b().out_div_8ths[1]);
+}
+
+TEST(MmcmModel, OutputIndexRangeChecked) {
+  MmcmModel mmcm(config_a());
+  EXPECT_THROW(mmcm.output_period_ps(-1), std::out_of_range);
+  EXPECT_THROW(mmcm.output_period_ps(7), std::out_of_range);
+}
+
+TEST(DrpControllerTest, FullReconfigurationSequence) {
+  MmcmModel mmcm(config_a());
+  DrpController drp(24.0);
+  const ReconfigReport rep = drp.reconfigure(mmcm, config_b(), 100'000);
+  EXPECT_EQ(rep.started, 100'000);
+  EXPECT_GT(rep.writes_done, rep.started);
+  EXPECT_GT(rep.locked, rep.writes_done);
+  EXPECT_EQ(rep.drp_transactions, 23u);
+  EXPECT_TRUE(mmcm.locked(rep.locked));
+  EXPECT_EQ(mmcm.output_period_ps(0), config_b().output_period_ps(0));
+}
+
+TEST(DrpControllerTest, ReconfigTimeNearPaperFigure) {
+  // The paper: "Xilinx Kintex 7 325T running at 24 MHz takes 34 us for
+  // reconfiguration".  The model should land in the same regime.
+  MmcmModel mmcm(config_a());
+  DrpController drp(24.0);
+  const ReconfigReport rep = drp.reconfigure(mmcm, config_b(), 0);
+  const double us = to_us(rep.locked - rep.started);
+  EXPECT_GT(us, 20.0);
+  EXPECT_LT(us, 55.0);
+}
+
+TEST(DrpControllerTest, WritesChargeDclkCycles) {
+  MmcmModel mmcm(config_a());
+  DrpController drp(24.0);
+  const ReconfigReport rep = drp.reconfigure(mmcm, config_b(), 0);
+  // 23 transactions x 8 cycles + restart.
+  EXPECT_EQ(rep.dclk_cycles,
+            kDrpRestartCycles +
+                23ull * (kDrpReadCycles + kDrpModifyCycles + kDrpWriteCycles));
+  EXPECT_EQ(rep.writes_done - rep.started,
+            static_cast<Picoseconds>(rep.dclk_cycles) *
+                period_ps_from_mhz(24.0));
+}
+
+TEST(DrpControllerTest, BackToBackReconfigsIndependent) {
+  MmcmModel mmcm(config_a());
+  DrpController drp(24.0);
+  const ReconfigReport r1 = drp.reconfigure(mmcm, config_b(), 0);
+  const ReconfigReport r2 = drp.reconfigure(mmcm, config_a(), r1.locked);
+  EXPECT_EQ(mmcm.output_period_ps(0), config_a().output_period_ps(0));
+  EXPECT_GT(r2.locked, r1.locked);
+}
+
+TEST(DrpControllerTest, RejectsBadDclk) {
+  EXPECT_THROW(DrpController d(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rftc::clk

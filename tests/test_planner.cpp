@@ -1,0 +1,230 @@
+#include "rftc/frequency_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rftc::core {
+namespace {
+
+TEST(CompletionCount, MatchesPaperArithmetic) {
+  // C(10 + 3 - 1, 10) = 66 per set; 1024 x 66 = 67,584 (§4).
+  EXPECT_EQ(completion_times_per_set(3, 10), 66u);
+  EXPECT_EQ(completion_times_per_set(1, 10), 1u);
+  EXPECT_EQ(completion_times_per_set(2, 10), 11u);
+  EXPECT_EQ(completion_times_per_set(4, 10), 286u);
+  EXPECT_EQ(completion_times_per_set(6, 10), 3'003u);
+}
+
+TEST(EnumerateCompletionTimes, CountAndBounds) {
+  const std::vector<Picoseconds> periods = {20'833, 30'000, 41'667};
+  const auto times = enumerate_completion_times(periods, 10);
+  EXPECT_EQ(times.size(), 66u);
+  for (const Picoseconds t : times) {
+    EXPECT_GE(t, 10 * 20'833);
+    EXPECT_LE(t, 10 * 41'667);
+  }
+}
+
+TEST(EnumerateCompletionTimes, SingleFrequencyDegenerates) {
+  const auto times = enumerate_completion_times({25'000}, 10);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 250'000);
+}
+
+TEST(EnumerateCompletionTimes, PaperOverlapExample) {
+  // §5's example: {12.012, 40.240, 30.744} MHz with rounds (2,4,4) collides
+  // with {24.024, 20.120, 30.744} MHz with rounds (4,2,4) at ~396.1 ns.
+  const std::vector<Picoseconds> set1 = {
+      period_ps_from_mhz(12.012), period_ps_from_mhz(40.240),
+      period_ps_from_mhz(30.744)};
+  const std::vector<Picoseconds> set2 = {
+      period_ps_from_mhz(24.024), period_ps_from_mhz(20.120),
+      period_ps_from_mhz(30.744)};
+  const Picoseconds t1 = 2 * set1[0] + 4 * set1[1] + 4 * set1[2];
+  const Picoseconds t2 = 4 * set2[0] + 2 * set2[1] + 4 * set2[2];
+  EXPECT_NEAR(to_ns(t1), 396.1, 0.5);
+  EXPECT_NEAR(to_ns(t2), 396.1, 0.5);
+  // And both values appear in the exhaustive enumerations.
+  const auto times1 = enumerate_completion_times(set1, 10);
+  const auto times2 = enumerate_completion_times(set2, 10);
+  EXPECT_NE(std::find(times1.begin(), times1.end(), t1), times1.end());
+  EXPECT_NE(std::find(times2.begin(), times2.end(), t2), times2.end());
+}
+
+TEST(Planner, ProducesRequestedConfigCount) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 16;
+  p.seed = 5;
+  const FrequencyPlan plan = plan_frequencies(p);
+  EXPECT_EQ(plan.p(), 16u);
+  EXPECT_EQ(plan.total_completion_times(), 16u * 66u);
+  EXPECT_EQ(plan.periods_ps.size(), 16u);
+}
+
+TEST(Planner, AllConfigsAreLegalMmcmSettings) {
+  PlannerParams p;
+  p.m_outputs = 2;
+  p.p_configs = 24;
+  p.seed = 6;
+  const FrequencyPlan plan = plan_frequencies(p);
+  for (const auto& cfg : plan.configs)
+    EXPECT_FALSE(cfg.validate().has_value());
+}
+
+TEST(Planner, FrequenciesWithinRequestedBand) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 12;
+  p.seed = 7;
+  const FrequencyPlan plan = plan_frequencies(p);
+  for (std::size_t i = 0; i < plan.p(); ++i) {
+    for (int k = 0; k < p.m_outputs; ++k) {
+      const double f = plan.configs[i].output_mhz(k);
+      EXPECT_GE(f, p.f_min_mhz - p.grid_step_mhz);
+      EXPECT_LE(f, p.f_max_mhz + p.grid_step_mhz);
+      EXPECT_EQ(plan.periods_ps[i][static_cast<std::size_t>(k)],
+                plan.configs[i].output_period_ps(k));
+    }
+  }
+}
+
+TEST(Planner, OverlapFreePlanHasNoDuplicateCompletionTimes) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 32;
+  p.seed = 8;
+  p.avoid_overlaps = true;
+  const FrequencyPlan plan = plan_frequencies(p);
+  // Uniqueness holds at the planner's femtosecond granularity.
+  std::unordered_set<std::int64_t> seen;
+  for (const auto& periods : plan.periods_fs) {
+    for (const std::int64_t t :
+         enumerate_completion_times(periods, p.rounds)) {
+      EXPECT_TRUE(seen.insert(t).second)
+          << "duplicate completion time " << t << " fs";
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 66u);
+}
+
+TEST(Planner, FrequenciesWithinSetAreUnique) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 20;
+  p.seed = 9;
+  const FrequencyPlan plan = plan_frequencies(p);
+  for (const auto& periods : plan.periods_ps) {
+    std::unordered_set<Picoseconds> s(periods.begin(), periods.end());
+    EXPECT_EQ(s.size(), periods.size());
+  }
+}
+
+TEST(Planner, NaiveModeSkipsOverlapCheck) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 32;
+  p.seed = 8;
+  p.avoid_overlaps = false;
+  const FrequencyPlan plan = plan_frequencies(p);
+  EXPECT_EQ(plan.p(), 32u);
+  EXPECT_EQ(plan.rejected_sets, 0u);
+}
+
+TEST(Planner, DeterministicForSeed) {
+  PlannerParams p;
+  p.m_outputs = 2;
+  p.p_configs = 10;
+  p.seed = 42;
+  const FrequencyPlan a = plan_frequencies(p);
+  const FrequencyPlan b = plan_frequencies(p);
+  ASSERT_EQ(a.p(), b.p());
+  for (std::size_t i = 0; i < a.p(); ++i)
+    EXPECT_EQ(a.periods_ps[i], b.periods_ps[i]);
+}
+
+TEST(Planner, M1PlanGivesPDistinctCompletionTimes) {
+  PlannerParams p;
+  p.m_outputs = 1;
+  p.p_configs = 64;
+  p.seed = 10;
+  const FrequencyPlan plan = plan_frequencies(p);
+  std::unordered_set<Picoseconds> completions;
+  for (const auto& periods : plan.periods_ps)
+    completions.insert(10 * periods[0]);
+  EXPECT_EQ(completions.size(), 64u);
+  EXPECT_GE(plan.distinct_frequencies(), 64u);
+}
+
+TEST(Planner, WorksUnderAlteraIopllLimits) {
+  // §8 portability claim: the same planner runs under IOPLL electrical
+  // limits (wider VCO, integer-only output counters).
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 16;
+  p.limits = clk::altera_iopll_limits();
+  p.seed = 21;
+  const FrequencyPlan plan = plan_frequencies(p);
+  EXPECT_EQ(plan.p(), 16u);
+  for (const auto& cfg : plan.configs) {
+    EXPECT_FALSE(cfg.validate(p.limits).has_value());
+    // No fractional output dividers anywhere.
+    for (int k = 0; k < p.m_outputs; ++k)
+      EXPECT_EQ(cfg.out_div_8ths[static_cast<std::size_t>(k)] % 8, 0);
+  }
+}
+
+TEST(Planner, NaiveGridPartitionWalksTheGrid) {
+  PlannerParams p;
+  p.m_outputs = 3;
+  p.p_configs = 8;
+  p.avoid_overlaps = false;
+  p.naive_grid_partition = true;
+  p.grid_step_mhz = 1.5;
+  const FrequencyPlan plan = plan_frequencies(p);
+  EXPECT_EQ(plan.p(), 8u);
+  // Consecutive triples: within each set the three frequencies are close
+  // (one step apart before MMCM snapping).
+  for (std::size_t i = 0; i < plan.p(); ++i) {
+    const double f0 = plan.configs[i].output_mhz(0);
+    const double f2 = plan.configs[i].output_mhz(2);
+    EXPECT_LT(std::abs(f2 - f0), 3 * 1.5 + 1.0);
+  }
+}
+
+TEST(Planner, ParameterValidation) {
+  PlannerParams p;
+  p.m_outputs = 0;
+  EXPECT_THROW(plan_frequencies(p), std::invalid_argument);
+  p = {};
+  p.p_configs = 0;
+  EXPECT_THROW(plan_frequencies(p), std::invalid_argument);
+  p = {};
+  p.f_max_mhz = p.f_min_mhz;
+  EXPECT_THROW(plan_frequencies(p), std::invalid_argument);
+}
+
+class PlannerSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlannerSweep, PlansAcrossMAndP) {
+  const auto [m, p_count] = GetParam();
+  PlannerParams p;
+  p.m_outputs = m;
+  p.p_configs = p_count;
+  p.seed = static_cast<std::uint64_t>(m * 100 + p_count);
+  const FrequencyPlan plan = plan_frequencies(p);
+  EXPECT_EQ(plan.p(), static_cast<std::size_t>(p_count));
+  EXPECT_EQ(plan.total_completion_times(),
+            static_cast<std::uint64_t>(p_count) *
+                completion_times_per_set(m, 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlannerSweep,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(1, 16),
+                      std::make_tuple(2, 4), std::make_tuple(2, 16),
+                      std::make_tuple(3, 4), std::make_tuple(3, 16)));
+
+}  // namespace
+}  // namespace rftc::core

@@ -1,0 +1,230 @@
+// Cross-cutting property tests: invariants that must hold across module
+// boundaries, checked over parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "baselines/clock_rand4.hpp"
+#include "baselines/ippap.hpp"
+#include "baselines/phase_shift.hpp"
+#include "baselines/rcdd.hpp"
+#include "baselines/rdi.hpp"
+#include "clocking/drp_controller.hpp"
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+
+namespace rftc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Every scheduler, same contract.
+// ---------------------------------------------------------------------------
+
+std::vector<std::unique_ptr<sched::Scheduler>> all_schedulers(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<sched::Scheduler>> v;
+  v.push_back(std::make_unique<sched::FixedClockScheduler>(48.0));
+  v.push_back(std::make_unique<baselines::RdiScheduler>(48.0, 5, 800, seed));
+  v.push_back(std::make_unique<baselines::RcddScheduler>(48.0, 2, seed));
+  v.push_back(std::make_unique<baselines::PhaseShiftScheduler>(48.0, 8, seed));
+  v.push_back(
+      std::make_unique<baselines::IppapScheduler>(48.0, 8, 3, 12, 10, seed));
+  v.push_back(std::make_unique<baselines::ClockRand4Scheduler>(8.0, seed));
+  return v;
+}
+
+TEST(SchedulerContract, EdgesStrictlyIncreaseAndRoundsCountMatches) {
+  for (auto& s : all_schedulers(5)) {
+    for (int e = 0; e < 50; ++e) {
+      const sched::EncryptionSchedule es = s->next(10);
+      ASSERT_EQ(es.round_count(), 10) << s->name();
+      Picoseconds prev = es.load_edge;
+      for (const auto& slot : es.slots) {
+        ASSERT_GT(slot.edge_time, prev) << s->name();
+        ASSERT_GT(slot.period, 0) << s->name();
+        prev = slot.edge_time;
+      }
+    }
+  }
+}
+
+TEST(SchedulerContract, WallClockMonotone) {
+  for (auto& s : all_schedulers(7)) {
+    Picoseconds prev = -1;
+    for (int e = 0; e < 50; ++e) {
+      const sched::EncryptionSchedule es = s->next(10);
+      ASSERT_GT(es.global_start, prev) << s->name();
+      prev = es.global_start;
+    }
+  }
+}
+
+TEST(SchedulerContract, LoadEdgeIsAlignedForEveryCountermeasure) {
+  // The capture-window invariant behind Fig. 6's load-stage leakage: the
+  // plaintext-load edge never moves, whatever the crypto clock does.
+  for (auto& s : all_schedulers(9)) {
+    const Picoseconds load = s->next(10).load_edge;
+    for (int e = 0; e < 20; ++e)
+      ASSERT_EQ(s->next(10).load_edge, load) << s->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RFTC controller invariants across (M, P) and N.
+// ---------------------------------------------------------------------------
+
+class RftcInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RftcInvariants, CompletionTimesStayInsideTheoreticalEnvelope) {
+  const auto [m, p, n_mmcm] = GetParam();
+  core::PlannerParams pp;
+  pp.m_outputs = m;
+  pp.p_configs = p;
+  pp.seed = static_cast<std::uint64_t>(100 * m + p + n_mmcm);
+  const core::FrequencyPlan plan = core::plan_frequencies(pp);
+
+  // The theoretical envelope: 10x the fastest/slowest period in the plan.
+  Picoseconds fastest = INT64_MAX, slowest = 0;
+  for (const auto& periods : plan.periods_ps)
+    for (const Picoseconds q : periods) {
+      fastest = std::min(fastest, q);
+      slowest = std::max(slowest, q);
+    }
+
+  core::ControllerParams cp;
+  cp.n_mmcms = n_mmcm;
+  core::RftcController ctrl(plan, cp);
+  for (int e = 0; e < 400; ++e) {
+    const Picoseconds c = ctrl.next(10).completion_ps();
+    ASSERT_GE(c, 10 * fastest);
+    ASSERT_LE(c, 10 * slowest);
+  }
+}
+
+TEST_P(RftcInvariants, EveryObservedCompletionIsInThePlanEnumeration) {
+  const auto [m, p, n_mmcm] = GetParam();
+  core::PlannerParams pp;
+  pp.m_outputs = m;
+  pp.p_configs = p;
+  pp.seed = static_cast<std::uint64_t>(200 * m + p);
+  const core::FrequencyPlan plan = core::plan_frequencies(pp);
+
+  std::unordered_set<Picoseconds> allowed;
+  for (const auto& periods : plan.periods_ps)
+    for (const Picoseconds t : core::enumerate_completion_times(periods, 10))
+      allowed.insert(t);
+
+  core::ControllerParams cp;
+  cp.n_mmcms = n_mmcm;
+  core::RftcController ctrl(plan, cp);
+  for (int e = 0; e < 400; ++e) {
+    const Picoseconds c = ctrl.next(10).completion_ps();
+    ASSERT_TRUE(allowed.contains(c))
+        << "completion " << c << " ps not derivable from any plan set";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RftcInvariants,
+    ::testing::Values(std::make_tuple(1, 8, 2), std::make_tuple(2, 8, 2),
+                      std::make_tuple(3, 8, 2), std::make_tuple(3, 8, 3),
+                      std::make_tuple(2, 16, 4)));
+
+// ---------------------------------------------------------------------------
+// DRP reconfiguration is lossless for every planned configuration.
+// ---------------------------------------------------------------------------
+
+TEST(DrpRoundTripProperty, PlannedConfigsSurviveFullReconfiguration) {
+  core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = 24;
+  pp.seed = 31;
+  const core::FrequencyPlan plan = core::plan_frequencies(pp);
+
+  clk::MmcmModel mmcm(plan.configs[0]);
+  clk::DrpController drp(24.0);
+  Picoseconds t = 0;
+  for (std::size_t i = 1; i < plan.p(); ++i) {
+    const clk::ReconfigReport rep =
+        drp.reconfigure(mmcm, plan.configs[i], t);
+    t = rep.locked;
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_EQ(mmcm.output_period_ps(k),
+                plan.periods_ps[i][static_cast<std::size_t>(k)])
+          << "config " << i << " output " << k
+          << ": period corrupted by DRP round trip";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Functional correctness under sustained randomized operation.
+// ---------------------------------------------------------------------------
+
+TEST(SustainedOperation, ThousandsOfEncryptionsStayCorrect) {
+  aes::Key key{};
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(0xE7 ^ (13 * i));
+  core::RftcDevice dev = core::RftcDevice::make(key, 3, 16, 41);
+  Xoshiro256StarStar rng(42);
+  for (int i = 0; i < 3'000; ++i) {
+    const aes::Block pt = trace::random_block(rng);
+    ASSERT_EQ(dev.encrypt(pt).ciphertext, aes::encrypt(pt, key));
+  }
+  // Plenty of reconfigurations happened along the way.
+  EXPECT_GT(dev.controller().stats().reconfigurations, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace model invariants.
+// ---------------------------------------------------------------------------
+
+TEST(TraceModelProperty, SameScheduleDifferentDataDiffers) {
+  aes::Key key{};
+  key[5] = 0x77;
+  core::ScheduledAesDevice dev(
+      key, std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  pm.noise_sigma_mv = 0.0;
+  pm.baseline_offset_sigma_mv = 0.0;
+  pm.baseline_drift_sigma_mv = 0.0;
+  trace::TraceSimulator sim(pm, 3);
+  aes::Block a{}, b{};
+  b[0] = 1;
+  const auto ra = dev.encrypt(a);
+  const auto rb = dev.encrypt(b);
+  EXPECT_NE(sim.simulate(ra.schedule, ra.activity),
+            sim.simulate(rb.schedule, rb.activity));
+}
+
+TEST(TraceModelProperty, EnergyScalesWithRoundCountInWindow) {
+  // An RFTC capture at the slowest frequencies spreads the same 10 rounds
+  // over 4x the time; total deposited energy above baseline is comparable
+  // (same switched capacitance), not 4x larger.
+  aes::Key key{};
+  trace::PowerModelParams pm;
+  pm.noise_sigma_mv = 0.0;
+  pm.baseline_offset_sigma_mv = 0.0;
+  pm.baseline_drift_sigma_mv = 0.0;
+
+  auto energy_at = [&](double mhz) {
+    core::ScheduledAesDevice dev(
+        key, std::make_unique<sched::FixedClockScheduler>(mhz));
+    trace::TraceSimulator sim(pm, 5);
+    const auto rec = dev.encrypt(aes::Block{});
+    double e = 0;
+    for (const float v : sim.simulate(rec.schedule, rec.activity))
+      e += v - pm.static_level_mv;
+    return e;
+  };
+  const double e12 = energy_at(12.0);
+  const double e48 = energy_at(48.0);
+  EXPECT_GT(e48, 0.5 * e12);
+  EXPECT_LT(e48, 2.0 * e12);
+}
+
+}  // namespace
+}  // namespace rftc

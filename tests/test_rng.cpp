@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rftc {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (Vigna's splitmix64 reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformBoundRespected) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Xoshiro, UniformIsRoughlyUniform) {
+  Xoshiro256StarStar rng(123);
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 8 - 600);
+    EXPECT_LT(c, n / 8 + 600);
+  }
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, GaussianMoments) {
+  Xoshiro256StarStar rng(9);
+  double sum = 0, sum2 = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Lfsr128, ZeroSeedIsFixedUp) {
+  Lfsr128 lfsr(0, 0);
+  EXPECT_FALSE(lfsr.lo() == 0 && lfsr.hi() == 0);
+}
+
+TEST(Lfsr128, NeverReachesAllZero) {
+  Lfsr128 lfsr(0x12345, 0x9ABCDEF);
+  for (int i = 0; i < 100'000; ++i) {
+    lfsr.step();
+    ASSERT_FALSE(lfsr.lo() == 0 && lfsr.hi() == 0);
+  }
+}
+
+TEST(Lfsr128, LongPeriodNoEarlyRepeat) {
+  // The state must not return to the seed within a modest horizon (the
+  // maximal-length period is 2^128 - 1; catching a short cycle here guards
+  // against tap mistakes).
+  Lfsr128 lfsr(0xACE1, 0);
+  const std::uint64_t lo0 = lfsr.lo(), hi0 = lfsr.hi();
+  for (int i = 0; i < 200'000; ++i) {
+    lfsr.step();
+    ASSERT_FALSE(lfsr.lo() == lo0 && lfsr.hi() == hi0)
+        << "LFSR state repeated after " << i + 1 << " steps";
+  }
+}
+
+TEST(Lfsr128, BitsAreBalanced) {
+  Lfsr128 lfsr(0xDEADBEEF, 0xFEEDFACE);
+  int ones = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ones += static_cast<int>(lfsr.step());
+  EXPECT_GT(ones, n / 2 - 1'000);
+  EXPECT_LT(ones, n / 2 + 1'000);
+}
+
+TEST(Lfsr128, UniformRejectionUnbiased) {
+  Lfsr128 lfsr(0xACE1, 0x1);
+  std::vector<int> counts(3, 0);
+  const int n = 90'000;
+  for (int i = 0; i < n; ++i) ++counts[lfsr.uniform(3)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 3 - 1'200);
+    EXPECT_LT(c, n / 3 + 1'200);
+  }
+}
+
+TEST(Lfsr128, UniformOfOneIsZero) {
+  Lfsr128 lfsr(1, 2);
+  EXPECT_EQ(lfsr.uniform(1), 0u);
+  EXPECT_EQ(lfsr.uniform(0), 0u);
+}
+
+TEST(FloatingMean, OutputsWithinRange) {
+  FloatingMeanRng fm(7, 15, 10, 42);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t v = fm.next();
+    EXPECT_LE(v, 15u);  // m <= b - a, u <= a  =>  v <= b
+  }
+}
+
+TEST(FloatingMean, MeanDriftsAcrossBlocks) {
+  // Consecutive outputs inside a block share a mean, so the within-block
+  // spread is at most `a`; across blocks the mean moves.
+  FloatingMeanRng fm(3, 30, 8, 7);
+  std::set<std::uint32_t> block_mins;
+  for (int b = 0; b < 50; ++b) {
+    std::uint32_t mn = 1'000;
+    for (int i = 0; i < 8; ++i) mn = std::min(mn, fm.next());
+    block_mins.insert(mn);
+  }
+  EXPECT_GT(block_mins.size(), 5u);
+}
+
+TEST(FloatingMean, DegenerateParamsStillWork) {
+  FloatingMeanRng fm(0, 0, 1, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fm.next(), 0u);
+}
+
+class LfsrUniformBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LfsrUniformBound, AlwaysBelowBound) {
+  Lfsr128 lfsr(0x1234, 0x5678);
+  const std::uint64_t bound = GetParam();
+  for (int i = 0; i < 2'000; ++i) ASSERT_LT(lfsr.uniform(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, LfsrUniformBound,
+                         ::testing::Values(2, 3, 4, 5, 16, 64, 100, 256, 1024,
+                                           3072));
+
+}  // namespace
+}  // namespace rftc

@@ -1,0 +1,132 @@
+#include "aes/round_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rftc::aes {
+namespace {
+
+Key test_key() {
+  Key k{};
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 17 + 1);
+  return k;
+}
+
+TEST(RoundEngine, CiphertextMatchesReferenceAes) {
+  const Key key = test_key();
+  RoundEngine engine(key);
+  Xoshiro256StarStar rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionActivity act = engine.encrypt(pt);
+    EXPECT_EQ(act.ciphertext(), encrypt(pt, key));
+  }
+}
+
+TEST(RoundEngine, ElevenCyclesPerEncryption) {
+  RoundEngine engine(test_key());
+  const EncryptionActivity act = engine.encrypt(Block{});
+  EXPECT_EQ(act.cycles().size(), 11u);  // load + 10 rounds
+  EXPECT_EQ(EncryptionActivity::round_cycles(), 10);
+}
+
+TEST(RoundEngine, StateHdMatchesConsecutiveStates) {
+  const Key key = test_key();
+  RoundEngine engine(key);
+  Block pt{};
+  pt[0] = 0x42;
+  const EncryptionActivity act = engine.encrypt(pt);
+  const auto& cycles = act.cycles();
+  for (std::size_t i = 1; i < cycles.size(); ++i) {
+    EXPECT_EQ(cycles[i].state_hd,
+              hamming_distance(cycles[i - 1].state, cycles[i].state));
+  }
+}
+
+TEST(RoundEngine, LoadHdUsesPreviousRegisterContents) {
+  const Key key = test_key();
+  RoundEngine engine(key);
+  // First encryption: register starts all-zero, so load HD equals
+  // HW(pt ^ k0) = HW(pt ^ key).
+  Block pt{};
+  for (int i = 0; i < 16; ++i) pt[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  Block expected = pt;
+  add_round_key(expected, engine.key_schedule()[0]);
+  const EncryptionActivity first = engine.encrypt(pt);
+  EXPECT_EQ(first.cycles().front().state_hd,
+            hamming_distance(Block{}, expected));
+
+  // Second encryption: the register holds the previous ciphertext.
+  const Block prev_ct = first.ciphertext();
+  Block expected2 = pt;
+  add_round_key(expected2, engine.key_schedule()[0]);
+  const EncryptionActivity second = engine.encrypt(pt);
+  EXPECT_EQ(second.cycles().front().state_hd,
+            hamming_distance(prev_ct, expected2));
+}
+
+TEST(RoundEngine, RegisterStatePersistsAcrossBlocks) {
+  RoundEngine engine(test_key());
+  const EncryptionActivity a = engine.encrypt(Block{});
+  EXPECT_EQ(engine.register_state(), a.ciphertext());
+}
+
+TEST(RoundEngine, LastCycleHdIsLastRoundRegisterSwing) {
+  // The final cycle's HD is the distance between the round-9 state and the
+  // ciphertext — exactly the quantity the last-round CPA model predicts.
+  const Key key = test_key();
+  RoundEngine engine(key);
+  Block pt{};
+  pt[5] = 0x99;
+  const EncryptionActivity act = engine.encrypt(pt);
+  const auto& cycles = act.cycles();
+  const Block& round9 = cycles[9].state;
+  const Block& ct = cycles[10].state;
+  EXPECT_EQ(cycles[10].state_hd, hamming_distance(round9, ct));
+  EXPECT_EQ(ct, act.ciphertext());
+}
+
+TEST(RoundEngine, ActivityIsDeterministicGivenHistory) {
+  RoundEngine e1(test_key()), e2(test_key());
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionActivity a = e1.encrypt(pt);
+    const EncryptionActivity b = e2.encrypt(pt);
+    ASSERT_EQ(a.cycles().size(), b.cycles().size());
+    for (std::size_t c = 0; c < a.cycles().size(); ++c) {
+      EXPECT_EQ(a.cycles()[c].state, b.cycles()[c].state);
+      EXPECT_EQ(a.cycles()[c].state_hd, b.cycles()[c].state_hd);
+      EXPECT_EQ(a.cycles()[c].aux_hw, b.cycles()[c].aux_hw);
+    }
+  }
+}
+
+TEST(RoundEngine, MeanRoundHdNearSixtyFour) {
+  // Random data through a PRP should swing about half of the 128 register
+  // bits per round.
+  RoundEngine engine(test_key());
+  Xoshiro256StarStar rng(99);
+  double total = 0;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const EncryptionActivity act = engine.encrypt(pt);
+    for (std::size_t c = 1; c < act.cycles().size(); ++c) {
+      total += act.cycles()[c].state_hd;
+      ++count;
+    }
+  }
+  const double mean = total / count;
+  EXPECT_GT(mean, 58.0);
+  EXPECT_LT(mean, 70.0);
+}
+
+}  // namespace
+}  // namespace rftc::aes

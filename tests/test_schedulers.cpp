@@ -1,0 +1,72 @@
+#include "sched/fixed_clock.hpp"
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc::sched {
+namespace {
+
+TEST(FixedClock, CompletionMatchesPaperFigure) {
+  // Fig. 3-a: unprotected AES at 48 MHz completes in 208.33 ns.
+  FixedClockScheduler sched(48.0);
+  const EncryptionSchedule es = sched.next(10);
+  EXPECT_EQ(es.round_count(), 10);
+  EXPECT_NEAR(to_ns(es.completion_ps()), 208.33, 0.01);
+}
+
+TEST(FixedClock, AllEncryptionsIdentical) {
+  FixedClockScheduler sched(48.0);
+  const Picoseconds first = sched.next(10).completion_ps();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(sched.next(10).completion_ps(), first);
+}
+
+TEST(FixedClock, EdgesAreEquidistant) {
+  FixedClockScheduler sched(24.0);
+  const EncryptionSchedule es = sched.next(10);
+  const Picoseconds p = period_ps_from_mhz(24.0);
+  Picoseconds prev = es.load_edge;
+  for (const CycleSlot& s : es.slots) {
+    EXPECT_EQ(s.edge_time - prev, p);
+    EXPECT_EQ(s.period, p);
+    EXPECT_EQ(s.kind, SlotKind::kRound);
+    prev = s.edge_time;
+  }
+}
+
+TEST(FixedClock, GlobalClockAdvances) {
+  FixedClockScheduler sched(48.0);
+  const EncryptionSchedule a = sched.next(10);
+  const EncryptionSchedule b = sched.next(10);
+  EXPECT_GT(b.global_start, a.global_start);
+}
+
+TEST(FixedClock, LoadEdgeConstantAcrossEncryptions) {
+  FixedClockScheduler sched(48.0);
+  const Picoseconds load = sched.next(10).load_edge;
+  EXPECT_EQ(sched.next(10).load_edge, load);
+  EXPECT_EQ(load, kLoadEdgePs);
+}
+
+TEST(FixedClock, RejectsBadFrequency) {
+  EXPECT_THROW(FixedClockScheduler s(0.0), std::invalid_argument);
+  EXPECT_THROW(FixedClockScheduler s(-3.0), std::invalid_argument);
+}
+
+TEST(Schedule, CompletionIgnoresTrailingNonRoundSlots) {
+  EncryptionSchedule es;
+  es.load_edge = 1'000;
+  es.slots.push_back({2'000, 1'000, SlotKind::kRound, 0.0});
+  es.slots.push_back({3'000, 1'000, SlotKind::kDelay, 0.5});
+  EXPECT_EQ(es.completion_ps(), 1'000);
+  EXPECT_EQ(es.round_count(), 1);
+}
+
+TEST(Schedule, UnprotectedReferenceIs48MHz) {
+  FixedClockScheduler sched(48.0);
+  EXPECT_EQ(sched.unprotected_completion_ps(10),
+            10 * period_ps_from_mhz(48.0));
+}
+
+}  // namespace
+}  // namespace rftc::sched

@@ -1,0 +1,37 @@
+#include "util/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rftc {
+namespace {
+
+TEST(TimeTypes, PeriodFromMhz) {
+  EXPECT_EQ(period_ps_from_mhz(1000.0), 1'000);
+  EXPECT_EQ(period_ps_from_mhz(48.0), 20'833);   // 20833.33 rounds down
+  EXPECT_EQ(period_ps_from_mhz(24.0), 41'667);   // 41666.67 rounds up
+  EXPECT_EQ(period_ps_from_mhz(12.0), 83'333);
+}
+
+TEST(TimeTypes, MhzFromPeriodInvertsApproximately) {
+  for (const double f : {12.0, 24.0, 30.744, 48.0}) {
+    const Picoseconds p = period_ps_from_mhz(f);
+    EXPECT_NEAR(mhz_from_period_ps(p), f, 0.01);
+  }
+}
+
+TEST(TimeTypes, UnitConversions) {
+  EXPECT_DOUBLE_EQ(to_ns(1'000), 1.0);
+  EXPECT_DOUBLE_EQ(to_ns(208'333), 208.333);
+  EXPECT_DOUBLE_EQ(to_us(1'000'000), 1.0);
+  EXPECT_EQ(kPicosPerNano * 1'000, kPicosPerMicro);
+  EXPECT_EQ(kPicosPerMicro * 1'000, kPicosPerMilli);
+}
+
+TEST(TimeTypes, PaperLandmarks) {
+  // The two completion-time anchors of Fig. 3: 10 rounds at 48 and 12 MHz.
+  EXPECT_NEAR(to_ns(10 * period_ps_from_mhz(48.0)), 208.33, 0.01);
+  EXPECT_NEAR(to_ns(10 * period_ps_from_mhz(12.0)), 833.33, 0.01);
+}
+
+}  // namespace
+}  // namespace rftc

@@ -1,0 +1,85 @@
+#include "analysis/tvla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::analysis {
+namespace {
+
+aes::Key test_key() {
+  aes::Key k{};
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(0x51 + 3 * i);
+  return k;
+}
+
+TEST(Tvla, UnprotectedAesLeaksClearly) {
+  // Fig. 6 logic: an aligned, unprotected implementation shows |t| >> 4.5.
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 71);
+  Xoshiro256StarStar rng(72);
+  aes::Block fixed{};
+  fixed[0] = 0x5A;
+  const trace::TvlaCapture cap = trace::acquire_tvla(
+      [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 1'500,
+      fixed, rng);
+  const TvlaResult res = run_tvla(cap);
+  EXPECT_FALSE(res.passes());
+  EXPECT_GT(res.max_abs_t, 10.0);
+  EXPECT_GT(res.leaking_samples, 5u);
+  EXPECT_EQ(res.t_values.size(), sim.samples());
+}
+
+TEST(Tvla, IdenticalDistributionsPass) {
+  // Both populations random: no systematic difference -> |t| < 4.5 almost
+  // everywhere.  Build a "fixed" set that actually uses random plaintexts.
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 73);
+  Xoshiro256StarStar rng(74);
+  trace::TvlaCapture cap{trace::TraceSet(sim.samples()),
+                         trace::TraceSet(sim.samples())};
+  for (int i = 0; i < 800; ++i) {
+    const aes::Block pt = trace::random_block(rng);
+    const auto rec = dev.encrypt(pt);
+    auto tr = sim.simulate(rec.schedule, rec.activity);
+    if (i % 2 == 0) {
+      cap.fixed.add(std::move(tr), pt, rec.ciphertext);
+    } else {
+      cap.random.add(std::move(tr), pt, rec.ciphertext);
+    }
+  }
+  const TvlaResult res = run_tvla(cap);
+  EXPECT_LT(res.max_abs_t, 6.0);  // allow mild multiple-testing excursions
+}
+
+TEST(Tvla, SampleCountMismatchThrows) {
+  trace::TvlaCapture cap{trace::TraceSet(4), trace::TraceSet(8)};
+  EXPECT_THROW(run_tvla(cap), std::invalid_argument);
+}
+
+TEST(Tvla, WorstSampleIndexIsConsistent) {
+  core::ScheduledAesDevice dev(
+      test_key(), std::make_unique<sched::FixedClockScheduler>(48.0));
+  trace::PowerModelParams pm;
+  trace::TraceSimulator sim(pm, 75);
+  Xoshiro256StarStar rng(76);
+  aes::Block fixed{};
+  const trace::TvlaCapture cap = trace::acquire_tvla(
+      [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, 600, fixed,
+      rng);
+  const TvlaResult res = run_tvla(cap);
+  EXPECT_NEAR(std::fabs(res.t_values[res.worst_sample]), res.max_abs_t,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace rftc::analysis
