@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_m1_attacks.dir/fig4_m1_attacks.cpp.o"
+  "CMakeFiles/fig4_m1_attacks.dir/fig4_m1_attacks.cpp.o.d"
+  "fig4_m1_attacks"
+  "fig4_m1_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_m1_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_m1_attacks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_m2_attacks.dir/fig5_m2_attacks.cpp.o"
+  "CMakeFiles/fig5_m2_attacks.dir/fig5_m2_attacks.cpp.o.d"
+  "fig5_m2_attacks"
+  "fig5_m2_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_m2_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

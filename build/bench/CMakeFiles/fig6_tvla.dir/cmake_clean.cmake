@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tvla.dir/fig6_tvla.cpp.o"
+  "CMakeFiles/fig6_tvla.dir/fig6_tvla.cpp.o.d"
+  "fig6_tvla"
+  "fig6_tvla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tvla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

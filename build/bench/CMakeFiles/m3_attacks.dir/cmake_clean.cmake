@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_attacks.dir/m3_attacks.cpp.o"
+  "CMakeFiles/m3_attacks.dir/m3_attacks.cpp.o.d"
+  "m3_attacks"
+  "m3_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

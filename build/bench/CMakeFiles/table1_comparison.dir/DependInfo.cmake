@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_comparison.cpp" "bench/CMakeFiles/table1_comparison.dir/table1_comparison.cpp.o" "gcc" "bench/CMakeFiles/table1_comparison.dir/table1_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rftc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rftc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rftc/CMakeFiles/rftc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rftc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rftc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rftc_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

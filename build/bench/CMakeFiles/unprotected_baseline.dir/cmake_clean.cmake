@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unprotected_baseline.dir/unprotected_baseline.cpp.o"
+  "CMakeFiles/unprotected_baseline.dir/unprotected_baseline.cpp.o.d"
+  "unprotected_baseline"
+  "unprotected_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unprotected_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_planning.dir/frequency_planning.cpp.o"
+  "CMakeFiles/frequency_planning.dir/frequency_planning.cpp.o.d"
+  "frequency_planning"
+  "frequency_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

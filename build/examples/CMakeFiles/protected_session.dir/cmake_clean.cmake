@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_session.dir/protected_session.cpp.o"
+  "CMakeFiles/protected_session.dir/protected_session.cpp.o.d"
+  "protected_session"
+  "protected_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

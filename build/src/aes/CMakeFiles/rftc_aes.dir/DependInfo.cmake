@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aes/aes128.cpp" "src/aes/CMakeFiles/rftc_aes.dir/aes128.cpp.o" "gcc" "src/aes/CMakeFiles/rftc_aes.dir/aes128.cpp.o.d"
+  "/root/repo/src/aes/leakage.cpp" "src/aes/CMakeFiles/rftc_aes.dir/leakage.cpp.o" "gcc" "src/aes/CMakeFiles/rftc_aes.dir/leakage.cpp.o.d"
+  "/root/repo/src/aes/modes.cpp" "src/aes/CMakeFiles/rftc_aes.dir/modes.cpp.o" "gcc" "src/aes/CMakeFiles/rftc_aes.dir/modes.cpp.o.d"
+  "/root/repo/src/aes/round_engine.cpp" "src/aes/CMakeFiles/rftc_aes.dir/round_engine.cpp.o" "gcc" "src/aes/CMakeFiles/rftc_aes.dir/round_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_aes.dir/aes128.cpp.o"
+  "CMakeFiles/rftc_aes.dir/aes128.cpp.o.d"
+  "CMakeFiles/rftc_aes.dir/leakage.cpp.o"
+  "CMakeFiles/rftc_aes.dir/leakage.cpp.o.d"
+  "CMakeFiles/rftc_aes.dir/modes.cpp.o"
+  "CMakeFiles/rftc_aes.dir/modes.cpp.o.d"
+  "CMakeFiles/rftc_aes.dir/round_engine.cpp.o"
+  "CMakeFiles/rftc_aes.dir/round_engine.cpp.o.d"
+  "librftc_aes.a"
+  "librftc_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attacks.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/attacks.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/attacks.cpp.o.d"
+  "/root/repo/src/analysis/cpa.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/cpa.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/cpa.cpp.o.d"
+  "/root/repo/src/analysis/dtw.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/dtw.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/dtw.cpp.o.d"
+  "/root/repo/src/analysis/fft.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/fft.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/fft.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/pca.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/pca.cpp.o.d"
+  "/root/repo/src/analysis/success_rate.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/success_rate.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/success_rate.cpp.o.d"
+  "/root/repo/src/analysis/tvla.cpp" "src/analysis/CMakeFiles/rftc_analysis.dir/tvla.cpp.o" "gcc" "src/analysis/CMakeFiles/rftc_analysis.dir/tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rftc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rftc_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rftc/CMakeFiles/rftc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_analysis.dir/attacks.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/attacks.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/cpa.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/cpa.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/dtw.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/dtw.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/fft.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/fft.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/pca.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/pca.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/success_rate.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/success_rate.cpp.o.d"
+  "CMakeFiles/rftc_analysis.dir/tvla.cpp.o"
+  "CMakeFiles/rftc_analysis.dir/tvla.cpp.o.d"
+  "librftc_analysis.a"
+  "librftc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clock_rand4.cpp" "src/baselines/CMakeFiles/rftc_baselines.dir/clock_rand4.cpp.o" "gcc" "src/baselines/CMakeFiles/rftc_baselines.dir/clock_rand4.cpp.o.d"
+  "/root/repo/src/baselines/ippap.cpp" "src/baselines/CMakeFiles/rftc_baselines.dir/ippap.cpp.o" "gcc" "src/baselines/CMakeFiles/rftc_baselines.dir/ippap.cpp.o.d"
+  "/root/repo/src/baselines/phase_shift.cpp" "src/baselines/CMakeFiles/rftc_baselines.dir/phase_shift.cpp.o" "gcc" "src/baselines/CMakeFiles/rftc_baselines.dir/phase_shift.cpp.o.d"
+  "/root/repo/src/baselines/rcdd.cpp" "src/baselines/CMakeFiles/rftc_baselines.dir/rcdd.cpp.o" "gcc" "src/baselines/CMakeFiles/rftc_baselines.dir/rcdd.cpp.o.d"
+  "/root/repo/src/baselines/rdi.cpp" "src/baselines/CMakeFiles/rftc_baselines.dir/rdi.cpp.o" "gcc" "src/baselines/CMakeFiles/rftc_baselines.dir/rdi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_baselines.dir/clock_rand4.cpp.o"
+  "CMakeFiles/rftc_baselines.dir/clock_rand4.cpp.o.d"
+  "CMakeFiles/rftc_baselines.dir/ippap.cpp.o"
+  "CMakeFiles/rftc_baselines.dir/ippap.cpp.o.d"
+  "CMakeFiles/rftc_baselines.dir/phase_shift.cpp.o"
+  "CMakeFiles/rftc_baselines.dir/phase_shift.cpp.o.d"
+  "CMakeFiles/rftc_baselines.dir/rcdd.cpp.o"
+  "CMakeFiles/rftc_baselines.dir/rcdd.cpp.o.d"
+  "CMakeFiles/rftc_baselines.dir/rdi.cpp.o"
+  "CMakeFiles/rftc_baselines.dir/rdi.cpp.o.d"
+  "librftc_baselines.a"
+  "librftc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocking/block_ram.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/block_ram.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/block_ram.cpp.o.d"
+  "/root/repo/src/clocking/clock_mux.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/clock_mux.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/clock_mux.cpp.o.d"
+  "/root/repo/src/clocking/drp_codec.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/drp_codec.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/drp_codec.cpp.o.d"
+  "/root/repo/src/clocking/drp_controller.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/drp_controller.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/drp_controller.cpp.o.d"
+  "/root/repo/src/clocking/mmcm_config.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/mmcm_config.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/mmcm_config.cpp.o.d"
+  "/root/repo/src/clocking/mmcm_model.cpp" "src/clocking/CMakeFiles/rftc_clocking.dir/mmcm_model.cpp.o" "gcc" "src/clocking/CMakeFiles/rftc_clocking.dir/mmcm_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

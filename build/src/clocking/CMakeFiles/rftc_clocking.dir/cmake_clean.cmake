@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_clocking.dir/block_ram.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/block_ram.cpp.o.d"
+  "CMakeFiles/rftc_clocking.dir/clock_mux.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/clock_mux.cpp.o.d"
+  "CMakeFiles/rftc_clocking.dir/drp_codec.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/drp_codec.cpp.o.d"
+  "CMakeFiles/rftc_clocking.dir/drp_controller.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/drp_controller.cpp.o.d"
+  "CMakeFiles/rftc_clocking.dir/mmcm_config.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/mmcm_config.cpp.o.d"
+  "CMakeFiles/rftc_clocking.dir/mmcm_model.cpp.o"
+  "CMakeFiles/rftc_clocking.dir/mmcm_model.cpp.o.d"
+  "librftc_clocking.a"
+  "librftc_clocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_clocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rftc_clocking.
+# This may be replaced when dependencies are built.

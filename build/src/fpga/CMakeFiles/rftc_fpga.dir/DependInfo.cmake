@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/overhead.cpp" "src/fpga/CMakeFiles/rftc_fpga.dir/overhead.cpp.o" "gcc" "src/fpga/CMakeFiles/rftc_fpga.dir/overhead.cpp.o.d"
+  "/root/repo/src/fpga/resources.cpp" "src/fpga/CMakeFiles/rftc_fpga.dir/resources.cpp.o" "gcc" "src/fpga/CMakeFiles/rftc_fpga.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_fpga.dir/overhead.cpp.o"
+  "CMakeFiles/rftc_fpga.dir/overhead.cpp.o.d"
+  "CMakeFiles/rftc_fpga.dir/resources.cpp.o"
+  "CMakeFiles/rftc_fpga.dir/resources.cpp.o.d"
+  "librftc_fpga.a"
+  "librftc_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rftc/controller.cpp" "src/rftc/CMakeFiles/rftc_core.dir/controller.cpp.o" "gcc" "src/rftc/CMakeFiles/rftc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/rftc/device.cpp" "src/rftc/CMakeFiles/rftc_core.dir/device.cpp.o" "gcc" "src/rftc/CMakeFiles/rftc_core.dir/device.cpp.o.d"
+  "/root/repo/src/rftc/frequency_planner.cpp" "src/rftc/CMakeFiles/rftc_core.dir/frequency_planner.cpp.o" "gcc" "src/rftc/CMakeFiles/rftc_core.dir/frequency_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rftc_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

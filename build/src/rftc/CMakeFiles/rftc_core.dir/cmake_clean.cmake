@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_core.dir/controller.cpp.o"
+  "CMakeFiles/rftc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/rftc_core.dir/device.cpp.o"
+  "CMakeFiles/rftc_core.dir/device.cpp.o.d"
+  "CMakeFiles/rftc_core.dir/frequency_planner.cpp.o"
+  "CMakeFiles/rftc_core.dir/frequency_planner.cpp.o.d"
+  "librftc_core.a"
+  "librftc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_sched.dir/fixed_clock.cpp.o"
+  "CMakeFiles/rftc_sched.dir/fixed_clock.cpp.o.d"
+  "CMakeFiles/rftc_sched.dir/schedule.cpp.o"
+  "CMakeFiles/rftc_sched.dir/schedule.cpp.o.d"
+  "librftc_sched.a"
+  "librftc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

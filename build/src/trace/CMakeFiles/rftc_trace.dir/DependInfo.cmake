@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/acquisition.cpp" "src/trace/CMakeFiles/rftc_trace.dir/acquisition.cpp.o" "gcc" "src/trace/CMakeFiles/rftc_trace.dir/acquisition.cpp.o.d"
+  "/root/repo/src/trace/power_model.cpp" "src/trace/CMakeFiles/rftc_trace.dir/power_model.cpp.o" "gcc" "src/trace/CMakeFiles/rftc_trace.dir/power_model.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/trace/CMakeFiles/rftc_trace.dir/trace_set.cpp.o" "gcc" "src/trace/CMakeFiles/rftc_trace.dir/trace_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rftc/CMakeFiles/rftc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rftc_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

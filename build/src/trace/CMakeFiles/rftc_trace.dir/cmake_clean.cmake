@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_trace.dir/acquisition.cpp.o"
+  "CMakeFiles/rftc_trace.dir/acquisition.cpp.o.d"
+  "CMakeFiles/rftc_trace.dir/power_model.cpp.o"
+  "CMakeFiles/rftc_trace.dir/power_model.cpp.o.d"
+  "CMakeFiles/rftc_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/rftc_trace.dir/trace_set.cpp.o.d"
+  "librftc_trace.a"
+  "librftc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftc_util.dir/histogram.cpp.o"
+  "CMakeFiles/rftc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/rftc_util.dir/io.cpp.o"
+  "CMakeFiles/rftc_util.dir/io.cpp.o.d"
+  "CMakeFiles/rftc_util.dir/rng.cpp.o"
+  "CMakeFiles/rftc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rftc_util.dir/stats.cpp.o"
+  "CMakeFiles/rftc_util.dir/stats.cpp.o.d"
+  "librftc_util.a"
+  "librftc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

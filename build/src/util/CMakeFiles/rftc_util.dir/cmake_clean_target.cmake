@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librftc_util.a"
+)

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes.cpp" "tests/CMakeFiles/rftc_tests.dir/test_aes.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_aes.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/rftc_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/rftc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_block_ram.cpp" "tests/CMakeFiles/rftc_tests.dir/test_block_ram.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_block_ram.cpp.o.d"
+  "/root/repo/tests/test_clock_mux.cpp" "tests/CMakeFiles/rftc_tests.dir/test_clock_mux.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_clock_mux.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/rftc_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_cpa.cpp" "tests/CMakeFiles/rftc_tests.dir/test_cpa.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_cpa.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/rftc_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_drp_codec.cpp" "tests/CMakeFiles/rftc_tests.dir/test_drp_codec.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_drp_codec.cpp.o.d"
+  "/root/repo/tests/test_dtw.cpp" "tests/CMakeFiles/rftc_tests.dir/test_dtw.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_dtw.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/rftc_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/rftc_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fpga.cpp" "tests/CMakeFiles/rftc_tests.dir/test_fpga.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_fpga.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/rftc_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rftc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/rftc_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_leakage.cpp" "tests/CMakeFiles/rftc_tests.dir/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_leakage.cpp.o.d"
+  "/root/repo/tests/test_mmcm_config.cpp" "tests/CMakeFiles/rftc_tests.dir/test_mmcm_config.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_mmcm_config.cpp.o.d"
+  "/root/repo/tests/test_mmcm_model.cpp" "tests/CMakeFiles/rftc_tests.dir/test_mmcm_model.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_mmcm_model.cpp.o.d"
+  "/root/repo/tests/test_modes.cpp" "tests/CMakeFiles/rftc_tests.dir/test_modes.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_modes.cpp.o.d"
+  "/root/repo/tests/test_pca.cpp" "tests/CMakeFiles/rftc_tests.dir/test_pca.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_pca.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/rftc_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/rftc_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rftc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rftc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_round_engine.cpp" "tests/CMakeFiles/rftc_tests.dir/test_round_engine.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_round_engine.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "tests/CMakeFiles/rftc_tests.dir/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rftc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_success_rate.cpp" "tests/CMakeFiles/rftc_tests.dir/test_success_rate.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_success_rate.cpp.o.d"
+  "/root/repo/tests/test_time_types.cpp" "tests/CMakeFiles/rftc_tests.dir/test_time_types.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_time_types.cpp.o.d"
+  "/root/repo/tests/test_trace_set.cpp" "tests/CMakeFiles/rftc_tests.dir/test_trace_set.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_trace_set.cpp.o.d"
+  "/root/repo/tests/test_tvla.cpp" "tests/CMakeFiles/rftc_tests.dir/test_tvla.cpp.o" "gcc" "tests/CMakeFiles/rftc_tests.dir/test_tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rftc/CMakeFiles/rftc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rftc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rftc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rftc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rftc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocking/CMakeFiles/rftc_clocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rftc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rftc_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
