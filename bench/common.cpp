@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "sched/fixed_clock.hpp"
 
 namespace rftc::bench {
@@ -72,9 +73,16 @@ analysis::CampaignFactory unprotected_factory() {
   };
 }
 
-void run_attack_suite(const std::string& label,
-                      const analysis::CampaignFactory& factory,
-                      const ScaleProfile& profile) {
+std::size_t AttackSuiteResult::resisted_count() const {
+  std::size_t n = 0;
+  for (const std::size_t b : break_points)
+    if (b == 0) ++n;
+  return n;
+}
+
+AttackSuiteResult run_attack_suite(const std::string& label,
+                                   const analysis::CampaignFactory& factory,
+                                   const ScaleProfile& profile) {
   using analysis::AttackKind;
   constexpr AttackKind kKinds[] = {AttackKind::kCpa, AttackKind::kPcaCpa,
                                    AttackKind::kDtwCpa, AttackKind::kFftCpa};
@@ -103,14 +111,18 @@ void run_attack_suite(const std::string& label,
         rate[k][i] += out.success[i] ? 1.0 : 0.0;
     }
   }
+  AttackSuiteResult result;
+  result.traces_captured = profile.sr_repeats * profile.sr_max_traces;
   for (std::size_t k = 0; k < 4; ++k) {
-    std::printf("%-10s", analysis::attack_name(kKinds[k]).c_str());
+    result.attack_names[k] = analysis::attack_name(kKinds[k]);
+    std::printf("%-10s", result.attack_names[k].c_str());
     std::size_t broke = 0;
     for (std::size_t i = 0; i < profile.sr_checkpoints.size(); ++i) {
       const double s = rate[k][i] / profile.sr_repeats;
       std::printf("%10.2f", s);
       if (broke == 0 && s >= 0.5) broke = profile.sr_checkpoints[i];
     }
+    result.break_points[k] = broke;
     if (broke != 0) {
       std::printf("   BROKEN @ %zu\n", broke);
     } else {
@@ -118,6 +130,25 @@ void run_attack_suite(const std::string& label,
     }
     std::fflush(stdout);
   }
+  return result;
+}
+
+void record_suite(obs::BenchReport& report, const std::string& label,
+                  const AttackSuiteResult& result) {
+  for (std::size_t k = 0; k < 4; ++k) {
+    report.metric(label + "." + result.attack_names[k] + "_break",
+                  static_cast<double>(result.break_points[k]), "traces");
+  }
+  report.metric(label + ".resisted",
+                static_cast<double>(result.resisted_count()), "attacks");
+}
+
+void finish_capture_bench(obs::BenchReport& report) {
+  const double captured = static_cast<double>(
+      obs::Registry::global().counter("trace.traces_captured").value());
+  report.metric("traces_captured", captured, "traces");
+  report.throughput(captured / report.elapsed_seconds(), "traces/s");
+  report.write();
 }
 
 void print_rule(std::size_t width) {

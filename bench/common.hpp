@@ -8,6 +8,7 @@
 // RFTC_SCALE=full for a longer run (~10x the fast profile).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "aes/aes128.hpp"
 #include "analysis/attacks.hpp"
 #include "analysis/success_rate.hpp"
+#include "obs/bench_report.hpp"
 #include "rftc/device.hpp"
 #include "trace/acquisition.hpp"
 
@@ -50,11 +52,32 @@ analysis::CampaignFactory rftc_factory(int m, int p);
 /// Campaign factory for the unprotected fixed-clock reference.
 analysis::CampaignFactory unprotected_factory();
 
+/// Outcome of one four-attack suite, for machine-readable reporting.
+struct AttackSuiteResult {
+  /// CPA, PCA-CPA, DTW-CPA, FFT-CPA (in that order).
+  std::array<std::string, 4> attack_names;
+  /// Smallest checkpoint where the majority of repeats recovered the key;
+  /// 0 = resisted the full budget.
+  std::array<std::size_t, 4> break_points{};
+  /// Traces captured across all repeats of the suite.
+  std::size_t traces_captured = 0;
+  std::size_t resisted_count() const;
+};
+
 /// Runs the four attacks of the paper against one campaign factory and
 /// prints the success-rate series (one row per checkpoint).
-void run_attack_suite(const std::string& label,
-                      const analysis::CampaignFactory& factory,
-                      const ScaleProfile& profile);
+AttackSuiteResult run_attack_suite(const std::string& label,
+                                   const analysis::CampaignFactory& factory,
+                                   const ScaleProfile& profile);
+
+/// Records a suite outcome into `report` as "<label>.<attack>_break"
+/// metrics (unit "traces", 0 = resisted) plus a "<label>.resisted" count.
+void record_suite(obs::BenchReport& report, const std::string& label,
+                  const AttackSuiteResult& result);
+
+/// Finishes a bench that captured traces: sets throughput from the global
+/// "trace.traces_captured" counter and writes BENCH_<name>.json.
+void finish_capture_bench(obs::BenchReport& report);
 
 /// Markdown-ish table row helpers.
 void print_rule(std::size_t width = 78);

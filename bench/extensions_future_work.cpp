@@ -16,9 +16,10 @@ namespace {
 
 using namespace rftc;
 
-void sw_cpa_suite(const std::string& label,
-                  const analysis::CampaignFactory& factory,
-                  const bench::ScaleProfile& profile) {
+/// Returns the first checkpoint where SW-CPA recovered the key (0 = never).
+std::size_t sw_cpa_suite(const std::string& label,
+                         const analysis::CampaignFactory& factory,
+                         const bench::ScaleProfile& profile) {
   const aes::Block rk10 = bench::evaluation_round10_key();
   std::printf("%-18s", label.c_str());
   const trace::TraceSet set = factory(0, profile.sr_max_traces);
@@ -35,19 +36,36 @@ void sw_cpa_suite(const std::string& label,
     std::printf("   not broken (mean rank %.1f)\n", out.mean_rank.back());
   }
   std::fflush(stdout);
+  return out.first_success();
 }
 
 }  // namespace
 
 int main() {
+  obs::BenchReport report("extensions_future_work");
   const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
   bench::print_header("Extensions — §8 future work, profile " + profile.name);
 
   std::printf("\n[1] Sliding-Window CPA [8] (checkpoint:success)\n");
-  sw_cpa_suite("Unprotected", bench::unprotected_factory(), profile);
-  sw_cpa_suite("RFTC(1, 4)", bench::rftc_factory(1, 4), profile);
-  sw_cpa_suite("RFTC(1, 1024)", bench::rftc_factory(1, 1024), profile);
-  sw_cpa_suite("RFTC(3, 1024)", bench::rftc_factory(3, 1024), profile);
+  report.metric(
+      "swcpa.unprotected_break",
+      static_cast<double>(
+          sw_cpa_suite("Unprotected", bench::unprotected_factory(), profile)),
+      "traces");
+  report.metric(
+      "swcpa.rftc_1_4_break",
+      static_cast<double>(
+          sw_cpa_suite("RFTC(1, 4)", bench::rftc_factory(1, 4), profile)),
+      "traces");
+  report.metric("swcpa.rftc_1_1024_break",
+                static_cast<double>(sw_cpa_suite(
+                    "RFTC(1, 1024)", bench::rftc_factory(1, 1024), profile)),
+                "traces");
+  report.metric("swcpa.rftc_3_1024_break",
+                static_cast<double>(sw_cpa_suite(
+                    "RFTC(3, 1024)", bench::rftc_factory(3, 1024), profile)),
+                "traces");
 
   std::printf("\n[2] RFTC on an Altera/Intel IOPLL (§8 portability)\n");
   core::PlannerParams pp;
@@ -77,5 +95,9 @@ int main() {
                       cap.fixed.ciphertext(0)
                   ? "yes"
                   : "NO");
+  report.metric("iopll.tvla_max_abs_t", tv.max_abs_t, "|t|");
+  report.metric("iopll.distinct_frequencies",
+                static_cast<double>(plan.distinct_frequencies()));
+  bench::finish_capture_bench(report);
   return 0;
 }

@@ -53,11 +53,14 @@ void print_report(const char* label, const HistReport& rep) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("fig3_completion_times");
   const bench::ScaleProfile profile = bench::scale_profile();
   // The planner at P=1024 is a one-time design step; the fast profile uses
   // P=256 to keep the bench snappy (the histogram structure is identical).
   const int p = profile.name == "full" ? 1024 : 256;
   const std::size_t n = profile.histogram_encryptions;
+  report.note("profile", profile.name);
+  report.metric("p_configs", p);
   bench::print_header("Fig. 3 — completion-time histograms (" +
                       std::to_string(n) + " encryptions, P=" +
                       std::to_string(p) + ")");
@@ -118,5 +121,20 @@ int main() {
               static_cast<double>(c.binned.max_count()) *
                   static_cast<double>(c.binned.occupied_bins()) /
                   static_cast<double>(c.binned.total()));
+
+  report.metric("unprotected.distinct_completions",
+                static_cast<double>(a.exact.distinct()));
+  report.metric("naive.max_identical",
+                static_cast<double>(b.exact.max_multiplicity()));
+  report.metric("careful.distinct_completions",
+                static_cast<double>(c.exact.distinct()));
+  report.metric("careful.max_identical",
+                static_cast<double>(c.exact.max_multiplicity()));
+  report.metric("careful.plan_completion_times",
+                static_cast<double>(plan.total_completion_times()),
+                "paper: 67,584 at P=1024");
+  report.throughput(static_cast<double>(3 * n) / report.elapsed_seconds(),
+                    "encryptions/s");
+  report.write();
   return 0;
 }

@@ -11,16 +11,21 @@
 
 int main() {
   using namespace rftc;
+  obs::BenchReport report("fig4_m1_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
   bench::print_header("Fig. 4 — attacks on RFTC(1, P), profile " +
                       profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {
-    bench::run_attack_suite("RFTC(1, " + std::to_string(p) + ")",
-                            bench::rftc_factory(1, p), profile);
+    const bench::AttackSuiteResult r =
+        bench::run_attack_suite("RFTC(1, " + std::to_string(p) + ")",
+                                bench::rftc_factory(1, p), profile);
+    bench::record_suite(report, "rftc_1_" + std::to_string(p), r);
   }
   std::printf(
       "\nExpected ordering (paper): security increases with P; DTW-CPA is "
       "the strongest preprocessing, breaking up to P=256; P=1024 resists "
       "all four attacks.\n");
+  bench::finish_capture_bench(report);
   return 0;
 }

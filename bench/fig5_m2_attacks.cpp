@@ -9,15 +9,20 @@
 
 int main() {
   using namespace rftc;
+  obs::BenchReport report("fig5_m2_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
   bench::print_header("Fig. 5 — attacks on RFTC(2, P), profile " +
                       profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {
-    bench::run_attack_suite("RFTC(2, " + std::to_string(p) + ")",
-                            bench::rftc_factory(2, p), profile);
+    const bench::AttackSuiteResult r =
+        bench::run_attack_suite("RFTC(2, " + std::to_string(p) + ")",
+                                bench::rftc_factory(2, p), profile);
+    bench::record_suite(report, "rftc_2_" + std::to_string(p), r);
   }
   std::printf(
       "\nExpected ordering (paper): only DTW-CPA succeeds, and only for "
       "small P (4, 16).\n");
+  bench::finish_capture_bench(report);
   return 0;
 }

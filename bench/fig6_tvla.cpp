@@ -34,8 +34,8 @@ analysis::TvlaResult tvla_for_encryptor(const trace::Encryptor& enc,
   return analysis::run_tvla(cap);
 }
 
-void report(const std::string& label, const analysis::TvlaResult& res,
-            std::size_t load_region_end) {
+void report_line(const std::string& label, const analysis::TvlaResult& res,
+                 std::size_t load_region_end) {
   double max_load = 0.0, max_crypto = 0.0;
   std::size_t leaks_crypto = 0;
   for (std::size_t s = 0; s < res.t_values.size(); ++s) {
@@ -60,8 +60,11 @@ void report(const std::string& label, const analysis::TvlaResult& res,
 }  // namespace
 
 int main() {
+  obs::BenchReport report("fig6_tvla");
   const bench::ScaleProfile profile = bench::scale_profile();
   const std::size_t n = profile.tvla_traces;
+  report.note("profile", profile.name);
+  report.metric("traces_per_population", static_cast<double>(n), "traces");
   bench::print_header("Fig. 6 — TVLA, " + std::to_string(n) +
                       " traces per population, profile " + profile.name);
 
@@ -74,7 +77,8 @@ int main() {
       key, std::make_unique<sched::FixedClockScheduler>(48.0));
   const auto res_u = tvla_for_encryptor(
       [&](const aes::Block& pt) { return unprot.encrypt(pt); }, n, 900);
-  report("Unprotected @ 48 MHz", res_u, load_region);
+  report_line("Unprotected @ 48 MHz", res_u, load_region);
+  report.metric("unprotected.max_abs_t", res_u.max_abs_t, "|t|");
 
   std::vector<std::vector<double>> curves;
   for (const int m : {1, 2, 3}) {
@@ -84,8 +88,12 @@ int main() {
       const auto res = tvla_for_encryptor(
           [&](const aes::Block& pt) { return dev.encrypt(pt); }, n,
           1'000 + static_cast<std::uint64_t>(m * 100 + p));
-      report("RFTC(" + std::to_string(m) + ", " + std::to_string(p) + ")",
-             res, load_region);
+      report_line("RFTC(" + std::to_string(m) + ", " + std::to_string(p) +
+                      ")",
+                  res, load_region);
+      report.metric("rftc_" + std::to_string(m) + "_" + std::to_string(p) +
+                        ".max_abs_t",
+                    res.max_abs_t, "|t|");
       if (p == 1024) curves.push_back(res.t_values);
     }
   }
@@ -97,5 +105,6 @@ int main() {
   std::printf(
       "\nExpected (paper): M=1 leaks heavily for both P; M=2 around the "
       "±4.5 limit; M=3 within ±4.5 except the plaintext-load region.\n");
+  bench::finish_capture_bench(report);
   return 0;
 }

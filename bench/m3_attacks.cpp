@@ -8,13 +8,18 @@
 
 int main() {
   using namespace rftc;
+  obs::BenchReport report("m3_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
   bench::print_header("§7 — attacks on RFTC(3, P) (paper: secure to 4M "
                       "traces), profile " + profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {
-    bench::run_attack_suite("RFTC(3, " + std::to_string(p) + ")",
-                            bench::rftc_factory(3, p), profile);
+    const bench::AttackSuiteResult r =
+        bench::run_attack_suite("RFTC(3, " + std::to_string(p) + ")",
+                                bench::rftc_factory(3, p), profile);
+    bench::record_suite(report, "rftc_3_" + std::to_string(p), r);
   }
   std::printf("\nExpected (paper): no attack succeeds for any P at M=3.\n");
+  bench::finish_capture_bench(report);
   return 0;
 }

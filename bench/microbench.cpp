@@ -1,8 +1,11 @@
 // Kernel microbenchmarks (google-benchmark): the hot paths of the
-// simulation and attack pipeline.
+// simulation and attack pipeline.  Results go to the console as usual and
+// to BENCH_microbench.json for machine consumption (see
+// docs/OBSERVABILITY.md).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "aes/leakage.hpp"
 #include "aes/round_engine.hpp"
@@ -131,6 +134,44 @@ void BM_PlanFrequencies(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanFrequencies)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
+/// Console output plus per-benchmark metrics captured into the bench
+/// report.  BM_TraceSimulate doubles as the headline throughput: one
+/// iteration is one full encrypt + trace synthesis, i.e. one trace.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  // Tabular but uncolored: the default OO_Color writes ANSI escapes even
+  // into pipes, which breaks downstream grep/CI log parsing.
+  explicit CaptureReporter(obs::BenchReport& report)
+      : ConsoleReporter(OO_Tabular), report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      report_.metric(name, run.GetAdjustedRealTime(),
+                     benchmark::GetTimeUnitString(run.time_unit));
+      if (name == "BM_TraceSimulate" && run.iterations > 0) {
+        report_.throughput(static_cast<double>(run.iterations) /
+                               run.real_accumulated_time,
+                           "traces/s");
+      }
+    }
+  }
+
+ private:
+  obs::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rftc::obs::BenchReport report("microbench");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

@@ -5,6 +5,7 @@
 // Columns: # distinct delays/completion times, security parameter
 // (Eq. 1: traces survived / traces to break unprotected), CPA and DTW-CPA
 // resistance, and time/power/area overheads from the FPGA model.
+#include <cctype>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -74,7 +75,9 @@ std::size_t break_point(const analysis::CampaignFactory& factory,
 }  // namespace
 
 int main() {
+  obs::BenchReport report("table1_comparison");
   const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
   bench::print_header("Table 1 — RFTC vs related work, profile " +
                       profile.name);
   const std::size_t hist_n = profile.name == "full" ? 200'000 : 50'000;
@@ -193,6 +196,25 @@ int main() {
                 c.paper_delays.c_str(), c.paper_secparam.c_str(), "-", "-",
                 c.paper_time.c_str(), c.paper_power.c_str(),
                 c.paper_area.c_str());
+
+    // One metric block per design, keyed by a lowercased short name.
+    std::string key;
+    for (const char ch : c.name) {
+      if (ch == ' ' || ch == '[') break;
+      key += (ch == '(' || ch == ',' || ch == ')')
+                 ? '_'
+                 : static_cast<char>(std::tolower(ch));
+    }
+    while (!key.empty() && key.back() == '_') key.pop_back();
+    report.metric(key + ".distinct_delays", static_cast<double>(delays));
+    report.metric(key + ".sec_param", sec_param);
+    report.metric(key + ".cpa_break", static_cast<double>(cpa_break),
+                  "traces");
+    report.metric(key + ".dtw_break", static_cast<double>(dtw_break),
+                  "traces");
+    report.metric(key + ".time_overhead", rep.time_overhead, "x");
+    report.metric(key + ".power_overhead", rep.power_overhead, "x");
+    report.metric(key + ".area_overhead", rep.area_overhead, "x");
   }
   std::printf(
       "\nSecParam = survived traces / unprotected CPA break point (%zu "
@@ -201,5 +223,8 @@ int main() {
       unprot_break, profile.sr_max_traces);
   std::printf("RFTC RAMB36 count: %u (paper: 20 at P=1024)\n",
               store.ramb36_count());
+  report.metric("rftc.ramb36", static_cast<double>(store.ramb36_count()),
+                "paper: 20 at P=1024");
+  bench::finish_capture_bench(report);
   return 0;
 }

@@ -9,15 +9,19 @@
 
 int main() {
   using namespace rftc;
+  obs::BenchReport report("unprotected_baseline");
   bench::ScaleProfile profile = bench::scale_profile();
   // The unprotected core breaks quickly: finer checkpoints at the low end.
   profile.sr_checkpoints = {50, 100, 200, 400, 800, 1'600, 3'200};
+  report.note("profile", profile.name);
   bench::print_header("§7 — unprotected AES baseline, profile " +
                       profile.name);
-  bench::run_attack_suite("Unprotected AES @ 48 MHz",
-                          bench::unprotected_factory(), profile);
+  const bench::AttackSuiteResult r = bench::run_attack_suite(
+      "Unprotected AES @ 48 MHz", bench::unprotected_factory(), profile);
+  bench::record_suite(report, "unprotected", r);
   std::printf(
       "\nExpected (paper, unscaled): ~2,000 traces for CPA/PCA-CPA/DTW-CPA; "
       "~8,000 for FFT-CPA.\n");
+  bench::finish_capture_bench(report);
   return 0;
 }

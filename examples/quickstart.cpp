@@ -42,9 +42,10 @@ int main() {
   // 4. Peek at the runtime machinery.
   const auto& stats = device.controller().stats();
   std::printf("\nController stats: %llu encryptions, %llu MMCM "
-              "reconfigurations, last reconfig %.1f us\n",
-              static_cast<unsigned long long>(stats.encryptions),
-              static_cast<unsigned long long>(stats.reconfigurations),
-              to_us(stats.last_reconfig_duration_ps));
+              "reconfigurations, last reconfig %.1f us (mean %.1f us)\n",
+              static_cast<unsigned long long>(stats.encryptions()),
+              static_cast<unsigned long long>(stats.reconfigurations()),
+              to_us(stats.last_reconfig_duration_ps()),
+              stats.mean_reconfig_duration_ps() / 1e6);
   return 0;
 }

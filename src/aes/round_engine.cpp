@@ -1,5 +1,7 @@
 #include "aes/round_engine.hpp"
 
+#include "obs/obs.hpp"
+
 namespace rftc::aes {
 
 EncryptionActivity::EncryptionActivity(const Block& plaintext,
@@ -53,8 +55,18 @@ EncryptionActivity::EncryptionActivity(const Block& plaintext,
 RoundEngine::RoundEngine(const Key& key) : ks_(expand_key(key)) {}
 
 EncryptionActivity RoundEngine::encrypt(const Block& plaintext) {
+  RFTC_OBS_SPAN(span, "aes", "aes.encrypt");
+  static obs::Counter& encryptions =
+      obs::Registry::global().counter("aes.encryptions");
   EncryptionActivity act(plaintext, ks_, reg_);
   reg_ = act.ciphertext();
+  encryptions.inc();
+  if (span.active()) {
+    int total_hd = 0;
+    for (const CycleActivity& c : act.cycles()) total_hd += c.state_hd;
+    span.arg("rounds", kRounds);
+    span.arg("state_hd_total", total_hd);
+  }
   return act;
 }
 

@@ -62,6 +62,10 @@ struct AttackOutcome {
   std::vector<bool> success;
   /// Mean rank of the correct byte values per checkpoint (1 = broken).
   std::vector<double> mean_rank;
+  /// Highest best-guess |correlation| across attacked bytes per checkpoint
+  /// — the convergence signal of the CPA distinguisher (also emitted as
+  /// "cpa.checkpoint" trace events, see docs/OBSERVABILITY.md).
+  std::vector<double> peak_corr;
   /// Smallest checkpoint with success, or 0 when never successful.
   std::size_t first_success() const;
 };

@@ -1,31 +1,69 @@
 #include "analysis/tvla.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace rftc::analysis {
 
+namespace {
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+void copy_trace(const trace::TraceSet& set, std::size_t i,
+                std::vector<double>& buf) {
+  const auto t = set.trace(i);
+  for (std::size_t s = 0; s < buf.size(); ++s)
+    buf[s] = static_cast<double>(t[s]);
+}
+
+}  // namespace
+
 TvlaResult run_tvla(const trace::TvlaCapture& capture) {
   if (capture.fixed.samples() != capture.random.samples())
     throw std::invalid_argument("run_tvla: sample count mismatch");
+  RFTC_OBS_SPAN(span, "analysis", "run_tvla");
   WelchTTest test(capture.fixed.samples());
   std::vector<double> buf(capture.fixed.samples());
-  for (std::size_t i = 0; i < capture.fixed.size(); ++i) {
-    const auto t = capture.fixed.trace(i);
-    for (std::size_t s = 0; s < buf.size(); ++s)
-      buf[s] = static_cast<double>(t[s]);
+  TvlaResult res;
+
+  // Accumulate the populations pairwise so the t-statistic is meaningful at
+  // intermediate counts; checkpoint at every doubling from 128 pairs.  The
+  // Welch statistic is order-independent, so the final t_values are
+  // identical to the old fixed-then-random accumulation.
+  const std::size_t paired =
+      std::min(capture.fixed.size(), capture.random.size());
+  std::size_t next_checkpoint = 128;
+  for (std::size_t i = 0; i < paired; ++i) {
+    copy_trace(capture.fixed, i, buf);
+    test.add_fixed(buf);
+    copy_trace(capture.random, i, buf);
+    test.add_random(buf);
+    if (i + 1 == next_checkpoint && i + 1 < paired) {
+      const double t_now = max_abs(test.t_values());
+      res.convergence.emplace_back(i + 1, t_now);
+      RFTC_OBS_INSTANT("analysis", "tvla.checkpoint",
+                       {"traces_per_population", static_cast<double>(i + 1)},
+                       {"max_abs_t", t_now});
+      next_checkpoint *= 2;
+    }
+  }
+  for (std::size_t i = paired; i < capture.fixed.size(); ++i) {
+    copy_trace(capture.fixed, i, buf);
     test.add_fixed(buf);
   }
-  for (std::size_t i = 0; i < capture.random.size(); ++i) {
-    const auto t = capture.random.trace(i);
-    for (std::size_t s = 0; s < buf.size(); ++s)
-      buf[s] = static_cast<double>(t[s]);
+  for (std::size_t i = paired; i < capture.random.size(); ++i) {
+    copy_trace(capture.random, i, buf);
     test.add_random(buf);
   }
 
-  TvlaResult res;
   res.t_values = test.t_values();
   for (std::size_t s = 0; s < res.t_values.size(); ++s) {
     const double a = std::fabs(res.t_values[s]);
@@ -35,6 +73,17 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture) {
     }
     if (a > kTvlaThreshold) ++res.leaking_samples;
   }
+  res.convergence.emplace_back(capture.fixed.size(), res.max_abs_t);
+  RFTC_OBS_INSTANT(
+      "analysis", "tvla.checkpoint",
+      {"traces_per_population", static_cast<double>(capture.fixed.size())},
+      {"max_abs_t", res.max_abs_t});
+  static obs::Gauge& last_t =
+      obs::Registry::global().gauge("analysis.tvla.last_max_abs_t");
+  last_t.set(res.max_abs_t);
+
+  span.arg("traces_per_population", static_cast<double>(capture.fixed.size()));
+  span.arg("max_abs_t", res.max_abs_t);
   return res;
 }
 

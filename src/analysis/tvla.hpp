@@ -3,6 +3,8 @@
 // indistinguishable when |t| stays below it) — Fig. 6 of the paper.
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "trace/acquisition.hpp"
@@ -19,6 +21,12 @@ struct TvlaResult {
   bool passes() const { return max_abs_t < kTvlaThreshold; }
   /// Index of the worst sample.
   std::size_t worst_sample = 0;
+  /// Convergence trajectory: (traces per population, max |t|) sampled at
+  /// doubling trace counts while the two populations are accumulated
+  /// interleaved, plus the final count — how the t-statistic approaches its
+  /// asymptote as the adversary budget grows (also emitted as
+  /// "tvla.checkpoint" trace events).
+  std::vector<std::pair<std::size_t, double>> convergence;
 };
 
 TvlaResult run_tvla(const trace::TvlaCapture& capture);

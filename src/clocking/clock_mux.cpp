@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rftc::clk {
 
 Picoseconds switch_latency(Picoseconds from_ps, Picoseconds to_ps,
@@ -44,12 +46,18 @@ MuxedClock::MuxedClock(std::vector<Picoseconds> source_periods,
 Picoseconds MuxedClock::advance(int sel) {
   if (sel < 0 || static_cast<std::size_t>(sel) >= periods_.size())
     throw std::out_of_range("MuxedClock::advance: bad select");
-  if (model_overhead_ && !first_ && sel != sel_) {
-    // All sources free-run from t=0, so each clock's phase at `now_` is
-    // simply now_ mod period.
-    const Picoseconds from = periods_[static_cast<std::size_t>(sel_)];
-    const Picoseconds to = periods_[static_cast<std::size_t>(sel)];
-    now_ += switch_latency(from, to, now_ % from, now_ % to);
+  if (!first_ && sel != sel_) {
+    static obs::Counter& switches =
+        obs::Registry::global().counter("clk.mux.switches");
+    switches.inc();
+    RFTC_OBS_INSTANT("clk", "mux.switch", {"sel", static_cast<double>(sel)});
+    if (model_overhead_) {
+      // All sources free-run from t=0, so each clock's phase at `now_` is
+      // simply now_ mod period.
+      const Picoseconds from = periods_[static_cast<std::size_t>(sel_)];
+      const Picoseconds to = periods_[static_cast<std::size_t>(sel)];
+      now_ += switch_latency(from, to, now_ % from, now_ % to);
+    }
   }
   sel_ = sel;
   first_ = false;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rftc::clk {
 
 DrpController::DrpController(double dclk_mhz)
@@ -20,6 +22,12 @@ ReconfigReport DrpController::reconfigure(MmcmModel& mmcm,
 ReconfigReport DrpController::apply(MmcmModel& mmcm,
                                     std::span<const DrpWrite> writes,
                                     Picoseconds start) {
+  RFTC_OBS_SPAN(span, "clk", "drp.apply");
+  static obs::Counter& write_count =
+      obs::Registry::global().counter("clk.drp.register_writes");
+  static obs::Counter& sequences =
+      obs::Registry::global().counter("clk.drp.sequences");
+
   ReconfigReport rep;
   rep.started = start;
   std::uint64_t cycles = kDrpRestartCycles;
@@ -42,6 +50,12 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
   mmcm.release_reset(rep.writes_done);
   rep.locked = mmcm.locked_at();
   rep.dclk_cycles = cycles;
+
+  sequences.inc();
+  write_count.inc(rep.drp_transactions);
+  span.arg("writes", rep.drp_transactions);
+  span.arg("dclk_cycles", static_cast<double>(cycles));
+  span.arg("sim_duration_us", to_us(rep.locked - rep.started));
   return rep;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rftc::clk {
 
 MmcmModel::MmcmModel(MmcmConfig initial, MmcmLimits limits)
@@ -36,8 +38,22 @@ void MmcmModel::release_reset(Picoseconds now) {
   if (!in_reset_) return;
   in_reset_ = false;
   active_ = staged_config();
-  locked_at_ = now + static_cast<Picoseconds>(lock_cycles(active_)) *
-                         period_ps_from_mhz(active_.fin_mhz);
+  const Picoseconds lock_wait =
+      static_cast<Picoseconds>(lock_cycles(active_)) *
+      period_ps_from_mhz(active_.fin_mhz);
+  locked_at_ = now + lock_wait;
+
+  // Lock timing is the dominant term of the 34 us reconfiguration figure
+  // (paper §5); track its distribution across every relock in the process.
+  static obs::Counter& relocks =
+      obs::Registry::global().counter("clk.mmcm.relocks");
+  static obs::Histogram& lock_ps =
+      obs::Registry::global().histogram("clk.mmcm.lock_time_ps");
+  relocks.inc();
+  lock_ps.observe(static_cast<double>(lock_wait));
+  RFTC_OBS_INSTANT("clk", "mmcm.locked", {"lock_us", to_us(lock_wait)},
+                   {"vco_mhz", active_.fin_mhz * active_.mult_8ths / 8.0 /
+                                   active_.divclk});
 }
 
 MmcmConfig MmcmModel::staged_config() const {

@@ -1,0 +1,82 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace rftc::obs {
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  // Benches are the primary profiling targets: make sure the RFTC_OBS_*
+  // sinks are armed even if no instrumented code ran yet.
+  init_from_env();
+}
+
+void BenchReport::throughput(double value, std::string unit) {
+  throughput_value_ = value;
+  throughput_unit_ = std::move(unit);
+}
+
+void BenchReport::metric(const std::string& key, double value,
+                         std::string unit) {
+  metrics_.emplace_back(key, std::make_pair(value, std::move(unit)));
+}
+
+void BenchReport::note(const std::string& key, std::string value) {
+  notes_.emplace_back(key, std::move(value));
+}
+
+double BenchReport::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"name\": " + json::quote(name_) + ",\n";
+  out += "  \"wall_seconds\": " + json::number(elapsed_seconds()) + ",\n";
+  out += "  \"throughput\": {\"value\": " + json::number(throughput_value_) +
+         ", \"unit\": " + json::quote(throughput_unit_) + "},\n";
+  out += "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    " + json::quote(metrics_[i].first) +
+           ": {\"value\": " + json::number(metrics_[i].second.first) +
+           ", \"unit\": " + json::quote(metrics_[i].second.second) + "}";
+  }
+  out += metrics_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    " + json::quote(notes_[i].first) + ": " +
+           json::quote(notes_[i].second);
+  }
+  out += notes_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::write() const {
+  const char* dir = std::getenv("RFTC_BENCH_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string body = to_json();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("\n[bench-report] wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace rftc::obs

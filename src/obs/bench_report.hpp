@@ -1,0 +1,57 @@
+// Machine-readable bench results: every bench/ binary writes a
+// BENCH_<name>.json next to its human-readable output so the performance
+// trajectory can be tracked across commits.
+//
+// Schema (schema_version 1, validated by the CI smoke job):
+//   {
+//     "schema_version": 1,
+//     "name": "<bench name>",
+//     "wall_seconds": <double>,               // whole-process wall time
+//     "throughput": {"value": <double>, "unit": "<string>"},
+//     "metrics": {"<key>": {"value": <double>, "unit": "<string>"}, ...},
+//     "notes": {"<key>": "<string>", ...}     // e.g. scale profile
+//   }
+//
+// The output directory defaults to the working directory; set
+// RFTC_BENCH_DIR to redirect.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rftc::obs {
+
+class BenchReport {
+ public:
+  /// Starts the wall clock.  `name` becomes BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+
+  /// Headline rate of the bench (typically traces or encryptions per
+  /// second).  Last call wins.
+  void throughput(double value, std::string unit);
+
+  /// Named result (a reproduced paper figure, a convergence point, ...).
+  void metric(const std::string& key, double value, std::string unit = "");
+
+  /// Free-form string annotation (scale profile, configuration, ...).
+  void note(const std::string& key, std::string value);
+
+  double elapsed_seconds() const;
+
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json; returns the path ("" on I/O failure).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double throughput_value_ = 0.0;
+  std::string throughput_unit_ = "items/s";
+  std::vector<std::pair<std::string, std::pair<double, std::string>>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace rftc::obs

@@ -1,0 +1,77 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace rftc::obs {
+
+namespace {
+
+struct SinkConfig {
+  std::string trace_path;
+  std::string jsonl_path;
+  std::string metrics_dest;
+  bool any() const {
+    return !trace_path.empty() || !jsonl_path.empty() ||
+           !metrics_dest.empty();
+  }
+};
+
+SinkConfig& sinks() {
+  static SinkConfig* c = new SinkConfig;
+  return *c;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "rftc::obs: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+std::once_flag g_init_once;
+
+void init_impl() {
+  SinkConfig& c = sinks();
+  if (const char* p = std::getenv("RFTC_OBS_TRACE")) c.trace_path = p;
+  if (const char* p = std::getenv("RFTC_OBS_TRACE_JSONL")) c.jsonl_path = p;
+  if (const char* p = std::getenv("RFTC_OBS_METRICS")) c.metrics_dest = p;
+  if (!c.trace_path.empty() || !c.jsonl_path.empty())
+    Tracer::global().set_enabled(true);
+  if (c.any()) std::atexit([] { flush(); });
+}
+
+}  // namespace
+
+void init_from_env() { std::call_once(g_init_once, init_impl); }
+
+bool trace_enabled() {
+  init_from_env();
+  return Tracer::global().enabled();
+}
+
+void flush() {
+  init_from_env();
+  const SinkConfig& c = sinks();
+  if (!c.trace_path.empty())
+    write_file(c.trace_path, Tracer::global().chrome_json());
+  if (!c.jsonl_path.empty()) write_file(c.jsonl_path, Tracer::global().jsonl());
+  if (!c.metrics_dest.empty()) {
+    if (c.metrics_dest == "stderr") {
+      Registry::global().write_text(stderr);
+    } else if (c.metrics_dest == "stdout") {
+      Registry::global().write_text(stdout);
+    } else {
+      write_file(c.metrics_dest, Registry::global().to_json() + "\n");
+    }
+  }
+}
+
+}  // namespace rftc::obs

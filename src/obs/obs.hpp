@@ -1,0 +1,34 @@
+// rftc::obs — umbrella header and environment wiring for the observability
+// layer (metrics registry + event tracer + sinks).
+//
+// Environment variables (read once, on first use or via init_from_env()):
+//   RFTC_OBS_TRACE=<path>           enable tracing; write Chrome trace_event
+//                                   JSON to <path> at exit / flush()
+//   RFTC_OBS_TRACE_JSONL=<path>     enable tracing; write JSON-lines
+//   RFTC_OBS_TRACE_CAPACITY=<n>     per-thread ring capacity in events
+//   RFTC_OBS_METRICS=stderr|<path>  dump the metric registry at exit:
+//                                   human-readable to stderr, JSON to <path>
+//
+// See docs/OBSERVABILITY.md for the metric catalogue and span names.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+
+namespace rftc::obs {
+
+/// Reads the RFTC_OBS_* environment once, enables the tracer if a trace
+/// sink is configured, and registers an atexit flush.  Idempotent and
+/// thread-safe; called lazily by trace_enabled(), so binaries need no
+/// explicit setup.
+void init_from_env();
+
+/// Fast query used by every instrumentation site: is event tracing on?
+/// First call performs the env initialisation.
+bool trace_enabled();
+
+/// Writes all configured sinks now (also runs automatically at exit).
+/// Useful before abnormal termination or between bench phases.
+void flush();
+
+}  // namespace rftc::obs

@@ -1,0 +1,208 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace rftc::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::size_t kDefaultRingCapacity = 1 << 16;  // events per thread
+
+}  // namespace
+
+Tracer::Tracer() : capacity_(kDefaultRingCapacity), epoch_ns_(steady_now_ns()) {
+  if (const char* env = std::getenv("RFTC_OBS_TRACE_CAPACITY")) {
+    const long v = std::atol(env);
+    if (v > 0) capacity_.store(static_cast<std::size_t>(v));
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer;  // leaked: usable from atexit handlers
+  return *t;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+Tracer::ThreadBuffer::ThreadBuffer(std::size_t capacity, std::uint32_t tid_in)
+    : ring(capacity), tid(tid_in) {}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* tl = nullptr;
+  if (tl == nullptr) {
+    std::lock_guard lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        std::max<std::size_t>(capacity_.load(), 16), next_tid_++));
+    tl = buffers_.back().get();
+  }
+  return *tl;
+}
+
+void Tracer::record(TraceEvent ev) {
+  ThreadBuffer& b = local_buffer();
+  ev.tid = b.tid;
+  const std::uint64_t w = b.written.load(std::memory_order_relaxed);
+  b.ring[static_cast<std::size_t>(w % b.ring.size())] = ev;
+  b.written.store(w + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* cat, const char* name, TraceArg a,
+                     TraceArg b, TraceArg c) {
+  // trace_enabled() (not enabled()) so the first instant in a process still
+  // arms the RFTC_OBS_* env sinks.
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.ts_ns = now_ns();
+  for (const TraceArg& arg : {a, b, c})
+    if (arg.key != nullptr) ev.args[ev.n_args++] = arg;
+  record(ev);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& b : buffers_) {
+      const std::uint64_t written = b->written.load(std::memory_order_acquire);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(written, b->ring.size());
+      for (std::uint64_t i = written - n; i < written; ++i)
+        out.push_back(b->ring[static_cast<std::size_t>(i % b->ring.size())]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_)
+    total += b->written.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) {
+    const std::uint64_t written = b->written.load(std::memory_order_relaxed);
+    if (written > b->ring.size()) total += written - b->ring.size();
+  }
+  return total;
+}
+
+namespace {
+
+void append_event_json(std::string& out, const TraceEvent& ev) {
+  out += "{\"name\":";
+  out += json::quote(ev.name != nullptr ? ev.name : "?");
+  out += ",\"cat\":";
+  out += json::quote(ev.cat != nullptr ? ev.cat : "rftc");
+  out += ",\"ph\":\"";
+  out += ev.phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(ev.tid);
+  // Chrome timestamps are microseconds; keep ns precision as a fraction.
+  out += ",\"ts\":";
+  out += json::number(static_cast<double>(ev.ts_ns) / 1e3);
+  if (ev.phase == 'X') {
+    out += ",\"dur\":";
+    out += json::number(static_cast<double>(ev.dur_ns) / 1e3);
+  }
+  if (ev.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+  if (ev.n_args > 0) {
+    out += ",\"args\":{";
+    for (int i = 0; i < ev.n_args; ++i) {
+      if (i > 0) out += ',';
+      out += json::quote(ev.args[i].key);
+      out += ':';
+      out += json::number(ev.args[i].value);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event_json(out, ev);
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string Tracer::jsonl() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  for (const TraceEvent& ev : events) {
+    append_event_json(out, ev);
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& b : buffers_)
+    b->written.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  capacity_.store(std::max<std::size_t>(events, 16));
+}
+
+std::size_t Tracer::ring_capacity() const { return capacity_.load(); }
+
+Span::Span(const char* cat, const char* name) : cat_(cat), name_(name) {
+  if (trace_enabled()) {
+    active_ = true;
+    start_ = Tracer::global().now_ns();
+  }
+}
+
+void Span::arg(const char* key, double value) {
+  if (!active_ || n_args_ >= 3) return;
+  args_[n_args_++] = {key, value};
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.phase = 'X';
+  ev.ts_ns = start_;
+  ev.dur_ns = tracer.now_ns() - start_;
+  ev.n_args = n_args_;
+  for (int i = 0; i < n_args_; ++i) ev.args[i] = args_[i];
+  tracer.record(ev);
+}
+
+}  // namespace rftc::obs

@@ -1,0 +1,148 @@
+// Structured event tracing: scoped spans and instant events recorded into
+// lock-free per-thread ring buffers, exported as Chrome `trace_event` JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev) or as JSON
+// lines.
+//
+// Hot-path contract: when tracing is disabled a Span costs one predictable
+// branch; when enabled, recording an event is one steady_clock read plus a
+// handful of stores into the calling thread's own ring (no locks, no
+// allocation after the ring is created).  Rings keep the *most recent*
+// events — older events are overwritten and counted as dropped, matching
+// chrome://tracing's flight-recorder semantics.
+//
+// Event `name`/`cat` and argument keys must be string literals (or otherwise
+// outlive the tracer): only the pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef RFTC_OBS_ENABLED
+#define RFTC_OBS_ENABLED 1
+#endif
+
+namespace rftc::obs {
+
+/// One numeric span/event argument.  Keys are static strings.
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  /// Chrome phase: 'X' complete (ts + dur), 'i' instant.
+  char phase = 'X';
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  TraceArg args[3];
+  int n_args = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer's epoch (process start, steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Appends to the calling thread's ring.  `ev.tid` is filled in.
+  void record(TraceEvent ev);
+
+  /// Records an instant event if tracing is enabled.
+  void instant(const char* cat, const char* name, TraceArg a = {},
+               TraceArg b = {}, TraceArg c = {});
+
+  /// All buffered events from every thread, merged and sorted by timestamp.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t recorded() const;  // total record() calls
+  std::uint64_t dropped() const;   // events overwritten in some ring
+
+  /// Chrome trace_event "JSON Array Format".
+  std::string chrome_json() const;
+  /// One JSON object per line, same fields.
+  std::string jsonl() const;
+
+  /// Discards all buffered events (rings stay allocated).
+  void clear();
+
+  /// Ring capacity, in events per thread, for rings created *after* the
+  /// call.  Also settable via RFTC_OBS_TRACE_CAPACITY.
+  void set_ring_capacity(std::size_t events);
+  std::size_t ring_capacity() const;
+
+ private:
+  struct ThreadBuffer {
+    ThreadBuffer(std::size_t capacity, std::uint32_t tid);
+    std::vector<TraceEvent> ring;
+    std::atomic<std::uint64_t> written{0};
+    std::uint32_t tid = 0;
+  };
+
+  Tracer();
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_;
+  std::uint32_t next_tid_ = 1;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// RAII scoped span: records one complete ('X') event covering its lifetime.
+/// Construction is a no-op when tracing is disabled.
+class Span {
+ public:
+  Span(const char* cat, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument (up to 3; extras are dropped).
+  void arg(const char* key, double value);
+
+  bool active() const { return active_; }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  std::uint64_t start_ = 0;
+  TraceArg args_[3];
+  int n_args_ = 0;
+  bool active_ = false;
+};
+
+/// No-op stand-in used when the layer is compiled out.
+struct NullSpan {
+  void arg(const char*, double) {}
+  bool active() const { return false; }
+};
+
+}  // namespace rftc::obs
+
+#if RFTC_OBS_ENABLED
+/// Declares a scoped span variable `var`.
+#define RFTC_OBS_SPAN(var, cat, name) ::rftc::obs::Span var((cat), (name))
+/// Records an instant event (args are optional TraceArg initialisers).
+#define RFTC_OBS_INSTANT(...) ::rftc::obs::Tracer::global().instant(__VA_ARGS__)
+#else
+#define RFTC_OBS_SPAN(var, cat, name) \
+  ::rftc::obs::NullSpan var;          \
+  (void)var
+#define RFTC_OBS_INSTANT(...) \
+  do {                        \
+  } while (false)
+#endif

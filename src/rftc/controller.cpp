@@ -2,11 +2,41 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rftc::core {
 
 using sched::CycleSlot;
 using sched::EncryptionSchedule;
 using sched::SlotKind;
+
+namespace {
+
+/// Process-wide aggregates across every controller instance, resolved once
+/// (registry lookups take a lock; the references are stable).
+struct GlobalMetrics {
+  obs::Counter& encryptions =
+      obs::Registry::global().counter("rftc.encryptions");
+  obs::Counter& reconfigurations =
+      obs::Registry::global().counter("rftc.reconfigurations");
+  obs::Counter& drp_transactions =
+      obs::Registry::global().counter("rftc.drp_transactions");
+  obs::Counter& round_clock_switches =
+      obs::Registry::global().counter("rftc.round_clock_switches");
+  obs::Histogram& reconfig_duration_ps =
+      obs::Registry::global().histogram("rftc.reconfig_duration_ps");
+  obs::Histogram& completion_ps =
+      obs::Registry::global().histogram("rftc.completion_ps");
+  obs::Histogram& encryptions_per_reconfig =
+      obs::Registry::global().histogram("rftc.encryptions_per_reconfig");
+
+  static GlobalMetrics& get() {
+    static GlobalMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
     : plan_(std::move(plan)),
@@ -32,6 +62,7 @@ RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
 }
 
 void RftcController::start_reconfig(int mmcm_index) {
+  RFTC_OBS_SPAN(span, "rftc", "rftc.reconfig");
   // Fetch the precomputed write stream from Block RAM — the runtime path
   // of Fig. 1 — rather than re-encoding the configuration.
   const std::size_t idx = lfsr_.uniform(plan_.p());
@@ -39,9 +70,21 @@ void RftcController::start_reconfig(int mmcm_index) {
   const clk::ReconfigReport rep = drp_.apply(
       mmcms_[static_cast<std::size_t>(mmcm_index)], writes, now_);
   reconfig_done_at_ = rep.locked;
-  ++stats_.reconfigurations;
-  stats_.total_drp_transactions += rep.drp_transactions;
-  stats_.last_reconfig_duration_ps = rep.locked - rep.started;
+
+  const Picoseconds duration = rep.locked - rep.started;
+  stats_.reconfigurations_.inc();
+  stats_.drp_transactions_.inc(rep.drp_transactions);
+  stats_.last_reconfig_ps_.set(static_cast<double>(duration));
+  stats_.reconfig_duration_ps_.observe(static_cast<double>(duration));
+
+  GlobalMetrics& g = GlobalMetrics::get();
+  g.reconfigurations.inc();
+  g.drp_transactions.inc(rep.drp_transactions);
+  g.reconfig_duration_ps.observe(static_cast<double>(duration));
+
+  span.arg("mmcm", mmcm_index);
+  span.arg("config_idx", static_cast<double>(idx));
+  span.arg("duration_us", to_us(duration));
 }
 
 void RftcController::maybe_swap() {
@@ -49,6 +92,9 @@ void RftcController::maybe_swap() {
   // The freshly reconfigured MMCM takes over; the previously active one is
   // immediately sent off to fetch its next configuration (Fig. 2-B,
   // "Encryption x+1").
+  GlobalMetrics::get().encryptions_per_reconfig.observe(
+      static_cast<double>(encryptions_since_swap_));
+  encryptions_since_swap_ = 0;
   const int previous_active = active_;
   active_ = reconfiguring_;
   reconfiguring_ = previous_active;
@@ -64,6 +110,8 @@ std::vector<Picoseconds> RftcController::active_periods() const {
 }
 
 EncryptionSchedule RftcController::next(int rounds) {
+  RFTC_OBS_SPAN(span, "rftc", "rftc.encryption");
+  const bool tracing = span.active();
   maybe_swap();
 
   EncryptionSchedule es;
@@ -74,19 +122,36 @@ EncryptionSchedule RftcController::next(int rounds) {
 
   Picoseconds t = es.load_edge;
   int prev_sel = -1;
+  std::uint64_t switches = 0;
   for (int r = 0; r < rounds; ++r) {
     const auto sel = static_cast<int>(lfsr_.uniform(m));
     const Picoseconds p = periods[static_cast<std::size_t>(sel)];
-    if (params_.model_switch_overhead && prev_sel >= 0 && sel != prev_sel) {
-      const Picoseconds from = periods[static_cast<std::size_t>(prev_sel)];
-      t += clk::switch_latency(from, p, t % from, t % p);
+    if (prev_sel >= 0 && sel != prev_sel) {
+      ++switches;
+      if (tracing)
+        RFTC_OBS_INSTANT("rftc", "rftc.clock_switch",
+                         {"round", static_cast<double>(r)},
+                         {"sel", static_cast<double>(sel)});
+      if (params_.model_switch_overhead) {
+        const Picoseconds from = periods[static_cast<std::size_t>(prev_sel)];
+        t += clk::switch_latency(from, p, t % from, t % p);
+      }
     }
     t += p;
     es.slots.push_back({t, p, SlotKind::kRound, 0.0});
     prev_sel = sel;
   }
   now_ += (t - es.load_edge) + sched::kInterEncryptionGapPs;
-  ++stats_.encryptions;
+  stats_.encryptions_.inc();
+  ++encryptions_since_swap_;
+
+  GlobalMetrics& g = GlobalMetrics::get();
+  g.encryptions.inc();
+  if (switches > 0) g.round_clock_switches.inc(switches);
+  g.completion_ps.observe(static_cast<double>(t - es.load_edge));
+
+  span.arg("completion_ns", to_ns(t - es.load_edge));
+  span.arg("mmcm", active_);
   return es;
 }
 

@@ -8,6 +8,7 @@
 // LFSR-chosen output of the active MMCM through a glitch-free BUFG mux.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "clocking/clock_mux.hpp"
 #include "clocking/drp_controller.hpp"
 #include "clocking/mmcm_model.hpp"
+#include "obs/metrics.hpp"
 #include "rftc/frequency_planner.hpp"
 #include "sched/schedule.hpp"
 #include "util/rng.hpp"
@@ -34,18 +36,51 @@ struct ControllerParams {
   bool model_switch_overhead = false;
 };
 
-struct ControllerStats {
-  std::uint64_t encryptions = 0;
-  std::uint64_t reconfigurations = 0;
-  /// Mean encryptions completed per reconfiguration interval (paper: ~82).
-  double encryptions_per_reconfig() const {
-    return reconfigurations == 0
-               ? 0.0
-               : static_cast<double>(encryptions) /
-                     static_cast<double>(reconfigurations);
+/// Per-instance runtime telemetry, backed by the rftc::obs metric
+/// primitives.  The controller also mirrors every update into the global
+/// obs::Registry under "rftc.*" (see docs/OBSERVABILITY.md), so a process
+/// running many devices still gets one aggregate export; the instance-local
+/// values here preserve the historical stats() accessor semantics.
+class ControllerStats {
+ public:
+  std::uint64_t encryptions() const { return encryptions_.value(); }
+  std::uint64_t reconfigurations() const { return reconfigurations_.value(); }
+  std::uint64_t total_drp_transactions() const {
+    return drp_transactions_.value();
   }
-  std::uint64_t total_drp_transactions = 0;
-  Picoseconds last_reconfig_duration_ps = 0;
+  Picoseconds last_reconfig_duration_ps() const {
+    return static_cast<Picoseconds>(last_reconfig_ps_.value());
+  }
+  /// Mean MMCM rewrite+relock duration across all reconfigurations.
+  double mean_reconfig_duration_ps() const {
+    return reconfig_duration_ps_.mean();
+  }
+  /// Full duration distribution (p50/p95/p99 via obs::Histogram).
+  const obs::Histogram& reconfig_duration_histogram() const {
+    return reconfig_duration_ps_;
+  }
+
+  /// Mean encryptions completed per reconfiguration interval (paper: ~82).
+  ///
+  /// Ping-pong invariant: the controller constructor immediately sends one
+  /// MMCM off to reconfigure, so reconfigurations() >= 1 over the whole
+  /// lifetime of a controller — this can never divide by zero, and a zero
+  /// result genuinely means "no encryptions ran" rather than silently
+  /// masking a stalled ping-pong.
+  double encryptions_per_reconfig() const {
+    assert(reconfigurations() >= 1 &&
+           "ping-pong invariant: ctor starts the first reconfiguration");
+    return static_cast<double>(encryptions()) /
+           static_cast<double>(reconfigurations());
+  }
+
+ private:
+  friend class RftcController;
+  obs::Counter encryptions_;
+  obs::Counter reconfigurations_;
+  obs::Counter drp_transactions_;
+  obs::Gauge last_reconfig_ps_;
+  obs::Histogram reconfig_duration_ps_;
 };
 
 class RftcController final : public sched::Scheduler {
@@ -76,6 +111,9 @@ class RftcController final : public sched::Scheduler {
 
   int active_ = 0;
   int reconfiguring_ = 1;
+  /// Encryptions since the last ping-pong swap (feeds the global
+  /// "rftc.encryptions_per_reconfig" interval histogram).
+  std::uint64_t encryptions_since_swap_ = 0;
   Picoseconds reconfig_done_at_ = 0;
   Picoseconds now_ = 0;
 };

@@ -1,6 +1,22 @@
 #include "trace/acquisition.hpp"
 
+#include "obs/obs.hpp"
+
 namespace rftc::trace {
+
+namespace {
+
+/// Emit a campaign-progress instant every 2^12 captures — frequent enough
+/// to see acquisition pace in a trace, rare enough to cost nothing.
+constexpr std::size_t kProgressMask = (1u << 12) - 1;
+
+obs::Counter& captured_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("trace.traces_captured");
+  return c;
+}
+
+}  // namespace
 
 aes::Block random_block(Xoshiro256StarStar& rng) {
   aes::Block b{};
@@ -15,11 +31,19 @@ aes::Block random_block(Xoshiro256StarStar& rng) {
 
 TraceSet acquire_random(const Encryptor& encryptor, TraceSimulator& sim,
                         std::size_t n, Xoshiro256StarStar& rng) {
+  RFTC_OBS_SPAN(span, "trace", "acquire_random");
+  span.arg("n", static_cast<double>(n));
+  obs::Counter& captured = captured_counter();
   TraceSet set(sim.samples());
   for (std::size_t i = 0; i < n; ++i) {
     const aes::Block pt = random_block(rng);
     const core::EncryptionRecord rec = encryptor(pt);
     set.add(sim.simulate(rec.schedule, rec.activity), pt, rec.ciphertext);
+    captured.inc();
+    if ((i & kProgressMask) == kProgressMask)
+      RFTC_OBS_INSTANT("trace", "acquire_random.progress",
+                       {"captured", static_cast<double>(i + 1)},
+                       {"of", static_cast<double>(n)});
   }
   return set;
 }
@@ -28,6 +52,10 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
                          std::size_t n_per_population,
                          const aes::Block& fixed_plaintext,
                          Xoshiro256StarStar& rng) {
+  RFTC_OBS_SPAN(span, "trace", "acquire_tvla");
+  span.arg("n_per_population", static_cast<double>(n_per_population));
+  obs::Counter& captured = captured_counter();
+  std::size_t done = 0;
   TvlaCapture cap{TraceSet(sim.samples()), TraceSet(sim.samples())};
   std::size_t remaining_fixed = n_per_population;
   std::size_t remaining_random = n_per_population;
@@ -51,6 +79,11 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
       cap.random.add(std::move(tr), pt, rec.ciphertext);
       --remaining_random;
     }
+    captured.inc();
+    if ((++done & kProgressMask) == kProgressMask)
+      RFTC_OBS_INSTANT("trace", "acquire_tvla.progress",
+                       {"captured", static_cast<double>(done)},
+                       {"of", static_cast<double>(2 * n_per_population)});
   }
   return cap;
 }

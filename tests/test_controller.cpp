@@ -4,6 +4,7 @@
 
 #include <unordered_set>
 
+#include "clocking/drp_codec.hpp"
 #include "util/histogram.hpp"
 
 namespace rftc::core {
@@ -64,17 +65,63 @@ TEST(Controller, PingPongSwapsActiveMmcm) {
     actives.insert(c.active_mmcm());
   }
   EXPECT_EQ(actives.size(), 2u);  // both MMCMs drove the cipher
-  EXPECT_GT(c.stats().reconfigurations, 2u);
+  EXPECT_GT(c.stats().reconfigurations(), 2u);
 }
 
 TEST(Controller, EncryptionsPerReconfigNearPaperX) {
-  // Paper: ~82 encryptions complete while one MMCM reconfigures (34 us).
-  // The model's interface gap differs slightly; accept the same decade.
+  // Paper §5: x ~= 82 encryptions complete while one MMCM reconfigures
+  // (34 us at a 24 MHz DRP clock).  This model charges a slightly larger
+  // inter-encryption interface gap than the board, which lands x in the
+  // 45-70 band across plans; assert the paper's order of magnitude with
+  // bounds tight enough to catch a broken ping-pong or a mis-charged DRP
+  // cycle model.
   RftcController c(small_plan(3, 16), {});
   for (int e = 0; e < 20'000; ++e) c.next(10);
   const double x = c.stats().encryptions_per_reconfig();
-  EXPECT_GT(x, 20.0);
-  EXPECT_LT(x, 200.0);
+  EXPECT_GT(x, 40.0);
+  EXPECT_LT(x, 120.0);
+}
+
+TEST(Controller, PingPongInvariantHoldsFromConstruction) {
+  // The constructor sends one MMCM off to reconfigure before the first
+  // encryption, so the encryptions-per-reconfig ratio is well defined (and
+  // zero) on a fresh controller — the divide-by-zero guard the old
+  // ControllerStats carried is dead code by construction.
+  RftcController c(small_plan(2, 4), {});
+  EXPECT_GE(c.stats().reconfigurations(), 1u);
+  EXPECT_EQ(c.stats().encryptions(), 0u);
+  EXPECT_EQ(c.stats().encryptions_per_reconfig(), 0.0);
+}
+
+TEST(Controller, DrpTransactionsMatchXapp888Sequence) {
+  // Every reconfiguration replays the full XAPP888 write sequence fetched
+  // from Block RAM: power word, 7 x 2 CLKOUT registers, CLKFB pair, DIVCLK,
+  // 3 lock words, 2 filter words — 23 read-modify-write transactions.  The
+  // controller's transaction counter must be exactly that multiple.
+  const FrequencyPlan plan = small_plan(3, 8);
+  const std::size_t writes_per_config =
+      clk::encode_config(plan.configs[0], plan.params.limits).size();
+  EXPECT_EQ(writes_per_config, 23u);
+  RftcController c(plan, {});
+  for (int e = 0; e < 5'000; ++e) c.next(10);
+  EXPECT_EQ(c.stats().total_drp_transactions(),
+            c.stats().reconfigurations() * writes_per_config);
+}
+
+TEST(Controller, MeanReconfigDurationTracksLast) {
+  RftcController c(small_plan(3, 8), {});
+  for (int e = 0; e < 5'000; ++e) c.next(10);
+  const double mean_ps = c.stats().mean_reconfig_duration_ps();
+  EXPECT_GT(mean_ps, 0.0);
+  // Every reconfiguration takes tens of microseconds (paper: ~34 us); the
+  // mean must sit in the same band as the last observed duration.
+  EXPECT_GT(mean_ps, 1e6);   // > 1 us
+  EXPECT_LT(mean_ps, 1e9);   // < 1 ms
+  const auto& hist = c.stats().reconfig_duration_histogram();
+  EXPECT_EQ(hist.count(), c.stats().reconfigurations());
+  EXPECT_GE(hist.max(),
+            static_cast<double>(c.stats().last_reconfig_duration_ps()) *
+                0.999);
 }
 
 TEST(Controller, ManyDistinctCompletionTimes) {
@@ -99,10 +146,10 @@ TEST(Controller, DeterministicForSeeds) {
 TEST(Controller, StatsAccumulate) {
   RftcController c(small_plan(2, 8), {});
   for (int e = 0; e < 100; ++e) c.next(10);
-  EXPECT_EQ(c.stats().encryptions, 100u);
-  EXPECT_GE(c.stats().reconfigurations, 1u);
-  EXPECT_GT(c.stats().total_drp_transactions, 0u);
-  EXPECT_GT(c.stats().last_reconfig_duration_ps, 0);
+  EXPECT_EQ(c.stats().encryptions(), 100u);
+  EXPECT_GE(c.stats().reconfigurations(), 1u);
+  EXPECT_GT(c.stats().total_drp_transactions(), 0u);
+  EXPECT_GT(c.stats().last_reconfig_duration_ps(), 0);
 }
 
 TEST(Controller, NameEncodesMAndP) {
@@ -142,7 +189,7 @@ TEST(Controller, RunsUnderAlteraIopllLimits) {
     const auto es = c.next(10);
     ASSERT_EQ(es.round_count(), 10);
   }
-  EXPECT_GT(c.stats().reconfigurations, 0u);
+  EXPECT_GT(c.stats().reconfigurations(), 0u);
 }
 
 class ControllerMP : public ::testing::TestWithParam<std::tuple<int, int>> {};

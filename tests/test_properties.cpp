@@ -175,7 +175,7 @@ TEST(SustainedOperation, ThousandsOfEncryptionsStayCorrect) {
     ASSERT_EQ(dev.encrypt(pt).ciphertext, aes::encrypt(pt, key));
   }
   // Plenty of reconfigurations happened along the way.
-  EXPECT_GT(dev.controller().stats().reconfigurations, 5u);
+  EXPECT_GT(dev.controller().stats().reconfigurations(), 5u);
 }
 
 // ---------------------------------------------------------------------------
