@@ -43,6 +43,13 @@ ScaleProfile scale_profile() {
           .attack_bytes = {0, 5, 10, 15}};
 }
 
+namespace {
+
+/// Weyl increment used to derive independent per-shard seeds.
+constexpr std::uint64_t kShardGolden = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
 analysis::CampaignFactory rftc_factory(int m, int p) {
   const aes::Key key = evaluation_key();
   return [key, m, p](std::uint64_t repeat, std::size_t n) {
@@ -51,25 +58,40 @@ analysis::CampaignFactory rftc_factory(int m, int p) {
                                          static_cast<std::uint64_t>(p) * 104729 +
                                          repeat)
                                   .next();
-    core::RftcDevice dev = core::RftcDevice::make(key, m, p, mix | 1);
-    trace::PowerModelParams pm;
-    trace::TraceSimulator sim(pm, mix ^ 0xA5A5A5A5ULL);
-    Xoshiro256StarStar rng(mix + 0xB0B0B0B0ULL);
-    return trace::acquire_random(
-        [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
+    // Pure shard factory: shard j's device and simulator seeds depend only
+    // on (mix, j), so the campaign is bit-identical under any RFTC_THREADS
+    // (see trace::CaptureShardFactory).  The device is shared_ptr-owned
+    // because Encryptor (std::function) requires a copyable callable.
+    const trace::CaptureShardFactory shards = [key, m, p,
+                                               mix](std::size_t shard) {
+      const std::uint64_t salt =
+          SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
+      auto dev = std::make_shared<core::RftcDevice>(
+          core::RftcDevice::make(key, m, p, salt | 1));
+      trace::PowerModelParams pm;
+      return trace::CaptureShard{
+          [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+          trace::TraceSimulator(pm, salt ^ 0xA5A5A5A5ULL)};
+    };
+    return trace::acquire_random_parallel(shards, n, mix + 0xB0B0B0B0ULL);
   };
 }
 
 analysis::CampaignFactory unprotected_factory() {
   const aes::Key key = evaluation_key();
   return [key](std::uint64_t repeat, std::size_t n) {
-    core::ScheduledAesDevice dev(
-        key, std::make_unique<sched::FixedClockScheduler>(48.0));
-    trace::PowerModelParams pm;
-    trace::TraceSimulator sim(pm, 0xC000 + repeat);
-    Xoshiro256StarStar rng(0xD000 + repeat);
-    return trace::acquire_random(
-        [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
+    const std::uint64_t mix = SplitMix64(0xC000 + repeat).next();
+    const trace::CaptureShardFactory shards = [key, mix](std::size_t shard) {
+      const std::uint64_t salt =
+          SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
+      auto dev = std::make_shared<core::ScheduledAesDevice>(
+          key, std::make_unique<sched::FixedClockScheduler>(48.0));
+      trace::PowerModelParams pm;
+      return trace::CaptureShard{
+          [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+          trace::TraceSimulator(pm, salt)};
+    };
+    return trace::acquire_random_parallel(shards, n, 0xD000 + repeat);
   };
 }
 

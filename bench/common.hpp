@@ -47,9 +47,12 @@ struct ScaleProfile {
 ScaleProfile scale_profile();
 
 /// Campaign factory for an RFTC(m, p) device (fresh device per repeat so
-/// countermeasure randomness is independent).
+/// countermeasure randomness is independent).  Captures run through
+/// trace::acquire_random_parallel with pure per-shard seeding, so campaigns
+/// are bit-identical under any RFTC_THREADS.
 analysis::CampaignFactory rftc_factory(int m, int p);
-/// Campaign factory for the unprotected fixed-clock reference.
+/// Campaign factory for the unprotected fixed-clock reference (same
+/// parallel-capture determinism contract as rftc_factory).
 analysis::CampaignFactory unprotected_factory();
 
 /// Outcome of one four-attack suite, for machine-readable reporting.

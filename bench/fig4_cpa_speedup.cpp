@@ -1,0 +1,94 @@
+// CPA engine speedup: the fig4-style CPA attack (last-round HD, checkpoint
+// schedule of the scale profile) timed with the streaming reference engine
+// on one thread versus the batched class-sum/WHT engine with the configured
+// RFTC_THREADS.  Both runs attack the SAME captured campaign, and because
+// raw ADC traces are exactly quantized the two engines must agree
+// bit-for-bit on every checkpoint — the bench fails (exit 1) if they don't.
+//
+// BENCH_fig4_cpa_speedup.json records serial_seconds, batched_seconds and
+// speedup_vs_serial (the acceptance gate: >= 4x).
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+double time_attack(const rftc::trace::TraceSet& set,
+                   const rftc::aes::Block& rk10,
+                   const rftc::analysis::AttackParams& params,
+                   rftc::analysis::AttackOutcome& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = rftc::analysis::run_attack(set, rk10, params);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool same_outcome(const rftc::analysis::AttackOutcome& a,
+                  const rftc::analysis::AttackOutcome& b) {
+  return a.checkpoints == b.checkpoints && a.success == b.success &&
+         a.mean_rank == b.mean_rank && a.peak_corr == b.peak_corr;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rftc;
+  obs::BenchReport report("fig4_cpa_speedup");
+  const bench::ScaleProfile profile = bench::scale_profile();
+  report.note("profile", profile.name);
+  bench::print_header("CPA engine speedup — streaming (1 thread) vs batched "
+                      "(RFTC_THREADS), profile " +
+                      profile.name);
+
+  // One campaign, reused by both engines.  RFTC(1, 4) is the weakest
+  // fig. 4 configuration, so the checkpoint ranks are also a meaningful
+  // cross-check, but the timing is representative of any P.
+  const trace::TraceSet set =
+      bench::rftc_factory(1, 4)(/*repeat=*/0, profile.sr_max_traces);
+  std::printf("campaign: %zu traces x %zu samples\n", set.size(),
+              set.samples());
+
+  analysis::AttackParams params;
+  params.kind = analysis::AttackKind::kCpa;
+  params.byte_positions = profile.attack_bytes;
+  params.checkpoints = profile.sr_checkpoints;
+  const aes::Block rk10 = bench::evaluation_round10_key();
+
+  // Serial baseline: the streaming engine on a single thread.
+  const std::size_t configured_threads = par::thread_count();
+  par::set_thread_count(1);
+  params.engine_mode = analysis::CpaMode::kStreaming;
+  analysis::AttackOutcome serial_out;
+  const double serial_s = time_attack(set, rk10, params, serial_out);
+  std::printf("streaming, 1 thread:      %8.2f s\n", serial_s);
+
+  // Batched engine with the configured thread count.
+  par::set_thread_count(configured_threads);
+  params.engine_mode = analysis::CpaMode::kBatched;
+  analysis::AttackOutcome batched_out;
+  const double batched_s = time_attack(set, rk10, params, batched_out);
+  std::printf("batched, %zu thread(s):    %8.2f s\n", configured_threads,
+              batched_s);
+
+  const bool match = same_outcome(serial_out, batched_out);
+  const double speedup = batched_s > 0.0 ? serial_s / batched_s : 0.0;
+  std::printf("speedup_vs_serial:        %8.2fx   outcomes %s\n", speedup,
+              match ? "bit-identical" : "MISMATCH");
+
+  report.metric("traces", static_cast<double>(set.size()), "traces");
+  report.metric("serial_seconds", serial_s, "s");
+  report.metric("batched_seconds", batched_s, "s");
+  report.metric("speedup_vs_serial", speedup, "x");
+  report.metric("outcomes_match", match ? 1.0 : 0.0, "bool");
+  report.throughput(static_cast<double>(set.size()) / batched_s, "traces/s");
+  report.write();
+  if (!match) {
+    std::fprintf(stderr,
+                 "fig4_cpa_speedup: batched engine diverged from the "
+                 "streaming reference\n");
+    return 1;
+  }
+  return 0;
+}

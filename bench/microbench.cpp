@@ -17,6 +17,7 @@
 #include "rftc/frequency_planner.hpp"
 #include "sched/fixed_clock.hpp"
 #include "trace/acquisition.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -70,7 +71,9 @@ BENCHMARK(BM_TraceSimulate);
 
 void BM_CpaAdd(benchmark::State& state) {
   const auto samples = static_cast<std::size_t>(state.range(0));
-  analysis::CpaEngine engine(samples, {0, 5, 10, 15});
+  analysis::CpaEngine engine(samples, {0, 5, 10, 15},
+                             aes::LeakageModel::kLastRoundHd,
+                             analysis::CpaMode::kStreaming);
   std::vector<float> tr(samples, 1.0f);
   aes::Block ct{};
   for (auto _ : state) {
@@ -80,6 +83,66 @@ void BM_CpaAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CpaAdd)->Arg(64)->Arg(125)->Arg(250);
+
+void BM_CpaAddBatched(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  analysis::CpaEngine engine(samples, {0, 5, 10, 15},
+                             aes::LeakageModel::kLastRoundHd,
+                             analysis::CpaMode::kBatched);
+  std::vector<float> tr(samples, 1.0f);
+  aes::Block ct{};
+  for (auto _ : state) {
+    engine.add(ct, tr);
+    ++ct[0];
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpaAddBatched)->Arg(64)->Arg(125)->Arg(250);
+
+/// Feeds `n` random traces so a report pass sees realistic class sums.
+analysis::CpaEngine filled_engine(analysis::CpaMode mode, std::size_t samples,
+                                  std::size_t n) {
+  analysis::CpaEngine engine(samples, {0, 5, 10, 15},
+                             aes::LeakageModel::kLastRoundHd, mode);
+  Xoshiro256StarStar rng(11);
+  std::vector<float> tr(samples);
+  aes::Block ct{};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : tr) v = static_cast<float>(rng.gaussian());
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
+    engine.add(ct, tr);
+  }
+  return engine;
+}
+
+void BM_CpaReportStreaming(benchmark::State& state) {
+  const auto engine = filled_engine(
+      analysis::CpaMode::kStreaming, static_cast<std::size_t>(state.range(0)),
+      2'048);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.report());
+}
+BENCHMARK(BM_CpaReportStreaming)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_CpaReportBatched(benchmark::State& state) {
+  const auto engine = filled_engine(
+      analysis::CpaMode::kBatched, static_cast<std::size_t>(state.range(0)),
+      2'048);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.report());
+}
+BENCHMARK(BM_CpaReportBatched)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 1.0);
+  for (auto _ : state) {
+    par::parallel_for(0, n, 1'024, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) v[i] = v[i] * 1.0000001 + 0.5;
+    });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_DtwAlign(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -7,6 +7,7 @@
 #include "analysis/fft.hpp"
 #include "analysis/pca.hpp"
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 
 namespace rftc::analysis {
 
@@ -139,50 +140,77 @@ AttackOutcome run_attack(const trace::TraceSet& raw,
     }
   }
 
-  CpaEngine engine(features, bytes, params.leakage);
+  CpaEngine engine(features, bytes, params.leakage, params.engine_mode);
   AttackOutcome out;
   out.kind = params.kind;
 
-  std::size_t next_cp = 0;
-  std::vector<float> feat;
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    const auto tr = set.trace(i);
-    switch (params.kind) {
-      case AttackKind::kCpa:
-        engine.add(set.plaintext(i), set.ciphertext(i), tr);
-        break;
-      case AttackKind::kDtwCpa:
-        feat = dtw_align(dtw_ref, tr, params.dtw);
-        engine.add(set.plaintext(i), set.ciphertext(i), feat);
-        break;
-      case AttackKind::kPcaCpa:
-        feat = pca.project(tr);
-        engine.add(set.plaintext(i), set.ciphertext(i), feat);
-        break;
-      case AttackKind::kFftCpa: {
-        const auto mag = magnitude_spectrum(tr);
-        feat.assign(mag.size(), 0.0f);
-        for (std::size_t k = 0; k < mag.size(); ++k)
-          feat[k] = static_cast<float>(mag[k]);
-        engine.add(set.plaintext(i), set.ciphertext(i), feat);
-        break;
-      }
-      case AttackKind::kSwCpa: {
-        const std::size_t w = std::max<std::size_t>(1, params.sw_window);
-        const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
-        feat.assign(features, 0.0f);
-        for (std::size_t k = 0; k < features; ++k) {
-          double acc = 0.0;
-          const std::size_t base = k * s;
-          for (std::size_t x = 0; x < w && base + x < tr.size(); ++x)
-            acc += static_cast<double>(tr[base + x]);
-          feat[k] = static_cast<float>(acc);
+  // Preprocessing transforms are pure per-trace functions, so each tile of
+  // traces is transformed in parallel (disjoint feature rows) and then fed
+  // to the engine serially in trace order — results are independent of the
+  // thread count and the tile size.  Tiles never straddle a checkpoint.
+  const std::size_t tile = std::max<std::size_t>(1, engine.batch_size());
+  std::vector<float> feat_buf(params.kind == AttackKind::kCpa
+                                  ? 0
+                                  : tile * features);
+  const auto transform_tile = [&](std::size_t i0, std::size_t i1) {
+    par::parallel_for(i0, i1, 1, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t i = jb; i < je; ++i) {
+        const auto tr = set.trace(i);
+        float* feat = feat_buf.data() + (i - i0) * features;
+        switch (params.kind) {
+          case AttackKind::kCpa:
+            break;
+          case AttackKind::kDtwCpa: {
+            const std::vector<float> f = dtw_align(dtw_ref, tr, params.dtw);
+            std::copy(f.begin(), f.end(), feat);
+            break;
+          }
+          case AttackKind::kPcaCpa: {
+            const std::vector<float> f = pca.project(tr);
+            std::copy(f.begin(), f.end(), feat);
+            break;
+          }
+          case AttackKind::kFftCpa: {
+            const auto mag = magnitude_spectrum(tr);
+            for (std::size_t k = 0; k < mag.size(); ++k)
+              feat[k] = static_cast<float>(mag[k]);
+            break;
+          }
+          case AttackKind::kSwCpa: {
+            const std::size_t w = std::max<std::size_t>(1, params.sw_window);
+            const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
+            for (std::size_t k = 0; k < features; ++k) {
+              double acc = 0.0;
+              const std::size_t base = k * s;
+              for (std::size_t x = 0; x < w && base + x < tr.size(); ++x)
+                acc += static_cast<double>(tr[base + x]);
+              feat[k] = static_cast<float>(acc);
+            }
+            break;
+          }
         }
-        engine.add(set.plaintext(i), set.ciphertext(i), feat);
-        break;
       }
+    });
+  };
+
+  std::size_t next_cp = 0;
+  std::size_t i = 0;
+  while (i < set.size()) {
+    std::size_t block_end = std::min(i + tile, set.size());
+    if (next_cp < checkpoints.size())
+      block_end = std::min(block_end, checkpoints[next_cp]);
+    if (params.kind == AttackKind::kCpa) {
+      for (std::size_t j = i; j < block_end; ++j)
+        engine.add(set.plaintext(j), set.ciphertext(j), set.trace(j));
+    } else {
+      transform_tile(i, block_end);
+      for (std::size_t j = i; j < block_end; ++j)
+        engine.add(set.plaintext(j), set.ciphertext(j),
+                   std::span<const float>(
+                       feat_buf.data() + (j - i) * features, features));
     }
-    while (next_cp < checkpoints.size() && i + 1 == checkpoints[next_cp]) {
+    i = block_end;
+    while (next_cp < checkpoints.size() && i == checkpoints[next_cp]) {
       const CheckpointEval ev = evaluate_checkpoint(engine, correct_key);
       out.checkpoints.push_back(checkpoints[next_cp]);
       out.success.push_back(ev.recovered);

@@ -33,6 +33,10 @@ struct AttackParams {
   aes::LeakageModel leakage = aes::LeakageModel::kLastRoundHd;
   /// Key-byte positions to attack; empty selects all 16.
   std::vector<int> byte_positions;
+  /// CPA accumulation engine: the streaming reference or the batched
+  /// class-sum/WHT path.  Defaults to the env-selected mode
+  /// (RFTC_CPA_MODE); benches pin it to time one against the other.
+  CpaMode engine_mode = CpaEngine::default_mode();
   /// Box-average factor applied to the raw traces before any attack
   /// (standard compression; also keeps the DTW DP tractable).
   std::size_t downsample = 4;

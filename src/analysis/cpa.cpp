@@ -1,17 +1,133 @@
 #include "analysis/cpa.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string_view>
 
+#include "aes/gf256.hpp"
 #include "aes/leakage.hpp"
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace rftc::analysis {
 
+namespace {
+
+/// Samples per flush/report shard.  A pure constant: shard boundaries must
+/// never depend on the thread count (see util/parallel.hpp).
+constexpr std::size_t kSampleGrain = 16;
+/// Guesses per streaming-report shard.
+constexpr std::size_t kGuessGrain = 32;
+/// WHT panel width in samples.  One [256][kPanel] panel is 32 KiB.
+constexpr std::size_t kPanel = 16;
+
+obs::Counter& flush_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("cpa.flushes");
+  return c;
+}
+
+obs::Counter& report_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("cpa.reports");
+  return c;
+}
+
+/// In-place length-256 Walsh–Hadamard transform of one value per index.
+void wht256(std::array<double, 256>& v) {
+  for (std::size_t half = 1; half < 256; half <<= 1) {
+    for (std::size_t base = 0; base < 256; base += 2 * half) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const double a = v[base + j], b = v[base + j + half];
+        v[base + j] = a + b;
+        v[base + j + half] = a - b;
+      }
+    }
+  }
+}
+
+/// In-place WHT over the index dimension of a [256][kPanel] row-major
+/// panel, vectorised over the kPanel sample lanes.
+void wht_panel(double* p) {
+  for (std::size_t half = 1; half < 256; half <<= 1) {
+    for (std::size_t base = 0; base < 256; base += 2 * half) {
+      for (std::size_t j = 0; j < half; ++j) {
+        double* a = p + (base + j) * kPanel;
+        double* b = p + (base + j + half) * kPanel;
+        for (std::size_t s = 0; s < kPanel; ++s) {
+          const double x = a[s], y = b[s];
+          a[s] = x + y;
+          b[s] = x - y;
+        }
+      }
+    }
+  }
+}
+
+/// WHT spectra of the model's guess kernels.  report() computes
+/// sum_ht[g] − (W term) as the XOR-convolution Σ_x m(x ^ g) · D[x]; in the
+/// transform domain that is a pointwise product with these spectra.
+struct KernelSpectra {
+  /// Bit planes: 8 kernels m_k(z) = bit_k(InvSbox(z)) for the last-round
+  /// model; a single kernel m(z) = HW(Sbox(z)) for the first-round model.
+  int planes = 0;
+  std::array<std::array<double, 256>, 8> mhat{};
+};
+
+const KernelSpectra& kernel_spectra(aes::LeakageModel model) {
+  static const KernelSpectra last = [] {
+    KernelSpectra ks;
+    ks.planes = 8;
+    for (int k = 0; k < 8; ++k) {
+      for (std::size_t z = 0; z < 256; ++z)
+        ks.mhat[static_cast<std::size_t>(k)][z] =
+            static_cast<double>((gf::kInvSbox[z] >> k) & 1);
+      wht256(ks.mhat[static_cast<std::size_t>(k)]);
+    }
+    return ks;
+  }();
+  static const KernelSpectra first = [] {
+    KernelSpectra ks;
+    ks.planes = 1;
+    for (std::size_t z = 0; z < 256; ++z)
+      ks.mhat[0][z] = static_cast<double>(
+          std::popcount(static_cast<unsigned>(gf::kSbox[z])));
+    wht256(ks.mhat[0]);
+    return ks;
+  }();
+  return model == aes::LeakageModel::kLastRoundHd ? last : first;
+}
+
+}  // namespace
+
+CpaMode CpaEngine::default_mode() {
+  if (const char* env = std::getenv("RFTC_CPA_MODE")) {
+    const std::string_view v(env);
+    if (v == "streaming") return CpaMode::kStreaming;
+    if (v == "batched") return CpaMode::kBatched;
+  }
+  return CpaMode::kBatched;
+}
+
+std::size_t CpaEngine::default_batch_size() {
+  if (const char* env = std::getenv("RFTC_CPA_BATCH")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return 64;
+}
+
 CpaEngine::CpaEngine(std::size_t samples, std::vector<int> byte_positions,
-                     aes::LeakageModel model)
-    : samples_(samples), bytes_(std::move(byte_positions)), model_(model) {
+                     aes::LeakageModel model, CpaMode mode)
+    : samples_(samples),
+      bytes_(std::move(byte_positions)),
+      model_(model),
+      mode_(mode),
+      batch_(default_batch_size()) {
   if (samples_ == 0) throw std::invalid_argument("CpaEngine: zero samples");
   if (bytes_.empty()) throw std::invalid_argument("CpaEngine: no bytes");
   for (const int b : bytes_)
@@ -19,10 +135,34 @@ CpaEngine::CpaEngine(std::size_t samples, std::vector<int> byte_positions,
       throw std::invalid_argument("CpaEngine: byte position out of range");
   sum_t_.assign(samples_, 0.0);
   sum_t2_.assign(samples_, 0.0);
-  sum_h_.assign(bytes_.size() * 256, 0.0);
-  sum_h2_.assign(bytes_.size() * 256, 0.0);
-  sum_ht_.assign(bytes_.size() * 256 * samples_, 0.0);
-  scratch_.resize(samples_);
+  sum_h_.assign(bytes_.size() * 256, 0);
+  sum_h2_.assign(bytes_.size() * 256, 0);
+  if (mode_ == CpaMode::kStreaming) {
+    sum_ht_.assign(bytes_.size() * 256 * samples_, 0.0);
+    scratch_.resize(samples_);
+  } else {
+    const std::size_t planes =
+        static_cast<std::size_t>(kernel_spectra(model_).planes);
+    if (model_ == aes::LeakageModel::kLastRoundHd)
+      class_w_.assign(bytes_.size() * samples_, 0.0);
+    class_d_.assign(bytes_.size() * 256 * planes * samples_, 0.0);
+    tile_traces_.resize(batch_ * samples_);
+    tile_x_.resize(batch_ * bytes_.size());
+    tile_y_.resize(batch_ * bytes_.size());
+  }
+}
+
+void CpaEngine::set_batch_size(std::size_t batch) {
+  if (batch == 0) throw std::invalid_argument("CpaEngine: zero batch size");
+  if (mode_ != CpaMode::kBatched) {
+    batch_ = batch;
+    return;
+  }
+  flush();
+  batch_ = batch;
+  tile_traces_.resize(batch_ * samples_);
+  tile_x_.resize(batch_ * bytes_.size());
+  tile_y_.resize(batch_ * bytes_.size());
 }
 
 void CpaEngine::add(const aes::Block& ciphertext,
@@ -37,6 +177,15 @@ void CpaEngine::add(const aes::Block& plaintext, const aes::Block& ciphertext,
                     std::span<const float> trace) {
   if (trace.size() != samples_)
     throw std::invalid_argument("CpaEngine::add: sample count mismatch");
+  if (mode_ == CpaMode::kStreaming)
+    add_streaming(plaintext, ciphertext, trace);
+  else
+    add_batched(plaintext, ciphertext, trace);
+}
+
+void CpaEngine::add_streaming(const aes::Block& plaintext,
+                              const aes::Block& ciphertext,
+                              std::span<const float> trace) {
   ++n_;
   for (std::size_t s = 0; s < samples_; ++s) {
     const double t = static_cast<double>(trace[s]);
@@ -52,15 +201,105 @@ void CpaEngine::add(const aes::Block& plaintext, const aes::Block& ciphertext,
                                                            bytes_[bi]);
     double* ht_base = sum_ht_.data() + bi * 256 * samples_;
     for (int g = 0; g < 256; ++g) {
-      const double h = static_cast<double>(row[static_cast<std::size_t>(g)]);
+      const std::int64_t h = row[static_cast<std::size_t>(g)];
       sum_h_[bi * 256 + static_cast<std::size_t>(g)] += h;
       sum_h2_[bi * 256 + static_cast<std::size_t>(g)] += h * h;
-      if (h == 0.0) continue;
+      if (h == 0) continue;
+      const double hd = static_cast<double>(h);
       double* ht = ht_base + static_cast<std::size_t>(g) * samples_;
       const double* t = scratch_.data();
-      for (std::size_t s = 0; s < samples_; ++s) ht[s] += h * t[s];
+      for (std::size_t s = 0; s < samples_; ++s) ht[s] += hd * t[s];
     }
   }
+}
+
+void CpaEngine::add_batched(const aes::Block& plaintext,
+                            const aes::Block& ciphertext,
+                            std::span<const float> trace) {
+  ++n_;
+  const std::size_t i = tile_count_;
+  std::memcpy(tile_traces_.data() + i * samples_, trace.data(),
+              samples_ * sizeof(float));
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
+    const int p = bytes_[bi];
+    // Class inputs: the hypothesis for guess g is a function of (x ^ g, y)
+    // only, so per-class sums capture everything the report needs.
+    if (model_ == aes::LeakageModel::kLastRoundHd) {
+      tile_x_[i * bytes_.size() + bi] = ciphertext[static_cast<std::size_t>(p)];
+      tile_y_[i * bytes_.size() + bi] =
+          ciphertext[static_cast<std::size_t>(aes::shift_rows_source(p))];
+    } else {
+      tile_x_[i * bytes_.size() + bi] = plaintext[static_cast<std::size_t>(p)];
+      tile_y_[i * bytes_.size() + bi] = 0;
+    }
+    // Scalar sums stay exact int64 and order-independent.
+    const auto row = model_ == aes::LeakageModel::kLastRoundHd
+                         ? aes::last_round_hypothesis_row(ciphertext, p)
+                         : aes::first_round_hypothesis_row(plaintext, p);
+    std::int64_t* sh = sum_h_.data() + bi * 256;
+    std::int64_t* sh2 = sum_h2_.data() + bi * 256;
+    for (std::size_t g = 0; g < 256; ++g) {
+      const std::int64_t h = row[g];
+      sh[g] += h;
+      sh2[g] += h * h;
+    }
+  }
+  if (++tile_count_ == batch_) flush();
+}
+
+void CpaEngine::flush() const {
+  const std::size_t nb = tile_count_;
+  if (nb == 0) return;
+  tile_count_ = 0;
+  flush_counter().inc();
+  RFTC_OBS_SPAN(span, "cpa", "flush");
+  span.arg("traces", static_cast<double>(nb));
+
+  const bool last_round = model_ == aes::LeakageModel::kLastRoundHd;
+  const std::size_t n_bytes = bytes_.size();
+  // Shard over samples: every shard owns a disjoint sample range and walks
+  // the tile in trace order, so each accumulator element sees the same
+  // addition sequence for any thread count and any tile boundary.
+  par::parallel_for(0, samples_, kSampleGrain, [&](std::size_t s0,
+                                                   std::size_t s1) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      const float* tr = tile_traces_.data() + i * samples_;
+      for (std::size_t s = s0; s < s1; ++s) {
+        const double t = static_cast<double>(tr[s]);
+        sum_t_[s] += t;
+        sum_t2_[s] += t * t;
+      }
+    }
+    for (std::size_t bi = 0; bi < n_bytes; ++bi) {
+      for (std::size_t i = 0; i < nb; ++i) {
+        const float* tr = tile_traces_.data() + i * samples_;
+        const std::size_t x = tile_x_[i * n_bytes + bi];
+        if (last_round) {
+          const unsigned y = tile_y_[i * n_bytes + bi];
+          const double w = static_cast<double>(std::popcount(y));
+          double* wrow = class_w_.data() + bi * samples_;
+          for (std::size_t s = s0; s < s1; ++s)
+            wrow[s] += w * static_cast<double>(tr[s]);
+          double* dx =
+              class_d_.data() + (bi * 256 + x) * 8 * samples_;
+          for (int k = 0; k < 8; ++k) {
+            double* dk = dx + static_cast<std::size_t>(k) * samples_;
+            if ((y >> k) & 1) {
+              for (std::size_t s = s0; s < s1; ++s)
+                dk[s] -= static_cast<double>(tr[s]);
+            } else {
+              for (std::size_t s = s0; s < s1; ++s)
+                dk[s] += static_cast<double>(tr[s]);
+            }
+          }
+        } else {
+          double* dx = class_d_.data() + (bi * 256 + x) * samples_;
+          for (std::size_t s = s0; s < s1; ++s)
+            dx[s] += static_cast<double>(tr[s]);
+        }
+      }
+    }
+  });
 }
 
 int CpaEngine::ByteReport::best_guess() const {
@@ -78,42 +317,144 @@ int CpaEngine::ByteReport::rank(std::uint8_t correct) const {
 }
 
 std::vector<CpaEngine::ByteReport> CpaEngine::report() const {
+  report_counter().inc();
+  RFTC_OBS_SPAN(span, "cpa", "report");
+  span.arg("n", static_cast<double>(n_));
+  return mode_ == CpaMode::kStreaming ? report_streaming() : report_batched();
+}
+
+std::vector<CpaEngine::ByteReport> CpaEngine::report_streaming() const {
   std::vector<ByteReport> out(bytes_.size());
   const double n = static_cast<double>(n_);
-  for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi)
     out[bi].byte_pos = bytes_[bi];
-    const double* ht_base = sum_ht_.data() + bi * 256 * samples_;
-    for (int g = 0; g < 256; ++g) {
-      const double sh = sum_h_[bi * 256 + static_cast<std::size_t>(g)];
-      const double sh2 = sum_h2_[bi * 256 + static_cast<std::size_t>(g)];
-      const double* ht = ht_base + static_cast<std::size_t>(g) * samples_;
-      double peak = 0.0;
-      for (std::size_t s = 0; s < samples_; ++s) {
-        const double c = correlation_from_sums(n, sh, sh2, sum_t_[s],
-                                               sum_t2_[s], ht[s]);
-        peak = std::max(peak, std::fabs(c));
-      }
-      out[bi].peak_abs_corr[static_cast<std::size_t>(g)] = peak;
+  // Disjoint (byte, guess-block) outputs; each guess's scan over samples is
+  // the same loop as the serial reference, so the report is bit-identical
+  // for any thread count.
+  par::parallel_for(
+      0, bytes_.size() * 256, kGuessGrain, [&](std::size_t j0,
+                                               std::size_t j1) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          const std::size_t bi = j / 256;
+          const std::size_t g = j % 256;
+          const double sh = static_cast<double>(sum_h_[j]);
+          const double sh2 = static_cast<double>(sum_h2_[j]);
+          const double* ht =
+              sum_ht_.data() + (bi * 256 + g) * samples_;
+          double peak = 0.0;
+          for (std::size_t s = 0; s < samples_; ++s) {
+            const double c = correlation_from_sums(n, sh, sh2, sum_t_[s],
+                                                   sum_t2_[s], ht[s]);
+            peak = std::max(peak, std::fabs(c));
+          }
+          out[bi].peak_abs_corr[g] = peak;
+        }
+      });
+  return out;
+}
+
+std::vector<CpaEngine::ByteReport> CpaEngine::report_batched() const {
+  flush();
+  std::vector<ByteReport> out(bytes_.size());
+  const double n = static_cast<double>(n_);
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi)
+    out[bi].byte_pos = bytes_[bi];
+
+  const KernelSpectra& ks = kernel_spectra(model_);
+  const std::size_t planes = static_cast<std::size_t>(ks.planes);
+  const bool last_round = model_ == aes::LeakageModel::kLastRoundHd;
+  const std::size_t n_blocks = (samples_ + kPanel - 1) / kPanel;
+
+  // Per-(byte, sample-block) peak partials, max-merged per guess below.
+  // max() is order-independent, so the merge order cannot matter; shards
+  // write disjoint rows.
+  std::vector<double> partial(bytes_.size() * n_blocks * 256, 0.0);
+
+  par::parallel_for(
+      0, bytes_.size() * n_blocks, 1, [&](std::size_t j0, std::size_t j1) {
+        alignas(64) double panel[256 * kPanel];
+        alignas(64) double acc[256 * kPanel];
+        for (std::size_t j = j0; j < j1; ++j) {
+          const std::size_t bi = j / n_blocks;
+          const std::size_t s0 = (j % n_blocks) * kPanel;
+          const std::size_t sb = std::min(kPanel, samples_ - s0);
+          // Materialise sum_ht[g][s0..s0+sb) for all 256 guesses at once:
+          // an XOR-convolution of the kernel bit planes with the class
+          // sums, done as pointwise products in the WHT domain (one
+          // forward transform per plane, one inverse for the total).
+          for (double& v : acc) v = 0.0;
+          for (std::size_t k = 0; k < planes; ++k) {
+            const std::size_t stride = planes * samples_;
+            for (std::size_t x = 0; x < 256; ++x) {
+              const double* src = class_d_.data() +
+                                  (bi * 256 + x) * stride + k * samples_ + s0;
+              double* dst = panel + x * kPanel;
+              for (std::size_t s = 0; s < sb; ++s) dst[s] = src[s];
+              for (std::size_t s = sb; s < kPanel; ++s) dst[s] = 0.0;
+            }
+            wht_panel(panel);
+            const std::array<double, 256>& mk = ks.mhat[k];
+            for (std::size_t v = 0; v < 256; ++v) {
+              const double m = mk[v];
+              if (m == 0.0) continue;
+              const double* src = panel + v * kPanel;
+              double* dst = acc + v * kPanel;
+              for (std::size_t s = 0; s < kPanel; ++s) dst[s] += m * src[s];
+            }
+          }
+          wht_panel(acc);  // inverse = forward followed by the 2^-8 scale
+          const double* wrow =
+              last_round ? class_w_.data() + bi * samples_ : nullptr;
+          double* peaks = partial.data() + j * 256;
+          for (std::size_t g = 0; g < 256; ++g) {
+            const double sh = static_cast<double>(sum_h_[bi * 256 + g]);
+            const double sh2 = static_cast<double>(sum_h2_[bi * 256 + g]);
+            const double* row = acc + g * kPanel;
+            double peak = 0.0;
+            for (std::size_t s = 0; s < sb; ++s) {
+              const double ht = (wrow ? wrow[s0 + s] : 0.0) +
+                                row[s] * 0x1.0p-8;
+              const double c = correlation_from_sums(
+                  n, sh, sh2, sum_t_[s0 + s], sum_t2_[s0 + s], ht);
+              peak = std::max(peak, std::fabs(c));
+            }
+            peaks[g] = peak;
+          }
+        }
+      });
+
+  for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
+    for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+      const double* peaks = partial.data() + (bi * n_blocks + blk) * 256;
+      for (std::size_t g = 0; g < 256; ++g)
+        out[bi].peak_abs_corr[g] = std::max(out[bi].peak_abs_corr[g],
+                                            peaks[g]);
     }
   }
   return out;
 }
 
-bool CpaEngine::key_recovered(const aes::Block& round10_key) const {
-  for (const ByteReport& r : report()) {
-    if (r.best_guess() !=
-        static_cast<int>(round10_key[static_cast<std::size_t>(r.byte_pos)]))
-      return false;
+CpaEngine::KeyScore CpaEngine::score(const aes::Block& correct_key) const {
+  KeyScore ks;
+  ks.reports = report();
+  ks.recovered = true;
+  double acc = 0.0;
+  for (const ByteReport& r : ks.reports) {
+    const std::uint8_t correct =
+        correct_key[static_cast<std::size_t>(r.byte_pos)];
+    if (r.best_guess() != static_cast<int>(correct)) ks.recovered = false;
+    acc += r.rank(correct);
   }
-  return true;
+  ks.mean_rank = acc / static_cast<double>(ks.reports.size());
+  return ks;
+}
+
+bool CpaEngine::key_recovered(const aes::Block& round10_key) const {
+  return score(round10_key).recovered;
 }
 
 double CpaEngine::mean_rank(const aes::Block& round10_key) const {
-  double acc = 0.0;
-  const auto reports = report();
-  for (const ByteReport& r : reports)
-    acc += r.rank(round10_key[static_cast<std::size_t>(r.byte_pos)]);
-  return acc / static_cast<double>(reports.size());
+  return score(round10_key).mean_rank;
 }
 
 }  // namespace rftc::analysis

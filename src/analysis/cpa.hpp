@@ -1,11 +1,35 @@
-// Streaming CPA engine (Brier–Clavier–Olivier [4]) against the last AES
-// round, the attack the paper mounts on every implementation (§6).
+// CPA engine (Brier–Clavier–Olivier [4]) against the last AES round, the
+// attack the paper mounts on every implementation (§6).
 //
 // The engine keeps, for every attacked key-byte position and every one of
 // the 256 guesses, the raw sums needed for Pearson correlation against
 // every trace sample.  Traces stream in one at a time, so key ranks can be
 // evaluated at arbitrary checkpoints — that is how the success-rate curves
 // of Fig. 4/Fig. 5 are produced without re-accumulating per checkpoint.
+//
+// Two accumulation engines share that interface:
+//
+//  * kStreaming — the reference path: every trace does the full rank-1
+//    update of sum_ht[byte][guess][sample] (256 guesses × S samples).
+//
+//  * kBatched — the production path.  Hypotheses take only the nine values
+//    0..8, and both leakage models factor through the bits of an S-box
+//    output:  h = HD(InvSbox(x^g), y) = w(y) + Σ_k bit_k(InvSbox(x^g))
+//    · (1 − 2·bit_k(y)).  The engine therefore accumulates per-class sums
+//    (W and sign-weighted per-bit-plane partial sums D indexed by the
+//    ciphertext byte x) at ~9·S work per trace instead of 256·S, and
+//    report() materialises sum_ht for all 256 guesses at once as an
+//    XOR-convolution via the Walsh–Hadamard transform.  Traces buffer into
+//    a tile of `batch_size()` and flush with a sample-sharded parallel_for.
+//
+// Determinism: every per-element floating-point accumulation happens in
+// trace order regardless of tile boundaries, and flush/report shards are a
+// pure function of (samples, grain) — so batched results are bit-identical
+// for any RFTC_THREADS and any batch size.  On raw ADC traces (multiples
+// of the 400/256 mV quantum) every product and partial sum is an exact
+// small multiple of that quantum, so the batched engine is additionally
+// bit-identical to the streaming reference — the golden determinism test
+// pins this down.
 #pragma once
 
 #include <array>
@@ -18,13 +42,25 @@
 
 namespace rftc::analysis {
 
+/// Which accumulation engine a CpaEngine uses (see file comment).
+enum class CpaMode {
+  kStreaming,
+  kBatched,
+};
+
 class CpaEngine {
  public:
+  /// RFTC_CPA_MODE=streaming|batched (default batched).
+  static CpaMode default_mode();
+  /// RFTC_CPA_BATCH=<n> traces per tile (default 64).
+  static std::size_t default_batch_size();
+
   /// `byte_positions`: key byte indices to attack (0..15).  With the
   /// default last-round model the recovered bytes belong to the round-10
   /// key; with the first-round model, to the master key.
   CpaEngine(std::size_t samples, std::vector<int> byte_positions,
-            aes::LeakageModel model = aes::LeakageModel::kLastRoundHd);
+            aes::LeakageModel model = aes::LeakageModel::kLastRoundHd,
+            CpaMode mode = default_mode());
 
   /// Accumulate one trace with its known plaintext/observed ciphertext.
   void add(const aes::Block& plaintext, const aes::Block& ciphertext,
@@ -35,6 +71,12 @@ class CpaEngine {
   std::size_t count() const { return n_; }
   std::size_t samples() const { return samples_; }
   const std::vector<int>& byte_positions() const { return bytes_; }
+  CpaMode mode() const { return mode_; }
+
+  std::size_t batch_size() const { return batch_; }
+  /// Resizes the tile (batched mode; flushes any buffered traces first).
+  /// Results are independent of the batch size — this is a tuning knob.
+  void set_batch_size(std::size_t batch);
 
   struct ByteReport {
     int byte_pos = 0;
@@ -49,27 +91,65 @@ class CpaEngine {
   /// Correlation report for every attacked byte (O(bytes*256*samples)).
   std::vector<ByteReport> report() const;
 
+  /// Everything a checkpoint evaluation needs from ONE report pass.
+  struct KeyScore {
+    bool recovered = false;
+    double mean_rank = 0.0;
+    std::vector<ByteReport> reports;
+  };
+  /// Scores the attacked bytes against `correct_key` (round-10 key for the
+  /// last-round model, master key for the first-round model).
+  KeyScore score(const aes::Block& correct_key) const;
+
   /// True when every attacked byte's best guess equals the corresponding
-  /// byte of `correct_key` (round-10 key for the last-round model, master
-  /// key for the first-round model).
+  /// byte of `correct_key`.  Prefer score() when the mean rank is also
+  /// needed — each of these runs a full report pass.
   bool key_recovered(const aes::Block& correct_key) const;
 
   /// Mean rank of the correct byte guesses (1 = fully recovered).
   double mean_rank(const aes::Block& correct_key) const;
 
  private:
+  void add_streaming(const aes::Block& plaintext, const aes::Block& ciphertext,
+                     std::span<const float> trace);
+  void add_batched(const aes::Block& plaintext, const aes::Block& ciphertext,
+                   std::span<const float> trace);
+  /// Drains the tile into the class sums (sample-sharded parallel_for).
+  void flush() const;
+  std::vector<ByteReport> report_streaming() const;
+  std::vector<ByteReport> report_batched() const;
+
   std::size_t samples_;
   std::vector<int> bytes_;
   aes::LeakageModel model_;
+  CpaMode mode_;
+  std::size_t batch_;
   std::size_t n_ = 0;
-  // Shared per-sample sums.
-  std::vector<double> sum_t_, sum_t2_;
-  // Per (byte, guess): scalar hypothesis sums.
-  std::vector<double> sum_h_, sum_h2_;  // bytes*256
-  // Per (byte, guess, sample): cross sums, layout [b][g][s].
+
+  // Shared per-sample sums (batched mode updates them during flush).
+  mutable std::vector<double> sum_t_, sum_t2_;
+  // Per (byte, guess) scalar hypothesis sums.  h is an integer in 0..8, so
+  // int64 accumulation is exact and trivially order-independent.
+  std::vector<std::int64_t> sum_h_, sum_h2_;
+
+  // --- kStreaming state ---
+  // Per (byte, guess, sample) cross sums, layout [b][g][s].
   std::vector<double> sum_ht_;
-  // Scratch: trace converted to double.
+  // Scratch: trace converted to double once per add.
   std::vector<double> scratch_;
+
+  // --- kBatched state (class sums; see file comment) ---
+  // Last-round: W_[b][s] = Σ_i w(y_i)·t_i[s] and
+  // D_[b][x][k][s] = Σ_{i: x_i=x} (1 − 2·bit_k(y_i))·t_i[s].
+  // First-round: h has no y term, so W_ is unused and the bit planes
+  // coincide: D_[b][x][s] = Σ_{i: x_i=x} t_i[s].
+  mutable std::vector<double> class_w_;
+  mutable std::vector<double> class_d_;
+  // Tile of buffered traces (kept as raw float — no per-trace double copy)
+  // and their per-byte class inputs x (and y for the last-round model).
+  mutable std::vector<float> tile_traces_;
+  mutable std::vector<std::uint8_t> tile_x_, tile_y_;
+  mutable std::size_t tile_count_ = 0;
 };
 
 }  // namespace rftc::analysis

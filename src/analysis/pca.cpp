@@ -5,7 +5,18 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace rftc::analysis {
+
+namespace {
+
+/// Samples (mean pass) / covariance rows per shard — pure constants so
+/// shard boundaries never depend on the thread count.
+constexpr std::size_t kSampleGrain = 32;
+constexpr std::size_t kRowGrain = 8;
+
+}  // namespace
 
 std::vector<float> PcaBasis::project(std::span<const float> trace) const {
   if (trace.size() != mean.size())
@@ -100,24 +111,39 @@ PcaBasis compute_pca(const trace::TraceSet& set, std::size_t n_components,
 
   PcaBasis basis;
   basis.mean.assign(s, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto t = set.trace(i);
-    for (std::size_t k = 0; k < s; ++k)
-      basis.mean[k] += static_cast<double>(t[k]);
-  }
+  // Each sample's sum accumulates in trace order inside its shard, so the
+  // mean (and everything downstream) is bit-identical for any thread count.
+  par::parallel_for(0, s, kSampleGrain, [&](std::size_t k0, std::size_t k1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t = set.trace(i);
+      for (std::size_t k = k0; k < k1; ++k)
+        basis.mean[k] += static_cast<double>(t[k]);
+    }
+  });
   for (double& m : basis.mean) m /= static_cast<double>(n);
 
-  std::vector<double> cov(s * s, 0.0);
-  std::vector<double> centered(s);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto t = set.trace(i);
-    for (std::size_t k = 0; k < s; ++k)
-      centered[k] = static_cast<double>(t[k]) - basis.mean[k];
-    for (std::size_t r = 0; r < s; ++r) {
-      const double cr = centered[r];
-      for (std::size_t c = r; c < s; ++c) cov[r * s + c] += cr * centered[c];
+  // Centered fit matrix (disjoint rows, pure per-element transform), then
+  // the upper-triangle covariance sharded by row: every cov element still
+  // sums its rank-1 contributions in trace order.
+  std::vector<double> centered(n * s);
+  par::parallel_for(0, n, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const auto t = set.trace(i);
+      double* row = centered.data() + i * s;
+      for (std::size_t k = 0; k < s; ++k)
+        row[k] = static_cast<double>(t[k]) - basis.mean[k];
     }
-  }
+  });
+  std::vector<double> cov(s * s, 0.0);
+  par::parallel_for(0, s, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = centered.data() + i * s;
+      for (std::size_t r = r0; r < r1; ++r) {
+        const double cr = row[r];
+        for (std::size_t c = r; c < s; ++c) cov[r * s + c] += cr * row[c];
+      }
+    }
+  });
   for (std::size_t r = 0; r < s; ++r)
     for (std::size_t c = r; c < s; ++c) {
       cov[r * s + c] /= static_cast<double>(n - 1);

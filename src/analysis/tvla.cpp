@@ -5,11 +5,16 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace rftc::analysis {
 
 namespace {
+
+/// Samples per Welch-accumulation shard (a pure constant, never a function
+/// of the thread count — see util/parallel.hpp).
+constexpr std::size_t kSampleGrain = 32;
 
 double max_abs(const std::vector<double>& v) {
   double m = 0.0;
@@ -17,11 +22,24 @@ double max_abs(const std::vector<double>& v) {
   return m;
 }
 
-void copy_trace(const trace::TraceSet& set, std::size_t i,
-                std::vector<double>& buf) {
-  const auto t = set.trace(i);
-  for (std::size_t s = 0; s < buf.size(); ++s)
-    buf[s] = static_cast<double>(t[s]);
+/// Accumulates traces [i0, i1) of both populations, sharded over samples:
+/// every shard owns a disjoint sample range and walks the traces in index
+/// order, so each per-sample Welch accumulator sees exactly the serial
+/// update sequence for any thread count.
+void accumulate_block(WelchTTest& test, const trace::TvlaCapture& capture,
+                      std::size_t i0, std::size_t i1, bool fixed,
+                      bool random) {
+  const std::size_t samples = capture.fixed.samples();
+  par::parallel_for(0, samples, kSampleGrain,
+                    [&](std::size_t s0, std::size_t s1) {
+                      for (std::size_t i = i0; i < i1; ++i) {
+                        if (fixed)
+                          test.add_fixed_range(capture.fixed.trace(i), s0, s1);
+                        if (random)
+                          test.add_random_range(capture.random.trace(i), s0,
+                                                s1);
+                      }
+                    });
 }
 
 }  // namespace
@@ -31,38 +49,32 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture) {
     throw std::invalid_argument("run_tvla: sample count mismatch");
   RFTC_OBS_SPAN(span, "analysis", "run_tvla");
   WelchTTest test(capture.fixed.samples());
-  std::vector<double> buf(capture.fixed.samples());
   TvlaResult res;
 
-  // Accumulate the populations pairwise so the t-statistic is meaningful at
-  // intermediate counts; checkpoint at every doubling from 128 pairs.  The
-  // Welch statistic is order-independent, so the final t_values are
-  // identical to the old fixed-then-random accumulation.
+  // Both populations advance in lockstep so the t-statistic is meaningful
+  // at intermediate counts; checkpoint at every doubling from 128 pairs.
+  // The fixed and random accumulators are independent, so accumulating a
+  // whole inter-checkpoint block at once (sample-sharded) gives the same
+  // t_values as the old pairwise-interleaved loop.
   const std::size_t paired =
       std::min(capture.fixed.size(), capture.random.size());
   std::size_t next_checkpoint = 128;
-  for (std::size_t i = 0; i < paired; ++i) {
-    copy_trace(capture.fixed, i, buf);
-    test.add_fixed(buf);
-    copy_trace(capture.random, i, buf);
-    test.add_random(buf);
-    if (i + 1 == next_checkpoint && i + 1 < paired) {
+  std::size_t i = 0;
+  while (i < paired) {
+    const std::size_t block_end = std::min(next_checkpoint, paired);
+    accumulate_block(test, capture, i, block_end, true, true);
+    i = block_end;
+    if (i == next_checkpoint && i < paired) {
       const double t_now = max_abs(test.t_values());
-      res.convergence.emplace_back(i + 1, t_now);
+      res.convergence.emplace_back(i, t_now);
       RFTC_OBS_INSTANT("analysis", "tvla.checkpoint",
-                       {"traces_per_population", static_cast<double>(i + 1)},
+                       {"traces_per_population", static_cast<double>(i)},
                        {"max_abs_t", t_now});
       next_checkpoint *= 2;
     }
   }
-  for (std::size_t i = paired; i < capture.fixed.size(); ++i) {
-    copy_trace(capture.fixed, i, buf);
-    test.add_fixed(buf);
-  }
-  for (std::size_t i = paired; i < capture.random.size(); ++i) {
-    copy_trace(capture.random, i, buf);
-    test.add_random(buf);
-  }
+  accumulate_block(test, capture, paired, capture.fixed.size(), true, false);
+  accumulate_block(test, capture, paired, capture.random.size(), false, true);
 
   res.t_values = test.t_values();
   for (std::size_t s = 0; s < res.t_values.size(); ++s) {

@@ -2,17 +2,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::obs {
 
+namespace {
+
+/// Positive integer from the environment, or `fallback`.
+std::size_t env_count(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
 BenchReport::BenchReport(std::string name)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
   // Benches are the primary profiling targets: make sure the RFTC_OBS_*
   // sinks are armed even if no instrumented code ran yet.
   init_from_env();
+  // Every report carries the parallelism configuration it ran under, so
+  // BENCH_*.json files from different machines/settings stay comparable.
+  // The knobs are re-read from the environment here rather than asked of
+  // rftc::par / CpaEngine: rftc_util links against rftc_obs, so obs calling
+  // into util would be a dependency cycle.  Defaults mirror
+  // par::thread_count() and CpaEngine::default_batch_size().
+  const std::size_t hw = std::thread::hardware_concurrency();
+  metric("threads",
+         static_cast<double>(env_count("RFTC_THREADS", hw > 0 ? hw : 1)),
+         "threads");
+  metric("batch", static_cast<double>(env_count("RFTC_CPA_BATCH", 64)),
+         "traces");
 }
 
 void BenchReport::throughput(double value, std::string unit) {

@@ -12,6 +12,10 @@
 //     "notes": {"<key>": "<string>", ...}     // e.g. scale profile
 //   }
 //
+// Every report automatically carries "threads" and "batch" metrics — the
+// RFTC_THREADS / RFTC_CPA_BATCH configuration the bench ran under (CI
+// asserts their presence).
+//
 // The output directory defaults to the working directory; set
 // RFTC_BENCH_DIR to redirect.
 #pragma once

@@ -1,6 +1,11 @@
 #include "trace/acquisition.hpp"
 
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 
 namespace rftc::trace {
 
@@ -86,6 +91,120 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
                        {"of", static_cast<double>(2 * n_per_population)});
   }
   return cap;
+}
+
+namespace {
+
+/// The shard's plaintext substream: `seed` advanced by `shard_index`
+/// jumps (each jump is 2^128 draws, so substreams cannot overlap).
+Xoshiro256StarStar shard_stream(std::uint64_t seed, std::size_t shard_index) {
+  Xoshiro256StarStar rng(seed);
+  for (std::size_t j = 0; j < shard_index; ++j) rng.jump();
+  return rng;
+}
+
+}  // namespace
+
+TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
+                                 std::size_t n, std::uint64_t seed,
+                                 std::size_t shard_size) {
+  if (shard_size == 0)
+    throw std::invalid_argument("acquire_random_parallel: zero shard size");
+  RFTC_OBS_SPAN(span, "trace", "acquire_random_parallel");
+  span.arg("n", static_cast<double>(n));
+  if (n == 0) return TraceSet(factory(0).sim.samples());
+  obs::Counter& captured = captured_counter();
+
+  auto merged = par::sharded_reduce(
+      0, n, shard_size, std::optional<TraceSet>{},
+      [&](std::size_t b, std::size_t e) {
+        CaptureShard shard = factory(b / shard_size);
+        Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
+        TraceSet set(shard.sim.samples());
+        set.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          const aes::Block pt = random_block(rng);
+          const core::EncryptionRecord rec = shard.encryptor(pt);
+          set.add(shard.sim.simulate(rec.schedule, rec.activity), pt,
+                  rec.ciphertext);
+          captured.inc();
+        }
+        RFTC_OBS_INSTANT("trace", "acquire_random_parallel.shard",
+                         {"first", static_cast<double>(b)},
+                         {"count", static_cast<double>(e - b)});
+        return set;
+      },
+      [](std::optional<TraceSet>& acc, std::optional<TraceSet>&& part) {
+        if (!acc)
+          acc = std::move(part);
+        else
+          acc->append(*part);
+      });
+  return std::move(*merged);
+}
+
+TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
+                                  std::size_t n_per_population,
+                                  const aes::Block& fixed_plaintext,
+                                  std::uint64_t seed,
+                                  std::size_t shard_size) {
+  if (shard_size == 0)
+    throw std::invalid_argument("acquire_tvla_parallel: zero shard size");
+  RFTC_OBS_SPAN(span, "trace", "acquire_tvla_parallel");
+  span.arg("n_per_population", static_cast<double>(n_per_population));
+  if (n_per_population == 0) {
+    const std::size_t samples = factory(0).sim.samples();
+    return TvlaCapture{TraceSet(samples), TraceSet(samples)};
+  }
+  obs::Counter& captured = captured_counter();
+
+  auto merged = par::sharded_reduce(
+      0, n_per_population, shard_size, std::optional<TvlaCapture>{},
+      [&](std::size_t b, std::size_t e) {
+        CaptureShard shard = factory(b / shard_size);
+        Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
+        TvlaCapture cap{TraceSet(shard.sim.samples()),
+                        TraceSet(shard.sim.samples())};
+        cap.fixed.reserve(e - b);
+        cap.random.reserve(e - b);
+        std::size_t remaining_fixed = e - b;
+        std::size_t remaining_random = e - b;
+        while (remaining_fixed > 0 || remaining_random > 0) {
+          bool take_fixed;
+          if (remaining_fixed == 0) {
+            take_fixed = false;
+          } else if (remaining_random == 0) {
+            take_fixed = true;
+          } else {
+            take_fixed = (rng.next() & 1) != 0;
+          }
+          const aes::Block pt =
+              take_fixed ? fixed_plaintext : random_block(rng);
+          const core::EncryptionRecord rec = shard.encryptor(pt);
+          auto tr = shard.sim.simulate(rec.schedule, rec.activity);
+          if (take_fixed) {
+            cap.fixed.add(std::move(tr), pt, rec.ciphertext);
+            --remaining_fixed;
+          } else {
+            cap.random.add(std::move(tr), pt, rec.ciphertext);
+            --remaining_random;
+          }
+          captured.inc();
+        }
+        RFTC_OBS_INSTANT("trace", "acquire_tvla_parallel.shard",
+                         {"first_pair", static_cast<double>(b)},
+                         {"pairs", static_cast<double>(e - b)});
+        return cap;
+      },
+      [](std::optional<TvlaCapture>& acc, std::optional<TvlaCapture>&& part) {
+        if (!acc) {
+          acc = std::move(part);
+        } else {
+          acc->fixed.append(part->fixed);
+          acc->random.append(part->random);
+        }
+      });
+  return std::move(*merged);
 }
 
 }  // namespace rftc::trace

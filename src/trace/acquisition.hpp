@@ -32,4 +32,43 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
                          const aes::Block& fixed_plaintext,
                          Xoshiro256StarStar& rng);
 
+/// Everything one shard of a parallel campaign needs: its own encryptor
+/// (devices are stateful — a shared one would serialize the shards and
+/// entangle their schedules) and its own trace simulator.
+struct CaptureShard {
+  Encryptor encryptor;
+  TraceSimulator sim;
+};
+
+/// Builds the capture resources for one shard of a parallel campaign.
+/// MUST be a pure function of the shard index (same index → same device
+/// and simulator seeds): shard boundaries and substreams are already
+/// thread-count independent, so factory purity is the only obligation left
+/// to the caller for bit-identical campaigns under any RFTC_THREADS.
+/// Called concurrently from pool workers.
+using CaptureShardFactory = std::function<CaptureShard(std::size_t)>;
+
+/// Traces per shard of the parallel acquisition campaigns below.
+inline constexpr std::size_t kCaptureShardSize = 1024;
+
+/// Parallel random-plaintext capture.  Shard j covers traces
+/// [j·shard_size, (j+1)·shard_size) and draws its plaintexts from the
+/// j-times-jump()ed substream of `seed` (2^128 draws apart, so shards
+/// never overlap); shards merge back in index order.  The returned set is
+/// bit-identical for any thread count — but it is a different (equally
+/// random) campaign than serial acquire_random() with the same seed.
+TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
+                                 std::size_t n, std::uint64_t seed,
+                                 std::size_t shard_size = kCaptureShardSize);
+
+/// Parallel TVLA capture: each shard interleaves its quota of fixed and
+/// random encryptions with its own substream (same coin-flip schedule as
+/// the serial version, per shard), and the per-population sets merge in
+/// shard order.  Same determinism contract as acquire_random_parallel.
+TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
+                                  std::size_t n_per_population,
+                                  const aes::Block& fixed_plaintext,
+                                  std::uint64_t seed,
+                                  std::size_t shard_size = kCaptureShardSize);
+
 }  // namespace rftc::trace

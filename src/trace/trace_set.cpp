@@ -19,6 +19,22 @@ void TraceSet::add(std::vector<float> trace, const aes::Block& plaintext,
   ciphertexts_.push_back(ciphertext);
 }
 
+void TraceSet::reserve(std::size_t n) {
+  data_.reserve(n * n_samples_);
+  plaintexts_.reserve(n);
+  ciphertexts_.reserve(n);
+}
+
+void TraceSet::append(const TraceSet& other) {
+  if (other.n_samples_ != n_samples_)
+    throw std::invalid_argument("TraceSet::append: sample count mismatch");
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  plaintexts_.insert(plaintexts_.end(), other.plaintexts_.begin(),
+                     other.plaintexts_.end());
+  ciphertexts_.insert(ciphertexts_.end(), other.ciphertexts_.begin(),
+                      other.ciphertexts_.end());
+}
+
 std::span<const float> TraceSet::trace(std::size_t i) const {
   return {data_.data() + i * n_samples_, n_samples_};
 }

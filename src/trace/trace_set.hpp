@@ -18,6 +18,13 @@ class TraceSet {
   void add(std::vector<float> trace, const aes::Block& plaintext,
            const aes::Block& ciphertext);
 
+  /// Pre-allocates room for `n` traces.
+  void reserve(std::size_t n);
+
+  /// Appends every trace of `other` (same sample count) in order — the
+  /// ordered-merge step of parallel acquisition.
+  void append(const TraceSet& other);
+
   std::size_t size() const { return plaintexts_.size(); }
   std::size_t samples() const { return n_samples_; }
 

@@ -66,6 +66,26 @@ double Xoshiro256StarStar::gaussian() {
   return r * std::cos(theta);
 }
 
+void Xoshiro256StarStar::jump() {
+  // Jump constants from the reference xoshiro256 implementation (Blackman
+  // & Vigna): the characteristic-polynomial power x^(2^128) mod P.
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      next();
+    }
+  }
+  s_ = acc;
+  have_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
+}
+
 Lfsr128::Lfsr128(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
   if (lo_ == 0 && hi_ == 0) lo_ = 1;
 }

@@ -47,6 +47,13 @@ class Xoshiro256StarStar {
   /// Standard normal via Box–Muller (stateless per call pair).
   double gaussian();
 
+  /// Advances the state by 2^128 next() calls (the canonical xoshiro256
+  /// jump polynomial).  k successive jumps from one seed yield k
+  /// non-overlapping substreams of length 2^128 — how parallel acquisition
+  /// derives one independent, seed-stable generator per shard.  Clears any
+  /// cached Box–Muller half so substreams start from a clean state.
+  void jump();
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool have_cached_gaussian_ = false;

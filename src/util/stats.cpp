@@ -65,6 +65,20 @@ void WelchTTest::add_random(std::span<const double> trace) {
   for (std::size_t i = 0; i < trace.size(); ++i) random_[i].add(trace[i]);
 }
 
+void WelchTTest::add_fixed_range(std::span<const float> trace, std::size_t s0,
+                                 std::size_t s1) {
+  assert(trace.size() == fixed_.size() && s1 <= trace.size());
+  for (std::size_t i = s0; i < s1; ++i)
+    fixed_[i].add(static_cast<double>(trace[i]));
+}
+
+void WelchTTest::add_random_range(std::span<const float> trace, std::size_t s0,
+                                  std::size_t s1) {
+  assert(trace.size() == random_.size() && s1 <= trace.size());
+  for (std::size_t i = s0; i < s1; ++i)
+    random_[i].add(static_cast<double>(trace[i]));
+}
+
 std::size_t WelchTTest::fixed_count() const {
   return fixed_.empty() ? 0 : fixed_.front().count();
 }

@@ -47,6 +47,16 @@ class WelchTTest {
   void add_fixed(std::span<const double> trace);
   void add_random(std::span<const double> trace);
 
+  /// Range variants for the sample-sharded parallel TVLA path: accumulate
+  /// samples [s0, s1) of a raw float trace into the matching per-sample
+  /// moments.  Each sample sees the same double-converted value and update
+  /// order as the full-trace overloads, so sharding over samples is
+  /// bit-identical to the serial accumulation.
+  void add_fixed_range(std::span<const float> trace, std::size_t s0,
+                       std::size_t s1);
+  void add_random_range(std::span<const float> trace, std::size_t s0,
+                        std::size_t s1);
+
   std::size_t samples() const { return fixed_.size(); }
   std::size_t fixed_count() const;
   std::size_t random_count() const;

@@ -1,0 +1,191 @@
+// Determinism guarantees of the parallel pipeline (docs/PERFORMANCE.md):
+// with a fixed seed, captures and analyses are bit-identical for any
+// RFTC_THREADS and any CPA batch size, and on raw quantized traces the
+// batched CPA engine agrees bit-for-bit with the streaming reference.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "analysis/cpa.hpp"
+#include "analysis/tvla.hpp"
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace rftc {
+namespace {
+
+constexpr std::size_t kThreadSweep[] = {1, 2, 8};
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(par::thread_count()) {}
+  ~ThreadCountGuard() { par::set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+aes::Key test_key() {
+  aes::Key k{};
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(0x2B + 7 * i);
+  return k;
+}
+
+/// Pure shard factory over the unprotected fixed-clock device (fast, and
+/// its traces are exactly ADC-quantized like every simulator output).
+trace::CaptureShardFactory test_factory() {
+  const aes::Key key = test_key();
+  return [key](std::size_t shard) {
+    auto dev = std::make_shared<core::ScheduledAesDevice>(
+        key, std::make_unique<sched::FixedClockScheduler>(48.0));
+    trace::PowerModelParams pm;
+    return trace::CaptureShard{
+        [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+        trace::TraceSimulator(pm, 0x1234 + shard)};
+  };
+}
+
+void expect_identical(const trace::TraceSet& a, const trace::TraceSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.samples(), b.samples());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.plaintext(i), b.plaintext(i)) << "trace " << i;
+    EXPECT_EQ(a.ciphertext(i), b.ciphertext(i)) << "trace " << i;
+    ASSERT_EQ(std::memcmp(a.trace(i).data(), b.trace(i).data(),
+                          a.samples() * sizeof(float)),
+              0)
+        << "trace " << i;
+  }
+}
+
+TEST(Determinism, ParallelAcquisitionIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  std::unique_ptr<trace::TraceSet> reference;
+  for (const std::size_t threads : kThreadSweep) {
+    par::set_thread_count(threads);
+    trace::TraceSet set = trace::acquire_random_parallel(
+        test_factory(), 250, /*seed=*/77, /*shard_size=*/64);
+    ASSERT_EQ(set.size(), 250u);
+    if (!reference) {
+      reference = std::make_unique<trace::TraceSet>(std::move(set));
+      continue;
+    }
+    expect_identical(*reference, set);
+  }
+}
+
+TEST(Determinism, ParallelTvlaCaptureIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  aes::Block fixed{};
+  for (std::size_t i = 0; i < 16; ++i) fixed[i] = static_cast<std::uint8_t>(i);
+  std::unique_ptr<trace::TvlaCapture> reference;
+  for (const std::size_t threads : kThreadSweep) {
+    par::set_thread_count(threads);
+    trace::TvlaCapture cap = trace::acquire_tvla_parallel(
+        test_factory(), 120, fixed, /*seed=*/99, /*shard_size=*/32);
+    ASSERT_EQ(cap.fixed.size(), 120u);
+    ASSERT_EQ(cap.random.size(), 120u);
+    if (!reference) {
+      reference = std::make_unique<trace::TvlaCapture>(std::move(cap));
+      continue;
+    }
+    expect_identical(reference->fixed, cap.fixed);
+    expect_identical(reference->random, cap.random);
+  }
+}
+
+TEST(Determinism, TvlaTCurveIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  aes::Block fixed{};
+  fixed[0] = 0x42;
+  const trace::TvlaCapture cap = trace::acquire_tvla_parallel(
+      test_factory(), 150, fixed, /*seed=*/5, /*shard_size=*/64);
+  std::vector<double> reference;
+  for (const std::size_t threads : kThreadSweep) {
+    par::set_thread_count(threads);
+    const analysis::TvlaResult res = analysis::run_tvla(cap);
+    ASSERT_EQ(res.t_values.size(), cap.fixed.samples());
+    if (reference.empty()) {
+      reference = res.t_values;
+      continue;
+    }
+    ASSERT_EQ(std::memcmp(reference.data(), res.t_values.data(),
+                          reference.size() * sizeof(double)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+void expect_identical_reports(
+    const std::vector<analysis::CpaEngine::ByteReport>& a,
+    const std::vector<analysis::CpaEngine::ByteReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].byte_pos, b[i].byte_pos);
+    ASSERT_EQ(std::memcmp(a[i].peak_abs_corr.data(), b[i].peak_abs_corr.data(),
+                          sizeof a[i].peak_abs_corr),
+              0)
+        << "byte report " << i;
+  }
+}
+
+std::vector<analysis::CpaEngine::ByteReport> batched_report(
+    const trace::TraceSet& set, aes::LeakageModel model, std::size_t batch) {
+  analysis::CpaEngine engine(set.samples(), {0, 7, 15}, model,
+                             analysis::CpaMode::kBatched);
+  engine.set_batch_size(batch);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    engine.add(set.plaintext(i), set.ciphertext(i), set.trace(i));
+  return engine.report();
+}
+
+TEST(Determinism, BatchedCpaInvariantToThreadsAndBatch) {
+  ThreadCountGuard guard;
+  const trace::TraceSet set = trace::acquire_random_parallel(
+      test_factory(), 300, /*seed=*/13, /*shard_size=*/64);
+  std::vector<analysis::CpaEngine::ByteReport> reference;
+  for (const std::size_t threads : kThreadSweep) {
+    par::set_thread_count(threads);
+    for (const std::size_t batch : {1u, 7u, 64u}) {
+      const auto reports =
+          batched_report(set, aes::LeakageModel::kLastRoundHd, batch);
+      if (reference.empty()) {
+        reference = reports;
+        continue;
+      }
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      expect_identical_reports(reference, reports);
+    }
+  }
+}
+
+/// Golden cross-engine check: on raw simulator traces (exact multiples of
+/// the ADC quantum) the class-sum/WHT engine must reproduce the streaming
+/// reference bit-for-bit, under both leakage models.
+TEST(Determinism, BatchedCpaMatchesStreamingOnQuantizedTraces) {
+  ThreadCountGuard guard;
+  par::set_thread_count(2);
+  const trace::TraceSet set = trace::acquire_random_parallel(
+      test_factory(), 300, /*seed=*/21, /*shard_size=*/64);
+  for (const auto model : {aes::LeakageModel::kLastRoundHd,
+                           aes::LeakageModel::kFirstRoundHw}) {
+    analysis::CpaEngine streaming(set.samples(), {0, 7, 15}, model,
+                                  analysis::CpaMode::kStreaming);
+    for (std::size_t i = 0; i < set.size(); ++i)
+      streaming.add(set.plaintext(i), set.ciphertext(i), set.trace(i));
+    SCOPED_TRACE(model == aes::LeakageModel::kLastRoundHd ? "last-round"
+                                                          : "first-round");
+    expect_identical_reports(streaming.report(),
+                             batched_report(set, model, 64));
+  }
+}
+
+}  // namespace
+}  // namespace rftc
