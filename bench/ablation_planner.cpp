@@ -46,6 +46,7 @@ int main() {
   const bench::ScaleProfile profile = bench::scale_profile();
   const int p = profile.name == "full" ? 512 : 128;
   report.note("profile", profile.name);
+  report.seed(0x5EED0000);  // campaign seed base
   report.metric("p_configs", p);
   bench::print_header("Ablation — planner and clocking design choices (P=" +
                       std::to_string(p) + ")");

@@ -45,6 +45,7 @@ int main() {
   obs::BenchReport report("extensions_future_work");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(77);  // planner seed; captures derive from 405
   bench::print_header("Extensions — §8 future work, profile " + profile.name);
 
   std::printf("\n[1] Sliding-Window CPA [8] (checkpoint:success)\n");

@@ -59,6 +59,7 @@ int main() {
   // P=256 to keep the bench snappy (the histogram structure is identical).
   const int p = profile.name == "full" ? 1024 : 256;
   const std::size_t n = profile.histogram_encryptions;
+  report.seed(1);  // planner seed of both M=3 planners below
   report.note("profile", profile.name);
   report.metric("p_configs", p);
   bench::print_header("Fig. 3 — completion-time histograms (" +

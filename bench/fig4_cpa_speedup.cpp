@@ -38,6 +38,7 @@ int main() {
   obs::BenchReport report("fig4_cpa_speedup");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(0x5EED0000);  // rftc_factory campaign seed base
   bench::print_header("CPA engine speedup — streaming (1 thread) vs batched "
                       "(RFTC_THREADS), profile " +
                       profile.name);

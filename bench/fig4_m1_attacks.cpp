@@ -14,6 +14,7 @@ int main() {
   obs::BenchReport report("fig4_m1_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(0x5EED0000);  // rftc_factory campaign seed base
   bench::print_header("Fig. 4 — attacks on RFTC(1, P), profile " +
                       profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {

@@ -12,6 +12,7 @@ int main() {
   obs::BenchReport report("fig5_m2_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(0x5EED0000);  // rftc_factory campaign seed base
   bench::print_header("Fig. 5 — attacks on RFTC(2, P), profile " +
                       profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/convergence.hpp"
 #include "analysis/tvla.hpp"
 #include "common.hpp"
 #include "sched/fixed_clock.hpp"
@@ -19,7 +20,8 @@ using namespace rftc;
 
 analysis::TvlaResult tvla_for_encryptor(const trace::Encryptor& enc,
                                         std::size_t n_per_pop,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        analysis::ConvergenceMonitor* monitor) {
   trace::PowerModelParams pm;
   trace::TraceSimulator sim(pm, seed);
   Xoshiro256StarStar rng(seed + 1);
@@ -31,7 +33,7 @@ analysis::TvlaResult tvla_for_encryptor(const trace::Encryptor& enc,
   fixed = tvla_fixed;
   const trace::TvlaCapture cap =
       trace::acquire_tvla(enc, sim, n_per_pop, fixed, rng);
-  return analysis::run_tvla(cap);
+  return analysis::run_tvla(cap, monitor);
 }
 
 void report_line(const std::string& label, const analysis::TvlaResult& res,
@@ -63,6 +65,7 @@ int main() {
   obs::BenchReport report("fig6_tvla");
   const bench::ScaleProfile profile = bench::scale_profile();
   const std::size_t n = profile.tvla_traces;
+  report.seed(900);  // base of the per-config capture seeds below
   report.note("profile", profile.name);
   report.metric("traces_per_population", static_cast<double>(n), "traces");
   bench::print_header("Fig. 6 — TVLA, " + std::to_string(n) +
@@ -75,25 +78,35 @@ int main() {
 
   core::ScheduledAesDevice unprot(
       key, std::make_unique<sched::FixedClockScheduler>(48.0));
+  analysis::ConvergenceMonitor mon_u;
   const auto res_u = tvla_for_encryptor(
-      [&](const aes::Block& pt) { return unprot.encrypt(pt); }, n, 900);
+      [&](const aes::Block& pt) { return unprot.encrypt(pt); }, n, 900,
+      &mon_u);
   report_line("Unprotected @ 48 MHz", res_u, load_region);
   report.metric("unprotected.max_abs_t", res_u.max_abs_t, "|t|");
+  mon_u.emit(report.manifest(), "unprotected.");
 
   std::vector<std::vector<double>> curves;
   for (const int m : {1, 2, 3}) {
     for (const int p : {4, 1024}) {
+      const std::string label =
+          "rftc_" + std::to_string(m) + "_" + std::to_string(p);
       core::RftcDevice dev = core::RftcDevice::make(
           key, m, p, 7'000 + static_cast<std::uint64_t>(m * 10 + p));
+      analysis::ConvergenceMonitor monitor;
       const auto res = tvla_for_encryptor(
           [&](const aes::Block& pt) { return dev.encrypt(pt); }, n,
-          1'000 + static_cast<std::uint64_t>(m * 100 + p));
+          1'000 + static_cast<std::uint64_t>(m * 100 + p), &monitor);
       report_line("RFTC(" + std::to_string(m) + ", " + std::to_string(p) +
                       ")",
                   res, load_region);
-      report.metric("rftc_" + std::to_string(m) + "_" + std::to_string(p) +
-                        ".max_abs_t",
-                    res.max_abs_t, "|t|");
+      report.metric(label + ".max_abs_t", res.max_abs_t, "|t|");
+      monitor.emit(report.manifest(), label + ".");
+      if (m == 3 && p == 1024) {
+        std::printf("\nTVLA convergence, RFTC(3, 1024) (|t| over the trace "
+                    "axis, log-spaced checkpoints):\n");
+        monitor.print_tvla_table();
+      }
       if (p == 1024) curves.push_back(res.t_values);
     }
   }

@@ -11,6 +11,7 @@ int main() {
   obs::BenchReport report("m3_attacks");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(0x5EED0000);  // rftc_factory campaign seed base
   bench::print_header("§7 — attacks on RFTC(3, P) (paper: secure to 4M "
                       "traces), profile " + profile.name);
   for (const int p : {4, 16, 64, 256, 1024}) {

@@ -230,6 +230,7 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   rftc::obs::BenchReport report("microbench");
+  report.seed(1);  // fixtures use small fixed per-benchmark seeds
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CaptureReporter reporter(report);

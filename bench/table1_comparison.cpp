@@ -78,6 +78,7 @@ int main() {
   obs::BenchReport report("table1_comparison");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.seed(99);  // planner seed; campaign seeds derive from 0xF000
   bench::print_header("Table 1 — RFTC vs related work, profile " +
                       profile.name);
   const std::size_t hist_n = profile.name == "full" ? 200'000 : 50'000;

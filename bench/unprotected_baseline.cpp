@@ -13,6 +13,7 @@ int main() {
   bench::ScaleProfile profile = bench::scale_profile();
   // The unprotected core breaks quickly: finer checkpoints at the low end.
   profile.sr_checkpoints = {50, 100, 200, 400, 800, 1'600, 3'200};
+  report.seed(0xC000);  // unprotected_factory campaign seed base
   report.note("profile", profile.name);
   bench::print_header("§7 — unprotected AES baseline, profile " +
                       profile.name);

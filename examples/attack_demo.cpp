@@ -9,8 +9,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "analysis/attacks.hpp"
+#include "analysis/convergence.hpp"
+#include "obs/checkpoints.hpp"
+#include "obs/run_manifest.hpp"
 #include "rftc/device.hpp"
 #include "sched/fixed_clock.hpp"
 #include "trace/acquisition.hpp"
@@ -20,10 +24,14 @@ namespace {
 using namespace rftc;
 
 void attack(const char* label, const trace::TraceSet& set,
-            const aes::Key& true_key) {
+            const aes::Key& true_key, const std::string& stream,
+            obs::RunManifest& manifest) {
   const aes::Block rk10 = aes::expand_key(true_key)[10];
   analysis::AttackParams params;
   params.kind = analysis::AttackKind::kCpa;  // attack all 16 bytes
+  params.checkpoints = obs::checkpoints_from_env(set.size());
+  analysis::ConvergenceMonitor monitor;
+  params.monitor = &monitor;
   const analysis::AttackOutcome outcome =
       analysis::run_attack(set, rk10, params);
 
@@ -55,6 +63,9 @@ void attack(const char* label, const trace::TraceSet& set,
   } else {
     std::printf("  attack FAILED (key not recovered)\n");
   }
+  std::printf("  convergence (log-spaced checkpoints):\n");
+  monitor.print_cpa_table();
+  monitor.emit(manifest, stream + ".");
 }
 
 }  // namespace
@@ -65,6 +76,8 @@ int main(int argc, char** argv) {
   const aes::Key key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
                         0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C};
   trace::PowerModelParams pm;
+  obs::RunManifest manifest("attack_demo");
+  manifest.provenance().seed = 1;  // base of the capture seeds below
 
   {
     core::ScheduledAesDevice dev(
@@ -73,7 +86,7 @@ int main(int argc, char** argv) {
     Xoshiro256StarStar rng(2);
     const trace::TraceSet set = trace::acquire_random(
         [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
-    attack("Unprotected AES @ 48 MHz", set, key);
+    attack("Unprotected AES @ 48 MHz", set, key, "unprotected", manifest);
   }
   {
     core::RftcDevice dev = core::RftcDevice::make(key, 3, 64, 3);
@@ -81,7 +94,10 @@ int main(int argc, char** argv) {
     Xoshiro256StarStar rng(5);
     const trace::TraceSet set = trace::acquire_random(
         [&](const aes::Block& pt) { return dev.encrypt(pt); }, sim, n, rng);
-    attack("RFTC(3, 64)", set, key);
+    attack("RFTC(3, 64)", set, key, "rftc_3_64", manifest);
   }
+  manifest.final_metric("traces", static_cast<double>(n), "traces");
+  manifest.write();
+  std::printf("\nrun manifest: %s\n", manifest.path().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/convergence.hpp"
 #include "analysis/fft.hpp"
 #include "analysis/pca.hpp"
 #include "obs/obs.hpp"
@@ -222,6 +223,8 @@ AttackOutcome run_attack(const trace::TraceSet& raw,
                        {"traces", static_cast<double>(checkpoints[next_cp])},
                        {"peak_corr", ev.peak_corr},
                        {"mean_rank", ev.mean_rank});
+      if (params.monitor != nullptr)
+        params.monitor->observe_cpa(engine, correct_key);
       ++next_cp;
     }
   }

@@ -17,6 +17,8 @@
 
 namespace rftc::analysis {
 
+class ConvergenceMonitor;
+
 // kSwCpa is the Sliding-Window CPA of Fledel & Wool [8], which the paper's
 // §8 proposes to test against RFTC as future work: each feature integrates a
 // window of consecutive samples, trading time resolution for tolerance of
@@ -57,6 +59,10 @@ struct AttackParams {
   /// Checkpoints (trace counts) at which key ranks are recorded; empty
   /// selects just the full set.
   std::vector<std::size_t> checkpoints;
+  /// Optional streaming monitor: snapshotted (observe_cpa) at every
+  /// checkpoint, fed from the live engine without re-scanning traces.
+  /// Not owned; must outlive the run_attack call.
+  ConvergenceMonitor* monitor = nullptr;
 };
 
 struct AttackOutcome {

@@ -1,0 +1,126 @@
+// ConvergenceMonitor: streaming security telemetry over a running CPA
+// attack or TVLA assessment.
+//
+// RFTC's security claims are curves over the trace axis — CPA correlation
+// and key rank staying flat, |t| < 4.5, MTD growing without bound — so the
+// monitor snapshots those quantities at trace-count checkpoints
+// (obs::checkpoints_from_env, log-spaced by default) while the accumulators
+// are still being fed, without ever re-scanning the trace set:
+//
+//  * observe_cpa() takes ONE CpaEngine::report() pass and records, per
+//    attacked byte, the correct-key peak correlation and rank, plus the
+//    byte-max |correlation| of the best guess, full-key recovery, and an
+//    MTD (measurements-to-disclosure) estimate with a bootstrap confidence
+//    interval (resampling the attacked-byte set; deterministic under the
+//    configured seed).
+//  * observe_tvla() reads the Welch accumulator's per-sample t statistics
+//    and records the signed extrema, |t| max, and leaking-sample count.
+//
+// Snapshots are pure functions of the accumulator state, so a monitor fed
+// from the deterministic CPA/TVLA pipeline is bit-identical under any
+// RFTC_THREADS and either CPA engine mode (pinned by tests).  The recorded
+// stream can be pretty-printed as a compact convergence table or appended
+// to an obs::RunManifest as "cpa" / "tvla" checkpoint records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/cpa.hpp"
+#include "obs/run_manifest.hpp"
+#include "util/stats.hpp"
+
+namespace rftc::analysis {
+
+/// Mangard's rule-of-thumb sample count for distinguishing a correlation of
+/// `rho` from zero with confidence quantile `z`:
+/// n = 3 + 8 (z / ln((1+rho)/(1-rho)))^2.  Returns 0 ("not estimable")
+/// when rho <= 0, and the 3-trace floor as rho -> 1.
+double mtd_from_correlation(double rho, double z = 3.719);
+
+/// MTD estimate with a bootstrap percentile confidence interval.
+struct MtdEstimate {
+  /// Estimated traces to full-key disclosure (the weakest attacked byte
+  /// binds); 0 = not estimable at this checkpoint.
+  double point = 0.0;
+  /// Bootstrap 5th / 95th percentile (equal to `point` when fewer than two
+  /// resamples are usable).
+  double lo = 0.0;
+  double hi = 0.0;
+  /// True when every attacked byte already ranks first.
+  bool disclosed = false;
+};
+
+struct CpaCheckpoint {
+  std::size_t traces = 0;
+  /// Highest best-guess |corr| across attacked bytes (the distinguisher's
+  /// convergence signal).
+  double peak_corr = 0.0;
+  /// Mean rank of the correct byte values (1 = recovered).
+  double mean_rank = 0.0;
+  /// Worst (highest) rank across attacked bytes.
+  int max_rank = 0;
+  bool recovered = false;
+  /// Correct-key peak |corr| per attacked byte (engine byte order).
+  std::vector<double> byte_corr;
+  /// Rank of the correct value per attacked byte.
+  std::vector<int> byte_rank;
+  MtdEstimate mtd;
+};
+
+struct TvlaCheckpoint {
+  std::size_t traces_per_population = 0;
+  /// Signed Welch-t extrema over the samples.
+  double max_t = 0.0;
+  double min_t = 0.0;
+  double max_abs_t = 0.0;
+  std::size_t worst_sample = 0;
+  /// Samples with |t| above the 4.5 threshold.
+  std::size_t leaking_samples = 0;
+};
+
+class ConvergenceMonitor {
+ public:
+  struct Options {
+    /// Bootstrap resamples for the MTD confidence interval.
+    std::size_t bootstrap_resamples = 200;
+    /// Seed of the bootstrap resampler (fixed => deterministic CI).
+    std::uint64_t bootstrap_seed = 0x0B5EC0DE5EEDULL;
+    /// Confidence quantile of the MTD rule (3.719 ~ alpha 1e-4).
+    double mtd_z = 3.719;
+  };
+
+  ConvergenceMonitor() : ConvergenceMonitor(Options{}) {}
+  explicit ConvergenceMonitor(Options options);
+
+  /// Snapshot the CPA engine against the ground-truth key (round-10 key
+  /// for the last-round model).  One report() pass.
+  void observe_cpa(const CpaEngine& engine, const aes::Block& correct_key);
+
+  /// Snapshot a TVLA Welch accumulator (both populations at equal counts).
+  void observe_tvla(const WelchTTest& test);
+
+  const std::vector<CpaCheckpoint>& cpa() const { return cpa_; }
+  const std::vector<TvlaCheckpoint>& tvla() const { return tvla_; }
+
+  /// Compact convergence tables (one row per checkpoint).
+  void print_cpa_table(std::FILE* out = stdout) const;
+  void print_tvla_table(std::FILE* out = stdout) const;
+
+  /// Appends every snapshot as checkpoint records on streams
+  /// "<prefix>cpa" / "<prefix>tvla".
+  void emit(obs::RunManifest& manifest, const std::string& prefix = "") const;
+
+ private:
+  MtdEstimate estimate_mtd(const std::vector<double>& byte_corr,
+                           bool disclosed) const;
+
+  Options options_;
+  std::vector<CpaCheckpoint> cpa_;
+  std::vector<TvlaCheckpoint> tvla_;
+};
+
+}  // namespace rftc::analysis

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/convergence.hpp"
+#include "obs/checkpoints.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -44,7 +46,8 @@ void accumulate_block(WelchTTest& test, const trace::TvlaCapture& capture,
 
 }  // namespace
 
-TvlaResult run_tvla(const trace::TvlaCapture& capture) {
+TvlaResult run_tvla(const trace::TvlaCapture& capture,
+                    ConvergenceMonitor* monitor) {
   if (capture.fixed.samples() != capture.random.samples())
     throw std::invalid_argument("run_tvla: sample count mismatch");
   RFTC_OBS_SPAN(span, "analysis", "run_tvla");
@@ -52,27 +55,26 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture) {
   TvlaResult res;
 
   // Both populations advance in lockstep so the t-statistic is meaningful
-  // at intermediate counts; checkpoint at every doubling from 128 pairs.
-  // The fixed and random accumulators are independent, so accumulating a
-  // whole inter-checkpoint block at once (sample-sharded) gives the same
-  // t_values as the old pairwise-interleaved loop.
+  // at intermediate counts; checkpoints follow the obs schedule (log-spaced
+  // by default, RFTC_OBS_CHECKPOINTS to override).  The fixed and random
+  // accumulators are independent, so accumulating a whole inter-checkpoint
+  // block at once (sample-sharded) gives the same t_values as a
+  // pairwise-interleaved loop.
   const std::size_t paired =
       std::min(capture.fixed.size(), capture.random.size());
-  std::size_t next_checkpoint = 128;
   std::size_t i = 0;
-  while (i < paired) {
-    const std::size_t block_end = std::min(next_checkpoint, paired);
-    accumulate_block(test, capture, i, block_end, true, true);
-    i = block_end;
-    if (i == next_checkpoint && i < paired) {
-      const double t_now = max_abs(test.t_values());
-      res.convergence.emplace_back(i, t_now);
-      RFTC_OBS_INSTANT("analysis", "tvla.checkpoint",
-                       {"traces_per_population", static_cast<double>(i)},
-                       {"max_abs_t", t_now});
-      next_checkpoint *= 2;
-    }
+  for (const std::size_t cp : obs::checkpoints_from_env(paired)) {
+    if (cp >= paired) break;  // the final count is evaluated below
+    accumulate_block(test, capture, i, cp, true, true);
+    i = cp;
+    const double t_now = max_abs(test.t_values());
+    res.convergence.emplace_back(i, t_now);
+    RFTC_OBS_INSTANT("analysis", "tvla.checkpoint",
+                     {"traces_per_population", static_cast<double>(i)},
+                     {"max_abs_t", t_now});
+    if (monitor != nullptr) monitor->observe_tvla(test);
   }
+  accumulate_block(test, capture, i, paired, true, true);
   accumulate_block(test, capture, paired, capture.fixed.size(), true, false);
   accumulate_block(test, capture, paired, capture.random.size(), false, true);
 
@@ -90,6 +92,7 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture) {
       "analysis", "tvla.checkpoint",
       {"traces_per_population", static_cast<double>(capture.fixed.size())},
       {"max_abs_t", res.max_abs_t});
+  if (monitor != nullptr) monitor->observe_tvla(test);
   static obs::Gauge& last_t =
       obs::Registry::global().gauge("analysis.tvla.last_max_abs_t");
   last_t.set(res.max_abs_t);

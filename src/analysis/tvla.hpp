@@ -11,6 +11,8 @@
 
 namespace rftc::analysis {
 
+class ConvergenceMonitor;
+
 inline constexpr double kTvlaThreshold = 4.5;
 
 struct TvlaResult {
@@ -22,13 +24,18 @@ struct TvlaResult {
   /// Index of the worst sample.
   std::size_t worst_sample = 0;
   /// Convergence trajectory: (traces per population, max |t|) sampled at
-  /// doubling trace counts while the two populations are accumulated
+  /// the obs checkpoint schedule (log-spaced by default; override with
+  /// RFTC_OBS_CHECKPOINTS) while the two populations are accumulated
   /// interleaved, plus the final count — how the t-statistic approaches its
   /// asymptote as the adversary budget grows (also emitted as
   /// "tvla.checkpoint" trace events).
   std::vector<std::pair<std::size_t, double>> convergence;
 };
 
-TvlaResult run_tvla(const trace::TvlaCapture& capture);
+/// Runs the fixed-vs-random Welch t-test.  When `monitor` is non-null it is
+/// snapshotted (observe_tvla) at every convergence checkpoint, including
+/// the final count — so the monitor's last checkpoint equals max_abs_t.
+TvlaResult run_tvla(const trace::TvlaCapture& capture,
+                    ConvergenceMonitor* monitor = nullptr);
 
 }  // namespace rftc::analysis

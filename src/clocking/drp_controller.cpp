@@ -27,6 +27,8 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
       obs::Registry::global().counter("clk.drp.register_writes");
   static obs::Counter& sequences =
       obs::Registry::global().counter("clk.drp.sequences");
+  static obs::Histogram& apply_duration =
+      obs::Registry::global().histogram("clk.drp.apply_duration_ps");
 
   ReconfigReport rep;
   rep.started = start;
@@ -53,6 +55,7 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
 
   sequences.inc();
   write_count.inc(rep.drp_transactions);
+  apply_duration.observe(static_cast<double>(rep.locked - rep.started));
   span.arg("writes", rep.drp_transactions);
   span.arg("dclk_cycles", static_cast<double>(cycles));
   span.arg("sim_duration_us", to_us(rep.locked - rep.started));

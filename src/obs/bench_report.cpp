@@ -1,45 +1,30 @@
 #include "obs/bench_report.hpp"
 
 #include <cstdio>
-#include <cstdlib>
-#include <thread>
+#include <filesystem>
+#include <system_error>
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::obs {
 
-namespace {
-
-/// Positive integer from the environment, or `fallback`.
-std::size_t env_count(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || v[0] == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v || parsed == 0) return fallback;
-  return static_cast<std::size_t>(parsed);
-}
-
-}  // namespace
-
 BenchReport::BenchReport(std::string name)
-    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    : name_(name),
+      start_(std::chrono::steady_clock::now()),
+      manifest_(std::move(name)) {
   // Benches are the primary profiling targets: make sure the RFTC_OBS_*
   // sinks are armed even if no instrumented code ran yet.
   init_from_env();
   // Every report carries the parallelism configuration it ran under, so
   // BENCH_*.json files from different machines/settings stay comparable.
-  // The knobs are re-read from the environment here rather than asked of
-  // rftc::par / CpaEngine: rftc_util links against rftc_obs, so obs calling
-  // into util would be a dependency cycle.  Defaults mirror
-  // par::thread_count() and CpaEngine::default_batch_size().
-  const std::size_t hw = std::thread::hardware_concurrency();
-  metric("threads",
-         static_cast<double>(env_count("RFTC_THREADS", hw > 0 ? hw : 1)),
-         "threads");
-  metric("batch", static_cast<double>(env_count("RFTC_CPA_BATCH", 64)),
-         "traces");
+  // The provenance block (collected by the manifest) re-reads the knobs
+  // from the environment rather than asking rftc::par / CpaEngine:
+  // rftc_util links against rftc_obs, so obs calling into util would be a
+  // dependency cycle.
+  const Provenance& prov = manifest_.provenance();
+  metric("threads", static_cast<double>(prov.threads), "threads");
+  metric("batch", static_cast<double>(prov.batch), "traces");
 }
 
 void BenchReport::throughput(double value, std::string unit) {
@@ -56,6 +41,12 @@ void BenchReport::note(const std::string& key, std::string value) {
   notes_.emplace_back(key, std::move(value));
 }
 
+void BenchReport::checkpoint(
+    std::string_view stream, double n,
+    std::vector<std::pair<std::string, double>> values) {
+  manifest_.checkpoint(stream, n, std::move(values));
+}
+
 double BenchReport::elapsed_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_)
@@ -64,11 +55,12 @@ double BenchReport::elapsed_seconds() const {
 
 std::string BenchReport::to_json() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"name\": " + json::quote(name_) + ",\n";
   out += "  \"wall_seconds\": " + json::number(elapsed_seconds()) + ",\n";
   out += "  \"throughput\": {\"value\": " + json::number(throughput_value_) +
          ", \"unit\": " + json::quote(throughput_unit_) + "},\n";
+  out += "  \"provenance\": " + manifest_.provenance().to_json() + ",\n";
   out += "  \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     if (i > 0) out += ',';
@@ -89,11 +81,10 @@ std::string BenchReport::to_json() const {
 }
 
 std::string BenchReport::write() const {
-  const char* dir = std::getenv("RFTC_BENCH_DIR");
-  std::string path = dir != nullptr && dir[0] != '\0'
-                         ? std::string(dir) + "/"
-                         : std::string();
-  path += "BENCH_" + name_ + ".json";
+  const std::string dir = artifact_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; fopen reports
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
@@ -103,6 +94,15 @@ std::string BenchReport::write() const {
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   std::printf("\n[bench-report] wrote %s\n", path.c_str());
+
+  // Mirror the results into the run manifest so every bench leaves a
+  // runs/<name>.jsonl with identical final metrics.
+  manifest_.wall_seconds(elapsed_seconds());
+  manifest_.final_metric("throughput", throughput_value_, throughput_unit_);
+  for (const auto& [key, m] : metrics_)
+    manifest_.final_metric(key, m.first, m.second);
+  const std::string mpath = manifest_.write();
+  if (!mpath.empty()) std::printf("[bench-report] wrote %s\n", mpath.c_str());
   return path;
 }
 

@@ -1,29 +1,39 @@
 // Machine-readable bench results: every bench/ binary writes a
 // BENCH_<name>.json next to its human-readable output so the performance
-// trajectory can be tracked across commits.
+// trajectory can be tracked across commits, plus a runs/<name>.jsonl run
+// manifest (see obs/run_manifest.hpp) carrying the same provenance and any
+// checkpoint streams the bench recorded.
 //
-// Schema (schema_version 1, validated by the CI smoke job):
+// Schema (schema_version 2, gated by the CI `rftc-report diff` job):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "<bench name>",
 //     "wall_seconds": <double>,               // whole-process wall time
 //     "throughput": {"value": <double>, "unit": "<string>"},
+//     "provenance": {"git_sha": "...", "build_type": "...",
+//                    "cpa_mode": "...", "threads": N, "batch": N,
+//                    "seed": "N"},   // quoted: 64-bit, exceeds a double
 //     "metrics": {"<key>": {"value": <double>, "unit": "<string>"}, ...},
 //     "notes": {"<key>": "<string>", ...}     // e.g. scale profile
 //   }
 //
 // Every report automatically carries "threads" and "batch" metrics — the
-// RFTC_THREADS / RFTC_CPA_BATCH configuration the bench ran under (CI
-// asserts their presence).
+// RFTC_THREADS / RFTC_CPA_BATCH configuration the bench ran under — and the
+// full Provenance block (git sha, build type, CPA engine mode); benches
+// stamp their campaign base seed via seed().
 //
 // The output directory defaults to the working directory; set
-// RFTC_BENCH_DIR to redirect.
+// RFTC_BENCH_DIR to redirect both the report and the manifest.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/run_manifest.hpp"
 
 namespace rftc::obs {
 
@@ -42,11 +52,24 @@ class BenchReport {
   /// Free-form string annotation (scale profile, configuration, ...).
   void note(const std::string& key, std::string value);
 
+  /// Stamps the campaign base seed into the provenance block.
+  void seed(std::uint64_t s) { manifest_.provenance().seed = s; }
+
+  /// Appends one convergence checkpoint to the run manifest stream
+  /// `stream` (e.g. the (n, max |t|) trajectory of a TVLA run).
+  void checkpoint(std::string_view stream, double n,
+                  std::vector<std::pair<std::string, double>> values);
+
+  /// The run manifest written alongside the report (monitors append
+  /// checkpoint records here directly).
+  RunManifest& manifest() { return manifest_; }
+
   double elapsed_seconds() const;
 
   std::string to_json() const;
 
-  /// Writes BENCH_<name>.json; returns the path ("" on I/O failure).
+  /// Writes BENCH_<name>.json and runs/<name>.jsonl; returns the report
+  /// path ("" on I/O failure).
   std::string write() const;
 
  private:
@@ -56,6 +79,7 @@ class BenchReport {
   std::string throughput_unit_ = "items/s";
   std::vector<std::pair<std::string, std::pair<double, std::string>>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
+  mutable RunManifest manifest_;
 };
 
 }  // namespace rftc::obs

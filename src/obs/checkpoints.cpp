@@ -1,0 +1,81 @@
+#include "obs/checkpoints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace rftc::obs {
+
+namespace {
+
+/// Parses a non-negative integer; returns false on any non-digit input.
+bool parse_count(std::string_view s, std::size_t& out) {
+  if (s.empty()) return false;
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::size_t> log_spaced_checkpoints(std::size_t max_n,
+                                                std::size_t per_decade) {
+  std::vector<std::size_t> out;
+  if (max_n == 0) return out;
+  if (per_decade == 0) per_decade = 1;
+  // v_k = round(10^(k/per_decade)); strictly increasing after rounding
+  // because duplicates are skipped.  k is bounded well before overflow:
+  // 10^(k/per_decade) > max_n terminates the walk.
+  for (std::size_t k = 0;; ++k) {
+    const double v =
+        std::pow(10.0, static_cast<double>(k) / static_cast<double>(per_decade));
+    if (v > static_cast<double>(max_n) + 0.5) break;
+    const auto n = static_cast<std::size_t>(std::llround(v));
+    if (n == 0 || n > max_n) continue;
+    if (out.empty() || n > out.back()) out.push_back(n);
+  }
+  if (out.empty() || out.back() != max_n) out.push_back(max_n);
+  return out;
+}
+
+std::vector<std::size_t> parse_checkpoints(std::string_view spec,
+                                           std::size_t max_n,
+                                           std::size_t per_decade) {
+  if (max_n == 0) return {};
+  if (spec.rfind("log:", 0) == 0) {
+    std::size_t k = 0;
+    if (parse_count(spec.substr(4), k) && k > 0)
+      return log_spaced_checkpoints(max_n, k);
+    return log_spaced_checkpoints(max_n, per_decade);
+  }
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::size_t v = 0;
+    if (!parse_count(spec.substr(pos, comma - pos), v))
+      return log_spaced_checkpoints(max_n, per_decade);
+    if (v >= 1 && v <= max_n) out.push_back(v);
+    pos = comma + 1;
+    if (comma == spec.size()) break;
+  }
+  if (out.empty()) return log_spaced_checkpoints(max_n, per_decade);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.back() != max_n) out.push_back(max_n);
+  return out;
+}
+
+std::vector<std::size_t> checkpoints_from_env(std::size_t max_n,
+                                              std::size_t per_decade) {
+  const char* env = std::getenv("RFTC_OBS_CHECKPOINTS");
+  if (env == nullptr || env[0] == '\0')
+    return log_spaced_checkpoints(max_n, per_decade);
+  return parse_checkpoints(env, max_n, per_decade);
+}
+
+}  // namespace rftc::obs

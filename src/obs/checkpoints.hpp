@@ -1,0 +1,45 @@
+// Checkpoint schedules for streaming security monitors: the trace counts at
+// which an online evaluation (CPA key rank, TVLA |t|, MTD estimate) is
+// snapshotted while an acquisition or attack is still running.
+//
+// The default schedule is log-spaced — `per_decade` points per factor of 10,
+// rounded to integers and deduplicated — because every security claim of the
+// paper is a curve over a logarithmic trace axis (Fig. 4/5/6).  The final
+// trace count is always included, so the last checkpoint of any stream
+// equals the full-set evaluation.
+//
+// RFTC_OBS_CHECKPOINTS overrides the default for every monitor-carrying
+// binary:
+//   RFTC_OBS_CHECKPOINTS=1000,5000,20000   explicit trace counts
+//   RFTC_OBS_CHECKPOINTS=log:4             log-spaced, 4 points per decade
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace rftc::obs {
+
+/// Points per decade of the default log-spaced schedule.
+inline constexpr std::size_t kDefaultCheckpointsPerDecade = 8;
+
+/// Strictly increasing checkpoints in [1, max_n] with `per_decade` points
+/// per factor of 10, always ending exactly at max_n.  Empty when max_n == 0;
+/// {1} when max_n == 1.  Exact powers of 10 fall on a checkpoint.
+std::vector<std::size_t> log_spaced_checkpoints(
+    std::size_t max_n, std::size_t per_decade = kDefaultCheckpointsPerDecade);
+
+/// Parses an RFTC_OBS_CHECKPOINTS-style spec (see file comment) against a
+/// maximum trace count: explicit lists are sorted, deduplicated and clipped
+/// to [1, max_n] (max_n itself is appended so the final evaluation always
+/// happens).  Malformed or empty specs fall back to the log-spaced default.
+std::vector<std::size_t> parse_checkpoints(
+    std::string_view spec, std::size_t max_n,
+    std::size_t per_decade = kDefaultCheckpointsPerDecade);
+
+/// Schedule from the RFTC_OBS_CHECKPOINTS environment variable, or the
+/// log-spaced default when unset.
+std::vector<std::size_t> checkpoints_from_env(
+    std::size_t max_n, std::size_t per_decade = kDefaultCheckpointsPerDecade);
+
+}  // namespace rftc::obs

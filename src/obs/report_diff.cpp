@@ -1,0 +1,258 @@
+#include "obs/report_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace rftc::obs {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void parse_bench_json(const json::Value& doc, Artifact& art) {
+  art.format = "bench";
+  if (const json::Value* name = doc.find("name"); name && name->is_string())
+    art.name = name->str;
+  if (const json::Value* ws = doc.find("wall_seconds");
+      ws && ws->is_number())
+    art.metrics["wall_seconds"] = {ws->num, "s"};
+  if (const json::Value* tp = doc.find("throughput"); tp && tp->is_object()) {
+    const json::Value* v = tp->find("value");
+    const json::Value* u = tp->find("unit");
+    if (v && v->is_number())
+      art.metrics["throughput"] = {v->num, u && u->is_string() ? u->str : ""};
+  }
+  if (const json::Value* metrics = doc.find("metrics");
+      metrics && metrics->is_object()) {
+    for (const auto& [key, m] : metrics->object) {
+      const json::Value* v = m.find("value");
+      const json::Value* u = m.find("unit");
+      if (v && v->is_number())
+        art.metrics[key] = {v->num, u && u->is_string() ? u->str : ""};
+    }
+  }
+  if (const json::Value* notes = doc.find("notes");
+      notes && notes->is_object()) {
+    for (const auto& [key, v] : notes->object)
+      if (v.is_string()) art.provenance[key] = v.str;
+  }
+  if (const json::Value* prov = doc.find("provenance");
+      prov && prov->is_object()) {
+    for (const auto& [key, v] : prov->object) {
+      if (v.is_string())
+        art.provenance[key] = v.str;
+      else if (v.is_number())
+        art.provenance[key] = format_value(v.num);
+    }
+  }
+}
+
+void parse_manifest_jsonl(const std::string& text, Artifact& art) {
+  art.format = "manifest";
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = std::min(text.find('\n', pos), text.size());
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const json::Value rec = json::parse(line);
+    const json::Value* kind = rec.find("kind");
+    if (kind == nullptr || !kind->is_string())
+      throw std::runtime_error("manifest record without \"kind\"");
+    if (kind->str == "header") {
+      if (const json::Value* name = rec.find("name");
+          name && name->is_string())
+        art.name = name->str;
+      if (const json::Value* prov = rec.find("provenance");
+          prov && prov->is_object()) {
+        for (const auto& [key, v] : prov->object) {
+          if (v.is_string())
+            art.provenance[key] = v.str;
+          else if (v.is_number())
+            art.provenance[key] = format_value(v.num);
+        }
+      }
+    } else if (kind->str == "checkpoint") {
+      const json::Value* stream = rec.find("stream");
+      const json::Value* n = rec.find("n");
+      const json::Value* values = rec.find("values");
+      if (!stream || !stream->is_string() || !n || !n->is_number()) continue;
+      const std::string key = stream->str + "@" + format_value(n->num);
+      if (values && values->is_object())
+        for (const auto& [k, v] : values->object)
+          if (v.is_number()) art.checkpoints[key][k] = v.num;
+    } else if (kind->str == "final") {
+      if (const json::Value* ws = rec.find("wall_seconds");
+          ws && ws->is_number())
+        art.metrics["wall_seconds"] = {ws->num, "s"};
+      if (const json::Value* metrics = rec.find("metrics");
+          metrics && metrics->is_object()) {
+        for (const auto& [k, m] : metrics->object) {
+          const json::Value* v = m.find("value");
+          const json::Value* u = m.find("unit");
+          if (v && v->is_number())
+            art.metrics[k] = {v->num, u && u->is_string() ? u->str : ""};
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Artifact parse_artifact(const std::string& text) {
+  Artifact art;
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos)
+    throw std::runtime_error("empty artifact");
+  // A whole-document JSON object is a bench report; a stream of one-line
+  // objects is a manifest.  Both start with '{' — disambiguate by whether
+  // the first line is a complete document.
+  const std::size_t eol = text.find('\n', first);
+  bool first_line_complete = false;
+  if (eol != std::string::npos) {
+    try {
+      (void)json::parse(std::string_view(text).substr(first, eol - first));
+      first_line_complete = true;
+    } catch (const std::exception&) {
+    }
+  }
+  if (first_line_complete) {
+    parse_manifest_jsonl(text, art);
+  } else {
+    parse_bench_json(json::parse(text), art);
+  }
+  return art;
+}
+
+bool is_timing_unit(const std::string& key, const std::string& unit) {
+  if (key == "wall_seconds" || key.ends_with("_seconds")) return true;
+  if (unit == "s" || unit == "ms" || unit == "us" || unit == "ns") return true;
+  return unit.find("/s") != std::string::npos;
+}
+
+namespace {
+
+bool is_ignored(const std::string& key, const DiffOptions& options) {
+  return std::find(options.ignore.begin(), options.ignore.end(), key) !=
+         options.ignore.end();
+}
+
+/// Appends one comparison to the result; returns true when within bounds.
+void compare_value(const std::string& label, double a, double b, bool timing,
+                   const DiffOptions& options, const double* override_tol,
+                   DiffResult& res) {
+  ++res.compared;
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    if (std::isfinite(a) != std::isfinite(b)) {
+      res.regression = true;
+      res.failures.push_back(label + ": " + format_value(a) + " vs " +
+                             format_value(b) + " (non-finite)");
+    }
+    return;
+  }
+  if (timing && override_tol == nullptr) {
+    const double lo = std::min(std::fabs(a), std::fabs(b));
+    const double hi = std::max(std::fabs(a), std::fabs(b));
+    const double ratio = lo > 0.0 ? hi / lo : (hi > 0.0 ? INFINITY : 1.0);
+    if (ratio > options.timing_factor) {
+      res.regression = true;
+      res.failures.push_back(label + ": " + format_value(a) + " vs " +
+                             format_value(b) + " (ratio " +
+                             format_value(ratio) + " > timing factor " +
+                             format_value(options.timing_factor) + ")");
+    }
+    return;
+  }
+  const double tol = override_tol != nullptr ? *override_tol
+                                             : options.tolerance;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  const double drift = scale > 0.0 ? std::fabs(a - b) / scale : 0.0;
+  if (drift > tol) {
+    res.regression = true;
+    res.failures.push_back(label + ": " + format_value(a) + " vs " +
+                           format_value(b) + " (drift " + format_value(drift) +
+                           " > " + format_value(tol) + ")");
+  }
+}
+
+}  // namespace
+
+DiffResult diff_artifacts(const Artifact& a, const Artifact& b,
+                          const DiffOptions& options) {
+  DiffResult res;
+  for (const auto& [key, bm] : b.metrics) {
+    if (is_ignored(key, options)) {
+      res.notes.push_back("ignored: " + key);
+      continue;
+    }
+    const auto it = a.metrics.find(key);
+    if (it == a.metrics.end()) {
+      if (options.fail_on_missing) {
+        res.regression = true;
+        res.failures.push_back(key + ": missing from candidate");
+      } else {
+        res.notes.push_back("missing from candidate: " + key);
+      }
+      continue;
+    }
+    const auto tol_it = options.per_metric.find(key);
+    const double* override_tol =
+        tol_it != options.per_metric.end() ? &tol_it->second : nullptr;
+    compare_value(key, it->second.value, bm.value,
+                  is_timing_unit(key, bm.unit), options, override_tol, res);
+  }
+  for (const auto& [key, am] : a.metrics) {
+    (void)am;
+    if (b.metrics.find(key) == b.metrics.end() && !is_ignored(key, options))
+      res.notes.push_back("new in candidate: " + key);
+  }
+
+  for (const auto& [cp, bvals] : b.checkpoints) {
+    const auto it = a.checkpoints.find(cp);
+    if (it == a.checkpoints.end()) {
+      if (options.fail_on_missing) {
+        res.regression = true;
+        res.failures.push_back("checkpoint " + cp + ": missing from candidate");
+      } else {
+        res.notes.push_back("checkpoint missing from candidate: " + cp);
+      }
+      continue;
+    }
+    for (const auto& [k, bv] : bvals) {
+      if (is_ignored(k, options)) continue;
+      const auto vit = it->second.find(k);
+      if (vit == it->second.end()) {
+        if (options.fail_on_missing) {
+          res.regression = true;
+          res.failures.push_back("checkpoint " + cp + "." + k +
+                                 ": missing from candidate");
+        }
+        continue;
+      }
+      const auto tol_it = options.per_metric.find(k);
+      const double* override_tol =
+          tol_it != options.per_metric.end() ? &tol_it->second : nullptr;
+      compare_value("checkpoint " + cp + "." + k, vit->second, bv,
+                    /*timing=*/false, options, override_tol, res);
+    }
+  }
+
+  for (const auto& [key, bv] : b.provenance) {
+    const auto it = a.provenance.find(key);
+    if (it != a.provenance.end() && it->second != bv)
+      res.notes.push_back("provenance " + key + ": " + it->second + " vs " +
+                          bv);
+  }
+  return res;
+}
+
+}  // namespace rftc::obs

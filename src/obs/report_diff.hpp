@@ -1,0 +1,77 @@
+// Artifact loading and drift comparison for `rftc-report`: parses
+// BENCH_<name>.json documents and runs/<name>.jsonl manifests into one
+// normalized shape and diffs two of them metric-by-metric (and, for
+// manifests, checkpoint-by-checkpoint) under configurable tolerances.
+//
+// Comparison classes:
+//  * value metrics — relative drift |a−b| / max(|a|,|b|) must stay within
+//    `tolerance` (exact match required when both are 0).
+//  * timing metrics (unit s/ms/us/ns or a rate "<x>/s", plus wall_seconds)
+//    — machine-dependent, so only the RATIO is bounded: max(a/b, b/a) must
+//    stay within `timing_factor`.
+// Provenance fields and the default-ignored keys ("threads", "batch") never
+// fail a diff — they describe the machine, not the result.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rftc::obs {
+
+/// One comparable scalar: value plus the unit that selects its class.
+struct ArtifactMetric {
+  double value = 0.0;
+  std::string unit;
+};
+
+/// A parsed artifact, normalized across both on-disk formats.
+struct Artifact {
+  std::string name;
+  /// "bench" (BENCH_*.json) or "manifest" (runs/*.jsonl).
+  std::string format;
+  /// Provenance / notes key-value pairs (informational, never diffed).
+  std::map<std::string, std::string> provenance;
+  /// Final metrics, including wall_seconds and throughput when present.
+  std::map<std::string, ArtifactMetric> metrics;
+  /// Checkpoint streams: key "<stream>@<n>" -> named values.
+  std::map<std::string, std::map<std::string, double>> checkpoints;
+};
+
+/// Parses either artifact format (auto-detected: a '{'-leading document is
+/// BENCH JSON, otherwise JSONL).  Throws std::runtime_error on malformed
+/// input.
+Artifact parse_artifact(const std::string& text);
+
+struct DiffOptions {
+  /// Relative drift allowed on value metrics.
+  double tolerance = 0.05;
+  /// Allowed ratio between timing metrics (see file comment).
+  double timing_factor = 3.0;
+  /// Per-metric tolerance overrides (value-class comparison).
+  std::map<std::string, double> per_metric;
+  /// Keys excluded from comparison entirely.
+  std::vector<std::string> ignore{"threads", "batch"};
+  /// A key present in the baseline but absent from the candidate fails the
+  /// diff (new keys in the candidate are only reported).
+  bool fail_on_missing = true;
+};
+
+struct DiffResult {
+  bool regression = false;
+  std::size_t compared = 0;
+  /// Metrics/checkpoints that exceeded their tolerance.
+  std::vector<std::string> failures;
+  /// Informational lines (skipped keys, additions, provenance changes).
+  std::vector<std::string> notes;
+};
+
+/// Diffs candidate `a` against baseline `b`.
+DiffResult diff_artifacts(const Artifact& a, const Artifact& b,
+                          const DiffOptions& options = {});
+
+/// True for units the comparator treats as machine-dependent timing.
+bool is_timing_unit(const std::string& key, const std::string& unit);
+
+}  // namespace rftc::obs

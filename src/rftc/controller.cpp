@@ -1,5 +1,6 @@
 #include "rftc/controller.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -29,6 +30,12 @@ struct GlobalMetrics {
       obs::Registry::global().histogram("rftc.completion_ps");
   obs::Histogram& encryptions_per_reconfig =
       obs::Registry::global().histogram("rftc.encryptions_per_reconfig");
+  obs::Histogram& reconfig_slack_ps =
+      obs::Registry::global().histogram("rftc.reconfig_slack_ps");
+  obs::Gauge& config_entropy_bits =
+      obs::Registry::global().gauge("rftc.config_entropy_bits");
+  obs::Gauge& completion_classes =
+      obs::Registry::global().gauge("rftc.completion_classes");
 
   static GlobalMetrics& get() {
     static GlobalMetrics m;
@@ -51,9 +58,11 @@ RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
   if (plan_.configs.empty())
     throw std::invalid_argument("RftcController: empty frequency plan");
 
+  config_draw_counts_.assign(plan_.p(), 0);
   mmcms_.reserve(static_cast<std::size_t>(params_.n_mmcms));
   for (int i = 0; i < params_.n_mmcms; ++i) {
     const std::size_t idx = lfsr_.uniform(plan_.p());
+    ++config_draw_counts_[idx];
     mmcms_.emplace_back(store_.config(idx), plan_.params.limits);
   }
   active_ = 0;
@@ -66,6 +75,7 @@ void RftcController::start_reconfig(int mmcm_index) {
   // Fetch the precomputed write stream from Block RAM — the runtime path
   // of Fig. 1 — rather than re-encoding the configuration.
   const std::size_t idx = lfsr_.uniform(plan_.p());
+  ++config_draw_counts_[idx];
   const std::vector<clk::DrpWrite> writes = store_.fetch(idx);
   const clk::ReconfigReport rep = drp_.apply(
       mmcms_[static_cast<std::size_t>(mmcm_index)], writes, now_);
@@ -81,6 +91,7 @@ void RftcController::start_reconfig(int mmcm_index) {
   g.reconfigurations.inc();
   g.drp_transactions.inc(rep.drp_transactions);
   g.reconfig_duration_ps.observe(static_cast<double>(duration));
+  g.config_entropy_bits.set(config_draw_entropy_bits());
 
   span.arg("mmcm", mmcm_index);
   span.arg("config_idx", static_cast<double>(idx));
@@ -91,7 +102,11 @@ void RftcController::maybe_swap() {
   if (now_ < reconfig_done_at_) return;
   // The freshly reconfigured MMCM takes over; the previously active one is
   // immediately sent off to fetch its next configuration (Fig. 2-B,
-  // "Encryption x+1").
+  // "Encryption x+1").  The slack — how long the reconfigured MMCM sat
+  // locked but idle — is the ping-pong's safety margin against a stall.
+  const Picoseconds slack = now_ - reconfig_done_at_;
+  stats_.reconfig_slack_ps_.observe(static_cast<double>(slack));
+  GlobalMetrics::get().reconfig_slack_ps.observe(static_cast<double>(slack));
   GlobalMetrics::get().encryptions_per_reconfig.observe(
       static_cast<double>(encryptions_since_swap_));
   encryptions_since_swap_ = 0;
@@ -149,10 +164,25 @@ EncryptionSchedule RftcController::next(int rounds) {
   g.encryptions.inc();
   if (switches > 0) g.round_clock_switches.inc(switches);
   g.completion_ps.observe(static_cast<double>(t - es.load_edge));
+  completion_classes_.insert(t - es.load_edge);
+  g.completion_classes.set(static_cast<double>(completion_classes_.size()));
 
   span.arg("completion_ns", to_ns(t - es.load_edge));
   span.arg("mmcm", active_);
   return es;
+}
+
+double RftcController::config_draw_entropy_bits() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : config_draw_counts_) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::uint64_t c : config_draw_counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
 }
 
 std::string RftcController::name() const {

@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "clocking/block_ram.hpp"
@@ -60,6 +61,13 @@ class ControllerStats {
     return reconfig_duration_ps_;
   }
 
+  /// Ping-pong slack: how long each freshly reconfigured MMCM sat locked
+  /// and idle before the swap promoted it (Fig. 2-B headroom — a shrinking
+  /// slack means reconfiguration is about to stall the cipher clock).
+  const obs::Histogram& reconfig_slack_histogram() const {
+    return reconfig_slack_ps_;
+  }
+
   /// Mean encryptions completed per reconfiguration interval (paper: ~82).
   ///
   /// Ping-pong invariant: the controller constructor immediately sends one
@@ -81,6 +89,7 @@ class ControllerStats {
   obs::Counter drp_transactions_;
   obs::Gauge last_reconfig_ps_;
   obs::Histogram reconfig_duration_ps_;
+  obs::Histogram reconfig_slack_ps_;
 };
 
 class RftcController final : public sched::Scheduler {
@@ -96,6 +105,22 @@ class RftcController final : public sched::Scheduler {
   int active_mmcm() const { return active_; }
   /// Periods of the M usable outputs of the active MMCM.
   std::vector<Picoseconds> active_periods() const;
+
+  /// How often each Block-RAM configuration index has been drawn so far
+  /// (LFSR draws at construction and at every ping-pong reconfiguration).
+  const std::vector<std::uint64_t>& config_draw_counts() const {
+    return config_draw_counts_;
+  }
+  /// Shannon entropy (bits) of the empirical configuration-draw
+  /// distribution; converges to log2(P) for a healthy LFSR.  Also exported
+  /// as the "rftc.config_entropy_bits" gauge.
+  double config_draw_entropy_bits() const;
+  /// Distinct completion times observed so far — the realized fraction of
+  /// the paper's P x C(R+M-1, R) (= 67,584 for RFTC(3, 1024)) completion
+  /// classes.  Also exported as the "rftc.completion_classes" gauge.
+  std::size_t completion_classes() const {
+    return completion_classes_.size();
+  }
 
  private:
   void start_reconfig(int mmcm_index);
@@ -116,6 +141,11 @@ class RftcController final : public sched::Scheduler {
   std::uint64_t encryptions_since_swap_ = 0;
   Picoseconds reconfig_done_at_ = 0;
   Picoseconds now_ = 0;
+  /// Draws per configuration index (config_draw_entropy_bits telemetry).
+  std::vector<std::uint64_t> config_draw_counts_;
+  /// Completion times seen so far (completion-class telemetry; bounded by
+  /// the plan's P x C(R+M-1, R) classes).
+  std::unordered_set<Picoseconds> completion_classes_;
 };
 
 }  // namespace rftc::core

@@ -24,6 +24,7 @@ EncryptionRecord RftcDevice::encrypt(const aes::Block& plaintext) {
   EncryptionRecord rec{aes::Block{}, controller_->next(aes::kRounds),
                        engine_.encrypt(plaintext)};
   rec.ciphertext = rec.activity.ciphertext();
+  sched::observe_schedule(rec.schedule);
   return rec;
 }
 
@@ -35,6 +36,7 @@ EncryptionRecord ScheduledAesDevice::encrypt(const aes::Block& plaintext) {
   EncryptionRecord rec{aes::Block{}, scheduler_->next(aes::kRounds),
                        engine_.encrypt(plaintext)};
   rec.ciphertext = rec.activity.ciphertext();
+  sched::observe_schedule(rec.schedule);
   return rec;
 }
 

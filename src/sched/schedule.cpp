@@ -1,5 +1,6 @@
 #include "sched/schedule.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/time_types.hpp"
 
 namespace rftc::sched {
@@ -20,6 +21,18 @@ int EncryptionSchedule::round_count() const {
 
 Picoseconds Scheduler::unprotected_completion_ps(int rounds) const {
   return static_cast<Picoseconds>(rounds) * period_ps_from_mhz(48.0);
+}
+
+void observe_schedule(const EncryptionSchedule& schedule) {
+  static obs::Histogram& completion =
+      obs::Registry::global().histogram("sched.completion_ps");
+  static obs::Histogram& round_freq =
+      obs::Registry::global().histogram("sched.round_freq_mhz");
+  completion.observe(static_cast<double>(schedule.completion_ps()));
+  for (const CycleSlot& s : schedule.slots) {
+    if (s.kind != SlotKind::kRound || s.period <= 0) continue;
+    round_freq.observe(1e6 / static_cast<double>(s.period));
+  }
 }
 
 }  // namespace rftc::sched

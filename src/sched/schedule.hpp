@@ -69,6 +69,14 @@ class Scheduler {
   virtual Picoseconds unprotected_completion_ps(int rounds) const;
 };
 
+/// Telemetry tap: records one realized schedule into the global obs
+/// registry — the "sched.completion_ps" histogram (the Fig. 3 quantity)
+/// and "sched.round_freq_mhz", the per-round realized clock-frequency
+/// distribution.  Scheduler-agnostic: devices call this on every
+/// encryption, so the realized histograms of RFTC and every baseline
+/// countermeasure are comparable in one export.
+void observe_schedule(const EncryptionSchedule& schedule);
+
 /// Offset of the plaintext-load edge inside the capture window.  One
 /// interface-clock period (24 MHz) of front porch.
 inline constexpr Picoseconds kLoadEdgePs = 41'667;

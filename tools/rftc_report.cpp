@@ -1,0 +1,147 @@
+// rftc-report: inspect and gate the observability artifacts every bench and
+// example emits (BENCH_<name>.json reports and runs/<name>.jsonl run
+// manifests).
+//
+//   rftc-report show <file>
+//       Pretty-prints one artifact: provenance, final metrics, and (for
+//       manifests) the checkpoint streams.
+//
+//   rftc-report diff <candidate> <baseline> [options]
+//       Compares two artifacts (either format) and exits 1 when the
+//       candidate regresses beyond tolerance — the perf/security gate CI
+//       runs against committed baselines.  Value metrics are compared by
+//       relative drift; timing metrics (unit s/ms/us/ns or a rate, plus
+//       wall_seconds) only by ratio, because they are machine-dependent.
+//
+//       --tol <x>             relative drift allowed on value metrics
+//                             (default 0.05)
+//       --timing-factor <x>   allowed ratio on timing metrics (default 3)
+//       --metric-tol k=<x>    per-metric override (value-class comparison)
+//       --ignore <key>        exclude a key ("threads"/"batch" are always
+//                             excluded)
+//       --allow-missing       keys missing from the candidate only warn
+//
+// Exit codes: 0 = no drift beyond tolerance, 1 = regression, 2 = usage or
+// I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report_diff.hpp"
+
+namespace {
+
+using rftc::obs::Artifact;
+using rftc::obs::DiffOptions;
+using rftc::obs::DiffResult;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rftc-report show <file>\n"
+               "       rftc-report diff <candidate> <baseline> [--tol x]\n"
+               "           [--timing-factor x] [--metric-tol key=x]\n"
+               "           [--ignore key] [--allow-missing]\n");
+  return 2;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rftc-report: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool load_artifact(const char* path, Artifact& art) {
+  std::string text;
+  if (!read_file(path, text)) return false;
+  try {
+    art = rftc::obs::parse_artifact(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rftc-report: %s: %s\n", path, e.what());
+    return false;
+  }
+  return true;
+}
+
+int cmd_show(const char* path) {
+  Artifact art;
+  if (!load_artifact(path, art)) return 2;
+  std::printf("%s (%s artifact)\n", art.name.c_str(), art.format.c_str());
+  if (!art.provenance.empty()) {
+    std::printf("\nprovenance:\n");
+    for (const auto& [k, v] : art.provenance)
+      std::printf("  %-14s %s\n", k.c_str(), v.c_str());
+  }
+  if (!art.metrics.empty()) {
+    std::printf("\nmetrics:\n");
+    for (const auto& [k, m] : art.metrics)
+      std::printf("  %-38s %14.6g %s\n", k.c_str(), m.value, m.unit.c_str());
+  }
+  if (!art.checkpoints.empty()) {
+    std::printf("\ncheckpoints:\n");
+    for (const auto& [cp, values] : art.checkpoints) {
+      std::printf("  %s:", cp.c_str());
+      for (const auto& [k, v] : values) std::printf(" %s=%.6g", k.c_str(), v);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 2) return usage();
+  DiffOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" && i + 1 < argc) {
+      options.tolerance = std::atof(argv[++i]);
+    } else if (arg == "--timing-factor" && i + 1 < argc) {
+      options.timing_factor = std::atof(argv[++i]);
+    } else if (arg == "--metric-tol" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return usage();
+      options.per_metric[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (arg == "--ignore" && i + 1 < argc) {
+      options.ignore.emplace_back(argv[++i]);
+    } else if (arg == "--allow-missing") {
+      options.fail_on_missing = false;
+    } else {
+      return usage();
+    }
+  }
+
+  Artifact candidate, baseline;
+  if (!load_artifact(argv[0], candidate) || !load_artifact(argv[1], baseline))
+    return 2;
+  const DiffResult res =
+      rftc::obs::diff_artifacts(candidate, baseline, options);
+  for (const std::string& note : res.notes)
+    std::printf("  note: %s\n", note.c_str());
+  for (const std::string& failure : res.failures)
+    std::printf("  FAIL: %s\n", failure.c_str());
+  std::printf("%s: %zu comparisons, %zu failed (%s vs %s)\n",
+              res.regression ? "REGRESSION" : "OK", res.compared,
+              res.failures.size(), argv[0], argv[1]);
+  return res.regression ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  if (std::strcmp(argv[1], "show") == 0 && argc == 3)
+    return cmd_show(argv[2]);
+  if (std::strcmp(argv[1], "diff") == 0)
+    return cmd_diff(argc - 2, argv + 2);
+  return usage();
+}
