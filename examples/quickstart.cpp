@@ -5,6 +5,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
+#include "fault/fault_spec.hpp"
 #include "rftc/device.hpp"
 #include "util/time_types.hpp"
 
@@ -17,9 +18,19 @@ int main() {
 
   // 2. An RFTC(3, 64) device: the planner chooses 64 overlap-free sets of
   //    3 MMCM output frequencies in 12-48 MHz; two modelled MMCMs
-  //    ping-pong through DRP reconfiguration at runtime.
-  core::RftcDevice device = core::RftcDevice::make(key, /*m=*/3, /*p=*/64,
-                                                   /*seed=*/2024);
+  //    ping-pong through DRP reconfiguration at runtime.  Fault injection
+  //    (docs/ROBUSTNESS.md) is read from RFTC_FAULT_* and disarmed unless
+  //    set — try RFTC_FAULT_LOCK_LOSS=0.5 to watch the recovery policy.
+  const std::uint64_t seed = 2024;
+  core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = 64;
+  pp.seed = seed;
+  core::ControllerParams cp;
+  cp.lfsr_seed_lo = seed * 0x9E3779B97F4A7C15ULL + 1;
+  cp.lfsr_seed_hi = seed ^ 0xDEADBEEFCAFEBABEULL;
+  cp.faults = fault::FaultSpec::from_env();
+  core::RftcDevice device(key, core::plan_frequencies(pp), cp);
   std::printf("Device: %s\n", device.controller().name().c_str());
   std::printf("Plan: %llu possible completion times\n",
               static_cast<unsigned long long>(
@@ -47,5 +58,12 @@ int main() {
               static_cast<unsigned long long>(stats.reconfigurations()),
               to_us(stats.last_reconfig_duration_ps()),
               stats.mean_reconfig_duration_ps() / 1e6);
+  if (cp.faults.any())
+    std::printf("Recovery: %llu lock failures, %llu retries, %llu "
+                "fallbacks (clock stayed locked: %s)\n",
+                static_cast<unsigned long long>(stats.lock_failures()),
+                static_cast<unsigned long long>(stats.recovery_retries()),
+                static_cast<unsigned long long>(stats.fallbacks()),
+                device.controller().active_locked() ? "yes" : "NO");
   return 0;
 }

@@ -1,17 +1,60 @@
 #include "aes/round_engine.hpp"
 
+#include <algorithm>
+
+#include "fault/injector.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::aes {
 
+namespace {
+
+inline void flip_state_bit(Block& state, int bit) {
+  state[static_cast<std::size_t>(bit) / 8] ^=
+      static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
+
 EncryptionActivity::EncryptionActivity(const Block& plaintext,
                                        const KeySchedule& ks,
-                                       const Block& previous_state) {
+                                       const Block& previous_state)
+    : EncryptionActivity(plaintext, ks, previous_state, {}, {}, nullptr) {}
+
+EncryptionActivity::EncryptionActivity(
+    const Block& plaintext, const KeySchedule& ks, const Block& previous_state,
+    std::span<const Picoseconds> round_periods,
+    std::span<const fault::FaultSite> forced,
+    fault::FaultInjector* injector) {
   cycles_.reserve(kRounds + 1);
+
+  // Transient glitch on the combinational input of `round` (the register
+  // content itself is untouched — the fault rides the evaluation).
+  const auto force_flips = [&](int round, Block& state) {
+    for (const fault::FaultSite& f : forced) {
+      if (f.round != round) continue;
+      flip_state_bit(state, f.bit);
+      ++injected_flips_;
+    }
+  };
+  // Timing-closure violation: the register latches before the critical
+  // path settled, corrupting the captured round output.
+  const auto latch_flips = [&](int round, Block& state) {
+    if (injector == nullptr || round_periods.empty()) return;
+    const std::size_t i = std::min(static_cast<std::size_t>(round) - 1,
+                                   round_periods.size() - 1);
+    const int flips = injector->timing_violation_flips(round_periods[i]);
+    for (int k = 0; k < flips; ++k) {
+      flip_state_bit(state, injector->draw_flip_bit());
+      ++injected_flips_;
+    }
+  };
 
   // Cycle 0: plaintext load.  The input register swings from the previous
   // contents to the new plaintext; the initial AddRoundKey is combined with
-  // the load in the Hodjat core, so the registered value is pt ^ k0.
+  // the load in the Hodjat core, so the registered value is pt ^ k0.  The
+  // load edge comes from the fixed interface clock, so the timing-closure
+  // model does not apply here.
   Block s = plaintext;
   add_round_key(s, ks[0]);
   CycleActivity load{};
@@ -23,11 +66,14 @@ EncryptionActivity::EncryptionActivity(const Block& plaintext,
 
   // Cycles 1..9: full rounds.
   for (int r = 1; r < kRounds; ++r) {
-    Block next = s;
+    Block in = s;
+    force_flips(r, in);
+    Block next = in;
     sub_bytes(next);
     shift_rows(next);
     mix_columns(next);
     add_round_key(next, ks[static_cast<std::size_t>(r)]);
+    latch_flips(r, next);
     CycleActivity act{};
     act.state = next;
     act.state_hd = hamming_distance(s, next);
@@ -40,10 +86,13 @@ EncryptionActivity::EncryptionActivity(const Block& plaintext,
   }
 
   // Cycle 10: final round (no MixColumns).
-  Block ct = s;
+  Block in = s;
+  force_flips(kRounds, in);
+  Block ct = in;
   sub_bytes(ct);
   shift_rows(ct);
   add_round_key(ct, ks[kRounds]);
+  latch_flips(kRounds, ct);
   CycleActivity fin{};
   fin.state = ct;
   fin.state_hd = hamming_distance(s, ct);
@@ -54,13 +103,20 @@ EncryptionActivity::EncryptionActivity(const Block& plaintext,
 
 RoundEngine::RoundEngine(const Key& key) : ks_(expand_key(key)) {}
 
-EncryptionActivity RoundEngine::encrypt(const Block& plaintext) {
+EncryptionActivity RoundEngine::encrypt(
+    const Block& plaintext, std::span<const Picoseconds> round_periods,
+    std::span<const fault::FaultSite> forced) {
   RFTC_OBS_SPAN(span, "aes", "aes.encrypt");
   static obs::Counter& encryptions =
       obs::Registry::global().counter("aes.encryptions");
-  EncryptionActivity act(plaintext, ks_, reg_);
+  static obs::Counter& faulted =
+      obs::Registry::global().counter("aes.faulted_encryptions");
+  EncryptionActivity act(plaintext, ks_, reg_, round_periods, forced, fault_);
+  // A faulty ciphertext still lands in the state register: the next load
+  // transition leaks against the corrupted value, as in hardware.
   reg_ = act.ciphertext();
   encryptions.inc();
+  if (act.injected_flips() > 0) faulted.inc();
   if (span.active()) {
     int total_hd = 0;
     for (const CycleActivity& c : act.cycles()) total_hd += c.state_hd;

@@ -6,13 +6,31 @@
 // quantity that leaks into the power rail at each clock edge is the Hamming
 // distance between the old and new register contents, which is exactly what
 // this engine exposes per cycle.
+//
+// Fault model (docs/ROBUSTNESS.md): the engine accepts the scheduled
+// per-round clock periods and a list of forced fault sites.  Forced faults
+// are transient glitches on the combinational *input* of a round (a mux
+// runt pulse evaluating the round logic from a corrupted state) — the DFA
+// placement: a single flip entering round 9 diffuses through MixColumns to
+// exactly 4 faulty ciphertext bytes.  Timing-closure faults corrupt the
+// *latched output* of a round whose period dips below the critical path
+// (the register captures before the logic settled).  Both paths are
+// compiled in but cost nothing unless armed: with no injector and no forced
+// sites the computation is bit-identical to the fault-free engine.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aes/aes128.hpp"
+#include "fault/fault_spec.hpp"
+#include "util/time_types.hpp"
+
+namespace rftc::fault {
+class FaultInjector;
+}  // namespace rftc::fault
 
 namespace rftc::aes {
 
@@ -42,14 +60,29 @@ class EncryptionActivity {
   EncryptionActivity(const Block& plaintext, const KeySchedule& ks,
                      const Block& previous_state);
 
+  /// Fault-aware run: `round_periods` are the scheduled crypto-clock
+  /// periods of rounds 1..10 (empty disables the timing-closure check),
+  /// `forced` lists transient flips applied to the input of their round,
+  /// and `injector` supplies the seeded timing-violation model (may be
+  /// null: forced faults alone need no randomness).
+  EncryptionActivity(const Block& plaintext, const KeySchedule& ks,
+                     const Block& previous_state,
+                     std::span<const Picoseconds> round_periods,
+                     std::span<const fault::FaultSite> forced,
+                     fault::FaultInjector* injector);
+
   const Block& ciphertext() const { return cycles_.back().state; }
   /// 11 entries: load + 10 rounds.
   const std::vector<CycleActivity>& cycles() const { return cycles_; }
+  /// State bits corrupted by fault injection during this encryption
+  /// (0 = the ciphertext is the correct AES output).
+  int injected_flips() const { return injected_flips_; }
   /// Number of crypto-clock cycles (rounds) = 10.
   static constexpr int round_cycles() { return kRounds; }
 
  private:
   std::vector<CycleActivity> cycles_;
+  int injected_flips_ = 0;
 };
 
 /// Stateful round engine for back-to-back encryptions; keeps the register
@@ -59,8 +92,18 @@ class RoundEngine {
  public:
   explicit RoundEngine(const Key& key);
 
-  /// Encrypts one block, returning the recorded per-cycle activity.
-  EncryptionActivity encrypt(const Block& plaintext);
+  /// Encrypts one block, returning the recorded per-cycle activity.  The
+  /// defaulted fault arguments keep legacy call sites on the exact
+  /// fault-free path.
+  EncryptionActivity encrypt(const Block& plaintext,
+                             std::span<const Picoseconds> round_periods = {},
+                             std::span<const fault::FaultSite> forced = {});
+
+  /// Arms the timing-closure model for subsequent encryptions that pass
+  /// round periods (nullptr disarms).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
 
   const KeySchedule& key_schedule() const { return ks_; }
   const Block& register_state() const { return reg_; }
@@ -68,6 +111,7 @@ class RoundEngine {
  private:
   KeySchedule ks_;
   Block reg_{};  // power-up register contents: all zero
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace rftc::aes

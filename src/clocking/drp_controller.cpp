@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::clk {
@@ -29,6 +30,8 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
       obs::Registry::global().counter("clk.drp.sequences");
   static obs::Histogram& apply_duration =
       obs::Registry::global().histogram("clk.drp.apply_duration_ps");
+  static obs::Counter& failed_sequences =
+      obs::Registry::global().counter("clk.drp.failed_sequences");
 
   ReconfigReport rep;
   rep.started = start;
@@ -41,24 +44,51 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
     cycles += kDrpReadCycles;
     const std::uint16_t current = mmcm.drp_read(w.addr);
     cycles += kDrpModifyCycles;
-    const auto merged = static_cast<std::uint16_t>(
+    auto merged = static_cast<std::uint16_t>(
         (current & ~w.mask) | (w.data & w.mask));
     cycles += kDrpWriteCycles;
-    mmcm.drp_write(w.addr, merged, 0xFFFF);
+    if (fault_ != nullptr && fault_->drop_drp_write()) {
+      // DRDY never came back: the FSM times out and moves on while the
+      // register keeps its previous contents.
+      ++rep.dropped_writes;
+    } else {
+      if (fault_ != nullptr) {
+        if (const auto bad = fault_->corrupt_drp_word(merged)) {
+          merged = *bad;
+          ++rep.corrupted_writes;
+        }
+      }
+      mmcm.drp_write(w.addr, merged, 0xFFFF);
+    }
     ++rep.drp_transactions;
   }
 
   rep.writes_done = start + static_cast<Picoseconds>(cycles) * dclk_period_;
-  mmcm.release_reset(rep.writes_done);
-  rep.locked = mmcm.locked_at();
+  if (fault_ != nullptr && mmcm.staged_error().has_value()) {
+    // The register image is corrupted beyond electrical legality: keep the
+    // MMCM in reset rather than latching garbage into the VCO.  LOCKED
+    // never rises; the caller's watchdog ends the wait.
+    rep.lock_failed = true;
+    rep.locked = kNeverLocksPs;
+  } else {
+    mmcm.release_reset(rep.writes_done);
+    if (fault_ != nullptr && fault_->lose_lock()) mmcm.drop_lock();
+    rep.locked = mmcm.locked_at();
+    rep.lock_failed = rep.locked >= kNeverLocksPs;
+  }
   rep.dclk_cycles = cycles;
 
   sequences.inc();
   write_count.inc(rep.drp_transactions);
-  apply_duration.observe(static_cast<double>(rep.locked - rep.started));
+  if (rep.lock_failed) {
+    failed_sequences.inc();
+  } else {
+    apply_duration.observe(static_cast<double>(rep.locked - rep.started));
+  }
   span.arg("writes", rep.drp_transactions);
   span.arg("dclk_cycles", static_cast<double>(cycles));
-  span.arg("sim_duration_us", to_us(rep.locked - rep.started));
+  span.arg("sim_duration_us",
+           rep.lock_failed ? -1.0 : to_us(rep.locked - rep.started));
   return rep;
 }
 

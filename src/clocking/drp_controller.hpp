@@ -15,16 +15,27 @@
 
 #include "clocking/mmcm_model.hpp"
 
+namespace rftc::fault {
+class FaultInjector;
+}  // namespace rftc::fault
+
 namespace rftc::clk {
 
 struct ReconfigReport {
   Picoseconds started = 0;
   /// When the last DRP write completed and reset was released.
   Picoseconds writes_done = 0;
-  /// When LOCKED rose (reconfiguration complete; clock usable).
+  /// When LOCKED rose (reconfiguration complete; clock usable).  On a
+  /// failed sequence this is kNeverLocksPs: the watchdog, not a lock event,
+  /// ends the wait.
   Picoseconds locked = 0;
   unsigned drp_transactions = 0;
   std::uint64_t dclk_cycles = 0;
+  /// True when the sequence did not end in a usable lock: a corrupted
+  /// register image held in reset, or an injected lock-loss.
+  bool lock_failed = false;
+  unsigned corrupted_writes = 0;
+  unsigned dropped_writes = 0;
 };
 
 class DrpController {
@@ -47,9 +58,18 @@ class DrpController {
 
   double dclk_mhz() const { return dclk_mhz_; }
 
+  /// Arms fault injection on every subsequent sequence (nullptr disarms).
+  /// With no injector the controller takes the exact pre-fault code path:
+  /// no extra randomness, no staged-image validation, identical reports.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
  private:
   double dclk_mhz_;
   Picoseconds dclk_period_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 // Per-transaction DCLK cycle costs of the XAPP888 FSM.

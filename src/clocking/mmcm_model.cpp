@@ -56,10 +56,26 @@ void MmcmModel::release_reset(Picoseconds now) {
                                    active_.divclk});
 }
 
+void MmcmModel::drop_lock() {
+  locked_at_ = kNeverLocksPs;
+  static obs::Counter& losses =
+      obs::Registry::global().counter("clk.mmcm.lock_losses");
+  losses.inc();
+  RFTC_OBS_INSTANT("clk", "mmcm.lock_lost");
+}
+
 MmcmConfig MmcmModel::staged_config() const {
   MmcmConfig cfg = decode_config(regs_, active_.fin_mhz);
   cfg.out_enabled = active_.out_enabled;
   return cfg;
+}
+
+std::optional<std::string> MmcmModel::staged_error() const {
+  try {
+    return staged_config().validate(limits_);
+  } catch (const std::exception& e) {
+    return std::string("undecodable register image: ") + e.what();
+  }
 }
 
 Picoseconds MmcmModel::output_period_ps(int k) const {

@@ -11,12 +11,21 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
 
 #include "clocking/drp_codec.hpp"
 #include "clocking/mmcm_config.hpp"
 #include "util/time_types.hpp"
 
 namespace rftc::clk {
+
+/// Sentinel lock time of an MMCM that will never lock again (injected
+/// lock-loss, or a corrupted register image held in reset).  Far enough from
+/// the int64 ceiling that schedule arithmetic cannot overflow past it.
+inline constexpr Picoseconds kNeverLocksPs =
+    std::numeric_limits<Picoseconds>::max() / 4;
 
 class MmcmModel {
  public:
@@ -42,12 +51,23 @@ class MmcmModel {
   bool locked(Picoseconds now) const { return !in_reset_ && now >= locked_at_; }
   Picoseconds locked_at() const { return locked_at_; }
 
+  /// Fault hook: the analogue lock detector gave up mid-reconfiguration —
+  /// LOCKED will never rise (locked_at() becomes kNeverLocksPs) until the
+  /// next assert_reset/release_reset cycle.
+  void drop_lock();
+
   // --- Clock outputs ------------------------------------------------------
   /// The configuration currently driving the VCO (latched at last reset
   /// release, NOT the possibly half-written register file).
   const MmcmConfig& active_config() const { return active_; }
   /// The configuration described by the register file right now.
   MmcmConfig staged_config() const;
+  /// Diagnostic for the staged register image: nullopt when it decodes to
+  /// an electrically legal configuration, otherwise why not.  The DRP
+  /// controller consults this before releasing reset when fault injection
+  /// is armed, so a corrupted image is never latched into the VCO.
+  std::optional<std::string> staged_error() const;
+  const MmcmLimits& limits() const { return limits_; }
   /// Active output period; throws if the output index is out of range.
   Picoseconds output_period_ps(int k) const;
 

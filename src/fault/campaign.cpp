@@ -1,0 +1,130 @@
+#include "fault/campaign.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "aes/aes128.hpp"
+#include "rftc/device.hpp"
+#include "trace/acquisition.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::fault {
+
+namespace {
+
+/// Shannon entropy (bits) of an empirical count distribution.
+double entropy_bits(const std::map<Picoseconds, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [t, c] : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [t, c] : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Runs one cell: a fresh device with its own plan, LFSR and injector
+/// streams, so cells are independent and the sweep order is irrelevant.
+CellResult run_cell(const CampaignParams& params, const FaultSpec& spec,
+                    double drp_rate, Picoseconds margin,
+                    std::uint64_t cell_seed) {
+  const aes::Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  core::PlannerParams pp;
+  pp.m_outputs = params.m;
+  pp.p_configs = params.p;
+  pp.seed = params.seed;  // same plan across cells: one planning cost
+  core::ControllerParams cp;
+  cp.lfsr_seed_lo = cell_seed * 0x9E3779B97F4A7C15ULL + 1;
+  cp.lfsr_seed_hi = cell_seed ^ 0xDEADBEEFCAFEBABEULL;
+  cp.faults = spec;
+  core::RftcDevice device(key, core::plan_frequencies(pp), cp);
+
+  CellResult cell;
+  cell.drp_rate = drp_rate;
+  cell.margin_ps = margin;
+  cell.encryptions = params.encryptions_per_cell;
+
+  Xoshiro256StarStar rng(cell_seed ^ 0xC0FFEE0DDF00DULL);
+  std::map<Picoseconds, std::uint64_t> completion_counts;
+  for (std::size_t i = 0; i < params.encryptions_per_cell; ++i) {
+    const aes::Block pt = trace::random_block(rng);
+    const core::EncryptionRecord rec = device.encrypt(pt);
+    if (!device.controller().active_locked()) cell.clock_always_locked = false;
+    if (rec.ciphertext != aes::encrypt(pt, key)) ++cell.faulty_ciphertexts;
+    ++completion_counts[rec.schedule.completion_ps()];
+  }
+
+  const core::ControllerStats& stats = device.controller().stats();
+  cell.lock_failures = stats.lock_failures();
+  cell.recovery_retries = stats.recovery_retries();
+  cell.fallbacks = stats.fallbacks();
+  cell.reconfigurations = stats.reconfigurations();
+  if (stats.recovery_latency_histogram().count() > 0)
+    cell.mean_recovery_latency_us =
+        stats.recovery_latency_histogram().mean() /
+        static_cast<double>(kPicosPerMicro);
+  if (const FaultInjector* inj = device.controller().fault_injector())
+    cell.injected_faults += inj->counts().total();
+  if (const FaultInjector* inj = device.engine_fault_injector())
+    cell.injected_faults += inj->counts().total();
+  cell.completion_entropy_bits = entropy_bits(completion_counts);
+  cell.completion_classes = completion_counts.size();
+  return cell;
+}
+
+}  // namespace
+
+CampaignResult run_fault_campaign(const CampaignParams& params,
+                                  obs::RunManifest* manifest) {
+  CampaignResult out;
+
+  // Fault-free reference: same shape and seed, every family disarmed.
+  {
+    const CellResult base =
+        run_cell(params, FaultSpec{}, 0.0, 0, params.seed);
+    out.baseline_entropy_bits = base.completion_entropy_bits;
+    out.baseline_classes = base.completion_classes;
+  }
+
+  std::uint64_t cell_index = 0;
+  for (const double rate : params.drp_rates) {
+    for (const Picoseconds margin : params.margins_ps) {
+      FaultSpec spec;
+      spec.drp_corrupt_rate = rate;
+      spec.drp_drop_rate = rate / 2.0;
+      spec.lock_loss_rate = rate / 2.0;
+      spec.mux_glitch_rate = rate / 4.0;
+      spec.critical_path_ps = params.critical_path_ps;
+      spec.margin_ps = margin;
+      spec.jitter_ps = params.jitter_ps;
+      // Distinct stream per cell so cells stay independent even when two
+      // cells share a rate or margin.
+      spec.seed = params.seed * 0x9E3779B97F4A7C15ULL + cell_index + 1;
+
+      CellResult cell = run_cell(params, spec, rate, margin,
+                                 params.seed + cell_index + 1);
+      if (manifest != nullptr)
+        manifest->checkpoint(
+            "fault_sweep", static_cast<double>(cell_index),
+            {{"drp_rate", cell.drp_rate},
+             {"margin_ps", static_cast<double>(cell.margin_ps)},
+             {"faulty_ciphertexts",
+              static_cast<double>(cell.faulty_ciphertexts)},
+             {"injected_faults", static_cast<double>(cell.injected_faults)},
+             {"lock_failures", static_cast<double>(cell.lock_failures)},
+             {"fallbacks", static_cast<double>(cell.fallbacks)},
+             {"mean_recovery_latency_us", cell.mean_recovery_latency_us},
+             {"completion_entropy_bits", cell.completion_entropy_bits},
+             {"clock_always_locked",
+              cell.clock_always_locked ? 1.0 : 0.0}});
+      out.cells.push_back(std::move(cell));
+      ++cell_index;
+    }
+  }
+  return out;
+}
+
+}  // namespace rftc::fault

@@ -1,0 +1,82 @@
+// FaultCampaign: sweeps fault rates x timing margins over full RFTC devices
+// and measures what the faults cost — faulty-ciphertext rate, recovery
+// latency, and the schedule-entropy price of the fallback policy
+// (docs/ROBUSTNESS.md).  Driven by bench/fault_campaign.cpp; results stream
+// into a PR-3 run manifest so `rftc-report diff` can compare two campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.hpp"
+#include "obs/run_manifest.hpp"
+#include "util/time_types.hpp"
+
+namespace rftc::fault {
+
+struct CampaignParams {
+  /// RFTC(M, P) shape of the device under test.  Small P keeps a cell's
+  /// planning cost low; the fault machinery is shape-independent.
+  int m = 3;
+  int p = 8;
+  /// Encryptions per (rate, margin) cell.
+  std::size_t encryptions_per_cell = 400;
+  /// Base seed; each cell derives its own device/plan/fault seeds from it,
+  /// so the whole sweep is a pure function of this value.
+  std::uint64_t seed = 1;
+  /// DRP-family fault-rate axis.  Each rate r arms drp_corrupt_rate = r,
+  /// drp_drop_rate = r/2, lock_loss_rate = r/2, mux_glitch_rate = r/4.
+  std::vector<double> drp_rates = {0.0, 0.02, 0.10};
+  /// Timing-margin axis (subtracted from the critical path).
+  std::vector<Picoseconds> margins_ps = {0, 2000, 4000};
+  /// AES round critical-path delay; rounds scheduled faster than
+  /// critical_path - margin (+- jitter) latch corrupted state.  The RFTC
+  /// plan spans 12-48 MHz (20833-83333 ps periods), so 25000 ps puts the
+  /// fastest schedulable rounds (> 40 MHz) at risk — the paper's "f_max
+  /// leaves a thin margin" regime — while a 4000 ps margin restores
+  /// closure.  0 disables the timing family.
+  Picoseconds critical_path_ps = 25000;
+  Picoseconds jitter_ps = 400;
+};
+
+/// Outcome of one (drp_rate, margin) cell.
+struct CellResult {
+  double drp_rate = 0.0;
+  Picoseconds margin_ps = 0;
+  std::size_t encryptions = 0;
+  /// Encryptions whose ciphertext differs from the true AES output.
+  std::size_t faulty_ciphertexts = 0;
+  /// Fault events injected across both injectors (controller + engine).
+  std::uint64_t injected_faults = 0;
+  std::uint64_t lock_failures = 0;
+  std::uint64_t recovery_retries = 0;
+  std::uint64_t fallbacks = 0;
+  /// Reconfiguration sequences executed, including retried attempts.
+  std::uint64_t reconfigurations = 0;
+  /// Mean first-failure -> healthy-lock latency (0 when nothing failed).
+  double mean_recovery_latency_us = 0.0;
+  /// Shannon entropy of the realized completion-time distribution — drops
+  /// when fallbacks hold one MMCM (fewer frequency sets get airtime).
+  double completion_entropy_bits = 0.0;
+  /// Distinct completion times realized in this cell.
+  std::size_t completion_classes = 0;
+  /// Recovery invariant, checked after every encryption: the MMCM driving
+  /// the cipher mux was locked.  Must be true in every cell.
+  bool clock_always_locked = true;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;
+  /// Fault-free reference cell (all rates zero, timing off) at the same
+  /// seed/shape — the entropy yardstick for the fallback cost.
+  double baseline_entropy_bits = 0.0;
+  std::size_t baseline_classes = 0;
+};
+
+/// Runs the sweep.  When `manifest` is non-null, each cell appends a
+/// "fault_sweep" checkpoint (n = cell index) with its headline numbers.
+CampaignResult run_fault_campaign(const CampaignParams& params,
+                                  obs::RunManifest* manifest = nullptr);
+
+}  // namespace rftc::fault

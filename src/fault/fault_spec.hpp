@@ -1,0 +1,76 @@
+// Fault-injection configuration for the clocking → controller → device →
+// acquisition pipeline (docs/ROBUSTNESS.md).
+//
+// Three fault families, each modelling a way the paper's "healthy fabric"
+// assumption breaks on real silicon:
+//  * DRP/MMCM — corrupted DRP register writes, dropped DRDY handshakes and
+//    analogue lock-loss during reconfiguration (§4's MMCM_DRP path),
+//  * mux — runt pulses when a BUFGMUX select change is granted less than
+//    the glitch-free dead time (the paper's completion-time arithmetic
+//    deliberately does not charge it),
+//  * timing-closure — the AES round's critical path versus the scheduled
+//    round period; pushing f_max toward 48 MHz leaves a thin margin that
+//    run-time variability erodes (arXiv:2409.01881, arXiv:2307.13834).
+//
+// All rates default to zero and the timing model defaults to off: a
+// default-constructed spec arms nothing, and every hook in the pipeline is
+// gated so a disabled spec leaves the simulation bit-identical to a build
+// without the fault layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time_types.hpp"
+
+namespace rftc::fault {
+
+struct FaultSpec {
+  // --- DRP / MMCM family (per DRP write / per reconfiguration) -----------
+  /// P[one register write lands with 1–2 payload bits flipped].
+  double drp_corrupt_rate = 0.0;
+  /// P[DRDY never returns and the write is silently dropped].
+  double drp_drop_rate = 0.0;
+  /// P[LOCKED falls right after reset release and never rises again].
+  double lock_loss_rate = 0.0;
+
+  // --- Mux family (per round-clock select change) -------------------------
+  /// P[a switch taken before the glitch-free dead time emits a runt pulse].
+  double mux_glitch_rate = 0.0;
+
+  // --- Timing-closure family (per AES round) ------------------------------
+  /// Critical-path delay of one AES round; 0 disables the timing model.
+  Picoseconds critical_path_ps = 0;
+  /// Design margin subtracted from the critical path: a round fails only
+  /// when its period < critical_path_ps - margin_ps (+ jitter).
+  Picoseconds margin_ps = 0;
+  /// Run-time variability: per-round uniform ±jitter on the path delay.
+  Picoseconds jitter_ps = 0;
+  /// State bits corrupted per violated round.
+  int flips_per_violation = 1;
+
+  /// Seed of the injector's private PRNG stream.
+  std::uint64_t seed = 0xF4017DEFACED5EEDULL;
+
+  /// Any DRP/MMCM/mux family armed (the controller-side hooks).
+  bool clocking_any() const {
+    return drp_corrupt_rate > 0.0 || drp_drop_rate > 0.0 ||
+           lock_loss_rate > 0.0 || mux_glitch_rate > 0.0;
+  }
+  /// Timing-closure model armed (the engine-side hook).
+  bool timing_enabled() const { return critical_path_ps > 0; }
+  bool any() const { return clocking_any() || timing_enabled(); }
+
+  /// Builds a spec from RFTC_FAULT_* environment knobs (unset knobs keep
+  /// the all-disabled defaults); see docs/ROBUSTNESS.md for the list.
+  static FaultSpec from_env();
+};
+
+/// A transient flip forced onto the combinational input of one AES round —
+/// how a mux runt pulse reaches the cipher.  `round` is 1..10 (the engine's
+/// crypto-clock cycles), `bit` indexes the 128-bit state LSB-first.
+struct FaultSite {
+  int round = 0;
+  int bit = 0;
+};
+
+}  // namespace rftc::fault

@@ -1,0 +1,103 @@
+#include "fault/injector.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rftc::fault {
+
+namespace {
+
+/// Process-wide fault tallies across every injector instance.
+struct GlobalFaultMetrics {
+  obs::Counter& drp_corruptions =
+      obs::Registry::global().counter("fault.drp_corruptions");
+  obs::Counter& drp_drops = obs::Registry::global().counter("fault.drp_drops");
+  obs::Counter& lock_losses =
+      obs::Registry::global().counter("fault.lock_losses");
+  obs::Counter& mux_glitches =
+      obs::Registry::global().counter("fault.mux_glitches");
+  obs::Counter& timing_violations =
+      obs::Registry::global().counter("fault.timing_violations");
+  obs::Counter& bits_flipped =
+      obs::Registry::global().counter("fault.bits_flipped");
+
+  static GlobalFaultMetrics& get() {
+    static GlobalFaultMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t salt)
+    : spec_(spec), rng_(spec.seed ^ (salt * 0x9E3779B97F4A7C15ULL)) {}
+
+bool FaultInjector::decide(double rate) {
+  if (rate <= 0.0) return false;
+  return rng_.uniform01() < rate;
+}
+
+bool FaultInjector::drop_drp_write() {
+  if (!decide(spec_.drp_drop_rate)) return false;
+  ++counts_.drp_drops;
+  GlobalFaultMetrics::get().drp_drops.inc();
+  return true;
+}
+
+std::optional<std::uint16_t> FaultInjector::corrupt_drp_word(
+    std::uint16_t word) {
+  if (!decide(spec_.drp_corrupt_rate)) return std::nullopt;
+  GlobalFaultMetrics& g = GlobalFaultMetrics::get();
+  // Flip one bit, or two *distinct* bits, of the 16-bit payload.
+  const auto first = static_cast<unsigned>(rng_.uniform(16));
+  word ^= static_cast<std::uint16_t>(1u << first);
+  ++counts_.bits_flipped;
+  if (rng_.uniform(2) != 0) {
+    const auto second =
+        (first + 1 + static_cast<unsigned>(rng_.uniform(15))) % 16u;
+    word ^= static_cast<std::uint16_t>(1u << second);
+    ++counts_.bits_flipped;
+    g.bits_flipped.inc();
+  }
+  ++counts_.drp_corruptions;
+  g.drp_corruptions.inc();
+  g.bits_flipped.inc();
+  return word;
+}
+
+bool FaultInjector::lose_lock() {
+  if (!decide(spec_.lock_loss_rate)) return false;
+  ++counts_.lock_losses;
+  GlobalFaultMetrics::get().lock_losses.inc();
+  return true;
+}
+
+bool FaultInjector::mux_glitch() {
+  if (!decide(spec_.mux_glitch_rate)) return false;
+  ++counts_.mux_glitches;
+  GlobalFaultMetrics::get().mux_glitches.inc();
+  return true;
+}
+
+int FaultInjector::timing_violation_flips(Picoseconds round_period_ps) {
+  if (!spec_.timing_enabled()) return 0;
+  Picoseconds required = spec_.critical_path_ps - spec_.margin_ps;
+  if (spec_.jitter_ps > 0) {
+    // Run-time variability: this round's path delay lands uniformly within
+    // ±jitter of the nominal value.
+    const double u = 2.0 * rng_.uniform01() - 1.0;
+    required += static_cast<Picoseconds>(
+        u * static_cast<double>(spec_.jitter_ps));
+  }
+  if (round_period_ps >= required) return 0;
+  ++counts_.timing_violations;
+  GlobalFaultMetrics::get().timing_violations.inc();
+  return spec_.flips_per_violation;
+}
+
+int FaultInjector::draw_flip_bit() {
+  ++counts_.bits_flipped;
+  GlobalFaultMetrics::get().bits_flipped.inc();
+  return static_cast<int>(rng_.uniform(128));
+}
+
+}  // namespace rftc::fault

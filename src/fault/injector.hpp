@@ -1,0 +1,80 @@
+// Deterministic, seedable fault decision engine.
+//
+// One FaultInjector owns one Xoshiro256** stream seeded from
+// FaultSpec::seed (xor an optional salt, so the controller-side and
+// engine-side injectors of one device draw from independent streams).
+// Determinism contract: fault sites are a pure function of (spec, salt,
+// call order).  The call order is fixed by the simulation itself — the
+// controller and the round engine are strictly sequential per device — so a
+// campaign with the same seed reproduces bit-identical fault sites, counts
+// and recovered schedules under any RFTC_THREADS (parallel acquisition gives
+// every shard its own device, hence its own injectors).
+//
+// A family whose rate is zero consumes no randomness: arming or disarming
+// one family never perturbs the fault sites of the others.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault_spec.hpp"
+#include "util/rng.hpp"
+
+namespace rftc::fault {
+
+/// Per-injector event tally (also mirrored into the global obs::Registry
+/// under "fault.*" — see docs/OBSERVABILITY.md).
+struct FaultCounts {
+  std::uint64_t drp_corruptions = 0;
+  std::uint64_t drp_drops = 0;
+  std::uint64_t lock_losses = 0;
+  std::uint64_t mux_glitches = 0;
+  std::uint64_t timing_violations = 0;
+  std::uint64_t bits_flipped = 0;
+
+  /// Fault events across all families (bit flips are payload, not events).
+  std::uint64_t total() const {
+    return drp_corruptions + drp_drops + lock_losses + mux_glitches +
+           timing_violations;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec, std::uint64_t salt = 0);
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultCounts& counts() const { return counts_; }
+
+  // --- DRP / MMCM family --------------------------------------------------
+  /// True when this DRP write's DRDY is dropped (the FSM moves on, the
+  /// register keeps its previous contents).
+  bool drop_drp_write();
+  /// Corrupted payload for this DRP write (1–2 distinct bit flips), or
+  /// nullopt when the write lands clean.
+  std::optional<std::uint16_t> corrupt_drp_word(std::uint16_t word);
+  /// True when the MMCM loses lock right after this reset release.
+  bool lose_lock();
+
+  // --- Mux family -----------------------------------------------------------
+  /// True when this dead-time-skipping select change emits a runt pulse.
+  bool mux_glitch();
+
+  // --- Timing-closure family ----------------------------------------------
+  /// Number of state bits the unsettled critical path corrupts in a round
+  /// clocked with `round_period_ps` (0 = timing met).  Draws the per-round
+  /// jitter only when the timing model is armed.
+  int timing_violation_flips(Picoseconds round_period_ps);
+  /// Seeded flip site in [0, 128) for one corrupted state bit.
+  int draw_flip_bit();
+
+ private:
+  /// Bernoulli draw; consumes randomness only when rate > 0.
+  bool decide(double rate);
+
+  FaultSpec spec_;
+  Xoshiro256StarStar rng_;
+  FaultCounts counts_;
+};
+
+}  // namespace rftc::fault

@@ -139,6 +139,8 @@ bool is_timing_unit(const std::string& key, const std::string& unit) {
   return unit.find("/s") != std::string::npos;
 }
 
+bool is_exact_unit(const std::string& unit) { return unit == "count"; }
+
 namespace {
 
 bool is_ignored(const std::string& key, const DiffOptions& options) {
@@ -148,14 +150,23 @@ bool is_ignored(const std::string& key, const DiffOptions& options) {
 
 /// Appends one comparison to the result; returns true when within bounds.
 void compare_value(const std::string& label, double a, double b, bool timing,
-                   const DiffOptions& options, const double* override_tol,
-                   DiffResult& res) {
+                   bool exact, const DiffOptions& options,
+                   const double* override_tol, DiffResult& res) {
   ++res.compared;
   if (!std::isfinite(a) || !std::isfinite(b)) {
     if (std::isfinite(a) != std::isfinite(b)) {
       res.regression = true;
       res.failures.push_back(label + ": " + format_value(a) + " vs " +
                              format_value(b) + " (non-finite)");
+    }
+    return;
+  }
+  if (exact && override_tol == nullptr) {
+    if (a != b) {
+      res.regression = true;
+      res.failures.push_back(label + ": " + format_value(a) + " vs " +
+                             format_value(b) +
+                             " (count metrics must match exactly)");
     }
     return;
   }
@@ -208,7 +219,8 @@ DiffResult diff_artifacts(const Artifact& a, const Artifact& b,
     const double* override_tol =
         tol_it != options.per_metric.end() ? &tol_it->second : nullptr;
     compare_value(key, it->second.value, bm.value,
-                  is_timing_unit(key, bm.unit), options, override_tol, res);
+                  is_timing_unit(key, bm.unit), is_exact_unit(bm.unit),
+                  options, override_tol, res);
   }
   for (const auto& [key, am] : a.metrics) {
     (void)am;
@@ -242,7 +254,8 @@ DiffResult diff_artifacts(const Artifact& a, const Artifact& b,
       const double* override_tol =
           tol_it != options.per_metric.end() ? &tol_it->second : nullptr;
       compare_value("checkpoint " + cp + "." + k, vit->second, bv,
-                    /*timing=*/false, options, override_tol, res);
+                    /*timing=*/false, /*exact=*/false, options, override_tol,
+                    res);
     }
   }
 

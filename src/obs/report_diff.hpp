@@ -9,6 +9,9 @@
 //  * timing metrics (unit s/ms/us/ns or a rate "<x>/s", plus wall_seconds)
 //    — machine-dependent, so only the RATIO is bounded: max(a/b, b/a) must
 //    stay within `timing_factor`.
+//  * count metrics (unit "count") — deterministic event tallies (fault
+//    sites, recovery retries, ...): any difference is a regression, unless
+//    a per-metric override explicitly relaxes the key.
 // Provenance fields and the default-ignored keys ("threads", "batch") never
 // fail a diff — they describe the machine, not the result.
 #pragma once
@@ -73,5 +76,9 @@ DiffResult diff_artifacts(const Artifact& a, const Artifact& b,
 
 /// True for units the comparator treats as machine-dependent timing.
 bool is_timing_unit(const std::string& key, const std::string& unit);
+
+/// True for units the comparator requires to match exactly (seeded,
+/// deterministic tallies — unit "count").
+bool is_exact_unit(const std::string& unit);
 
 }  // namespace rftc::obs

@@ -1,5 +1,6 @@
 #include "rftc/controller.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -36,6 +37,14 @@ struct GlobalMetrics {
       obs::Registry::global().gauge("rftc.config_entropy_bits");
   obs::Gauge& completion_classes =
       obs::Registry::global().gauge("rftc.completion_classes");
+  obs::Counter& lock_failures =
+      obs::Registry::global().counter("rftc.recovery.lock_failures");
+  obs::Counter& recovery_retries =
+      obs::Registry::global().counter("rftc.recovery.retries");
+  obs::Counter& fallbacks =
+      obs::Registry::global().counter("rftc.recovery.fallbacks");
+  obs::Histogram& recovery_latency_ps =
+      obs::Registry::global().histogram("rftc.recovery.latency_ps");
 
   static GlobalMetrics& get() {
     static GlobalMetrics m;
@@ -44,6 +53,13 @@ struct GlobalMetrics {
 };
 
 }  // namespace
+
+Picoseconds recovery_watchdog_deadline_ps(const RecoveryPolicy& policy,
+                                          Picoseconds expected_lock_ps) {
+  const auto scaled = static_cast<Picoseconds>(
+      policy.watchdog_factor * static_cast<double>(expected_lock_ps));
+  return std::max(policy.watchdog_floor_ps, scaled);
+}
 
 RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
     : plan_(std::move(plan)),
@@ -65,9 +81,28 @@ RftcController::RftcController(FrequencyPlan plan, ControllerParams params)
     ++config_draw_counts_[idx];
     mmcms_.emplace_back(store_.config(idx), plan_.params.limits);
   }
+  if (params_.faults.clocking_any()) {
+    fault_ = std::make_unique<fault::FaultInjector>(params_.faults);
+    drp_.set_fault_injector(fault_.get());
+  }
   active_ = 0;
   reconfiguring_ = 1;
   start_reconfig(reconfiguring_);
+}
+
+bool RftcController::active_locked() const {
+  return mmcms_[static_cast<std::size_t>(active_)].locked(now_);
+}
+
+bool RftcController::readback_matches(const clk::MmcmModel& mmcm,
+                                      std::size_t idx) const {
+  // A corrupted image can still decode to a valid configuration — just not
+  // the intended one.  Compare the latched attributes against the Block-RAM
+  // entry (the hardware analogue: DRP read-back after LOCKED).
+  const clk::MmcmConfig& want = store_.config(idx);
+  const clk::MmcmConfig got = mmcm.active_config();
+  return got.mult_8ths == want.mult_8ths && got.divclk == want.divclk &&
+         got.out_div_8ths == want.out_div_8ths;
 }
 
 void RftcController::start_reconfig(int mmcm_index) {
@@ -77,29 +112,90 @@ void RftcController::start_reconfig(int mmcm_index) {
   const std::size_t idx = lfsr_.uniform(plan_.p());
   ++config_draw_counts_[idx];
   const std::vector<clk::DrpWrite> writes = store_.fetch(idx);
-  const clk::ReconfigReport rep = drp_.apply(
-      mmcms_[static_cast<std::size_t>(mmcm_index)], writes, now_);
-  reconfig_done_at_ = rep.locked;
-
-  const Picoseconds duration = rep.locked - rep.started;
-  stats_.reconfigurations_.inc();
-  stats_.drp_transactions_.inc(rep.drp_transactions);
-  stats_.last_reconfig_ps_.set(static_cast<double>(duration));
-  stats_.reconfig_duration_ps_.observe(static_cast<double>(duration));
-
+  clk::MmcmModel& mmcm = mmcms_[static_cast<std::size_t>(mmcm_index)];
   GlobalMetrics& g = GlobalMetrics::get();
-  g.reconfigurations.inc();
-  g.drp_transactions.inc(rep.drp_transactions);
-  g.reconfig_duration_ps.observe(static_cast<double>(duration));
-  g.config_entropy_bits.set(config_draw_entropy_bits());
 
+  // Watchdog budget of one attempt, derived from the *intended*
+  // configuration (a corrupted register image may not even decode).
+  const Picoseconds expected_lock =
+      static_cast<Picoseconds>(clk::lock_cycles(store_.config(idx))) *
+      period_ps_from_mhz(plan_.params.fin_mhz);
+  const Picoseconds deadline =
+      recovery_watchdog_deadline_ps(params_.recovery, expected_lock);
+
+  Picoseconds attempt_start = now_;
+  reconfig_healthy_ = true;
+  int attempt = 0;
+  for (;;) {
+    const clk::ReconfigReport rep = drp_.apply(mmcm, writes, attempt_start);
+    stats_.reconfigurations_.inc();
+    stats_.drp_transactions_.inc(rep.drp_transactions);
+    g.reconfigurations.inc();
+    g.drp_transactions.inc(rep.drp_transactions);
+
+    bool healthy = !rep.lock_failed;
+    if (healthy && fault_ != nullptr && params_.recovery.verify_readback &&
+        !readback_matches(mmcm, idx))
+      healthy = false;
+
+    if (healthy) {
+      reconfig_done_at_ = rep.locked;
+      const Picoseconds duration = rep.locked - rep.started;
+      stats_.last_reconfig_ps_.set(static_cast<double>(duration));
+      stats_.reconfig_duration_ps_.observe(static_cast<double>(duration));
+      g.reconfig_duration_ps.observe(static_cast<double>(duration));
+      if (recovery_started_at_ >= 0) {
+        // The incident that began at the first failed attempt is over.
+        const Picoseconds latency = rep.locked - recovery_started_at_;
+        stats_.recovery_latency_ps_.observe(static_cast<double>(latency));
+        g.recovery_latency_ps.observe(static_cast<double>(latency));
+        recovery_started_at_ = -1;
+      }
+      span.arg("duration_us", to_us(duration));
+      break;
+    }
+
+    // Watchdog: a lock that never rises is detected `deadline` after reset
+    // release; a lock that rose on a wrong configuration is caught by the
+    // readback right after it rose.
+    const Picoseconds detected =
+        rep.lock_failed ? rep.writes_done + deadline : rep.locked;
+    stats_.lock_failures_.inc();
+    g.lock_failures.inc();
+    if (recovery_started_at_ < 0) recovery_started_at_ = attempt_start;
+    ++attempt;
+    if (attempt > params_.recovery.max_retries) {
+      // Bounded retries exhausted: park this MMCM; the next swap window
+      // falls back to holding the last-locked one (maybe_swap).
+      reconfig_healthy_ = false;
+      reconfig_done_at_ = detected;
+      span.arg("gave_up_after", attempt);
+      break;
+    }
+    stats_.recovery_retries_.inc();
+    g.recovery_retries.inc();
+    // Bounded exponential backoff before rewriting the registers.
+    const int shift = std::min(attempt - 1, 16);
+    attempt_start = detected + (params_.recovery.backoff_base_ps << shift);
+  }
+
+  g.config_entropy_bits.set(config_draw_entropy_bits());
   span.arg("mmcm", mmcm_index);
   span.arg("config_idx", static_cast<double>(idx));
-  span.arg("duration_us", to_us(duration));
 }
 
 void RftcController::maybe_swap() {
   if (now_ < reconfig_done_at_) return;
+  if (!reconfig_healthy_) {
+    // Fallback: the parked MMCM never reached a trustworthy lock, so the
+    // last-locked MMCM keeps driving the mux (the cipher must never run
+    // from an unlocked clock) and a fresh configuration draw restarts the
+    // retry cycle — the ping-pong resumes at the next healthy lock.
+    stats_.fallbacks_.inc();
+    GlobalMetrics::get().fallbacks.inc();
+    start_reconfig(reconfiguring_);
+    return;
+  }
   // The freshly reconfigured MMCM takes over; the previously active one is
   // immediately sent off to fetch its next configuration (Fig. 2-B,
   // "Encryption x+1").  The slack — how long the reconfigured MMCM sat
@@ -129,6 +225,12 @@ EncryptionSchedule RftcController::next(int rounds) {
   const bool tracing = span.active();
   maybe_swap();
 
+  // Recovery invariant: whatever happened to the reconfiguring MMCM, the
+  // one driving the cipher mux holds a healthy lock.
+  assert(active_locked() &&
+         "recovery invariant: encryption never runs from an unlocked clock");
+  if (fault_ != nullptr) glitch_faults_.clear();
+
   EncryptionSchedule es;
   es.load_edge = sched::kLoadEdgePs;
   es.global_start = now_;
@@ -150,6 +252,12 @@ EncryptionSchedule RftcController::next(int rounds) {
       if (params_.model_switch_overhead) {
         const Picoseconds from = periods[static_cast<std::size_t>(prev_sel)];
         t += clk::switch_latency(from, p, t % from, t % p);
+      }
+      if (fault_ != nullptr && fault_->mux_glitch()) {
+        // A runt pulse during the BUFGMUX dead time evaluates the round
+        // logic from a glitched state: a transient flip on the input of the
+        // round this slot clocks (slot r drives engine round r + 1).
+        glitch_faults_.push_back({r + 1, fault_->draw_flip_bit()});
       }
     }
     t += p;

@@ -18,12 +18,43 @@
 #include "clocking/clock_mux.hpp"
 #include "clocking/drp_controller.hpp"
 #include "clocking/mmcm_model.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "rftc/frequency_planner.hpp"
 #include "sched/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace rftc::core {
+
+/// What the controller does when a reconfiguration fails to produce a
+/// trustworthy lock (docs/ROBUSTNESS.md).  The invariant the policy
+/// enforces: encryption never runs from an unlocked clock — a failed
+/// reconfiguration can only ever cost schedule entropy (the fallback holds
+/// the last-locked MMCM instead of swapping), never correctness.
+struct RecoveryPolicy {
+  /// DRP rewrite attempts after the first failure before falling back.
+  int max_retries = 3;
+  /// Watchdog deadline = max(watchdog_floor_ps, factor x expected lock
+  /// time of the intended configuration).
+  double watchdog_factor = 1.5;
+  /// Never declare a lock failed before the paper's §5 reconfiguration
+  /// figure (34 us at the 24 MHz DRP clock) has comfortably passed.
+  Picoseconds watchdog_floor_ps = 34 * kPicosPerMicro;
+  /// Delay before the first retry; doubles with every further retry.
+  Picoseconds backoff_base_ps = 8 * kPicosPerMicro;
+  /// Compare the relocked MMCM's latched configuration against the
+  /// intended Block-RAM entry before trusting the lock (catches corrupted
+  /// images that still decode to a *valid but wrong* configuration).
+  bool verify_readback = true;
+};
+
+/// Watchdog deadline for one reconfiguration attempt: how long after reset
+/// release the controller waits for LOCKED before declaring the attempt
+/// failed.  Exposed as a free function so the 34 us floor is testable in
+/// isolation.
+Picoseconds recovery_watchdog_deadline_ps(const RecoveryPolicy& policy,
+                                          Picoseconds expected_lock_ps);
 
 struct ControllerParams {
   /// N — number of MMCMs (>= 2 for uninterrupted operation; the paper's
@@ -35,6 +66,11 @@ struct ControllerParams {
   /// Charge glitch-free BUFG switch dead time between rounds (off in the
   /// paper's completion-time arithmetic; on for the ablation bench).
   bool model_switch_overhead = false;
+  /// Fault injection (default: everything disarmed — the controller takes
+  /// code paths bit-identical to a fault-free build).
+  fault::FaultSpec faults{};
+  /// Applied when a reconfiguration fails (only reachable with faults).
+  RecoveryPolicy recovery{};
 };
 
 /// Per-instance runtime telemetry, backed by the rftc::obs metric
@@ -45,6 +81,8 @@ struct ControllerParams {
 class ControllerStats {
  public:
   std::uint64_t encryptions() const { return encryptions_.value(); }
+  /// DRP reconfiguration sequences executed, including faulted attempts
+  /// that were retried (reconfigurations() - lock_failures() succeeded).
   std::uint64_t reconfigurations() const { return reconfigurations_.value(); }
   std::uint64_t total_drp_transactions() const {
     return drp_transactions_.value();
@@ -66,6 +104,20 @@ class ControllerStats {
   /// slack means reconfiguration is about to stall the cipher clock).
   const obs::Histogram& reconfig_slack_histogram() const {
     return reconfig_slack_ps_;
+  }
+
+  // --- Recovery telemetry (docs/ROBUSTNESS.md) ---------------------------
+  /// Reconfiguration attempts that failed to produce a trustworthy lock
+  /// (watchdog expiry or readback mismatch).
+  std::uint64_t lock_failures() const { return lock_failures_.value(); }
+  /// Backed-off DRP rewrites issued after a failure.
+  std::uint64_t recovery_retries() const { return recovery_retries_.value(); }
+  /// Swap windows where retries were exhausted and the last-locked MMCM
+  /// was held on the mux instead of ping-ponging.
+  std::uint64_t fallbacks() const { return fallbacks_.value(); }
+  /// First failure → eventual healthy lock, per recovered incident.
+  const obs::Histogram& recovery_latency_histogram() const {
+    return recovery_latency_ps_;
   }
 
   /// Mean encryptions completed per reconfiguration interval (paper: ~82).
@@ -90,6 +142,10 @@ class ControllerStats {
   obs::Gauge last_reconfig_ps_;
   obs::Histogram reconfig_duration_ps_;
   obs::Histogram reconfig_slack_ps_;
+  obs::Counter lock_failures_;
+  obs::Counter recovery_retries_;
+  obs::Counter fallbacks_;
+  obs::Histogram recovery_latency_ps_;
 };
 
 class RftcController final : public sched::Scheduler {
@@ -105,6 +161,20 @@ class RftcController final : public sched::Scheduler {
   int active_mmcm() const { return active_; }
   /// Periods of the M usable outputs of the active MMCM.
   std::vector<Picoseconds> active_periods() const;
+
+  /// The recovery invariant: the MMCM driving the cipher mux is locked at
+  /// the current simulation time.  Holds from construction onwards; a
+  /// failed reconfiguration only ever parks the *reconfiguring* MMCM.
+  bool active_locked() const;
+  /// Mux-glitch fault sites produced by the most recent next() call
+  /// (always empty unless the mux-glitch family is armed; the device
+  /// forwards them into the round engine as forced faults).
+  const std::vector<fault::FaultSite>& glitch_faults() const {
+    return glitch_faults_;
+  }
+  /// Controller-side injector (null when no clocking fault family is
+  /// armed); exposed so campaigns can report per-device fault tallies.
+  const fault::FaultInjector* fault_injector() const { return fault_.get(); }
 
   /// How often each Block-RAM configuration index has been drawn so far
   /// (LFSR draws at construction and at every ping-pong reconfiguration).
@@ -125,6 +195,9 @@ class RftcController final : public sched::Scheduler {
  private:
   void start_reconfig(int mmcm_index);
   void maybe_swap();
+  /// Readback verification: the latched configuration matches the intended
+  /// Block-RAM entry.
+  bool readback_matches(const clk::MmcmModel& mmcm, std::size_t idx) const;
 
   FrequencyPlan plan_;
   ControllerParams params_;
@@ -141,6 +214,15 @@ class RftcController final : public sched::Scheduler {
   std::uint64_t encryptions_since_swap_ = 0;
   Picoseconds reconfig_done_at_ = 0;
   Picoseconds now_ = 0;
+  /// Clocking-family fault injector (null: every hook disarmed).
+  std::unique_ptr<fault::FaultInjector> fault_;
+  /// False when the pending reconfiguration exhausted its retries: the
+  /// next swap window falls back to holding the active MMCM.
+  bool reconfig_healthy_ = true;
+  /// Start of the oldest unresolved failure (-1: no incident open); closes
+  /// into recovery_latency_ps_ at the next healthy lock.
+  Picoseconds recovery_started_at_ = -1;
+  std::vector<fault::FaultSite> glitch_faults_;
   /// Draws per configuration index (config_draw_entropy_bits telemetry).
   std::vector<std::uint64_t> config_draw_counts_;
   /// Completion times seen so far (completion-class telemetry; bounded by

@@ -6,7 +6,15 @@ RftcDevice::RftcDevice(const aes::Key& key, FrequencyPlan plan,
                        ControllerParams params)
     : engine_(key),
       controller_(
-          std::make_unique<RftcController>(std::move(plan), params)) {}
+          std::make_unique<RftcController>(std::move(plan), params)) {
+  if (params.faults.timing_enabled()) {
+    // Salt 1 keeps the engine's timing stream independent of the
+    // controller's clocking stream (salt 0), so arming one family never
+    // perturbs the other's fault sites.
+    engine_fault_ = std::make_unique<fault::FaultInjector>(params.faults, 1);
+    engine_.set_fault_injector(engine_fault_.get());
+  }
+}
 
 RftcDevice RftcDevice::make(const aes::Key& key, int m, int p,
                             std::uint64_t seed) {
@@ -21,8 +29,20 @@ RftcDevice RftcDevice::make(const aes::Key& key, int m, int p,
 }
 
 EncryptionRecord RftcDevice::encrypt(const aes::Block& plaintext) {
-  EncryptionRecord rec{aes::Block{}, controller_->next(aes::kRounds),
-                       engine_.encrypt(plaintext)};
+  sched::EncryptionSchedule schedule = controller_->next(aes::kRounds);
+  const bool faulted =
+      engine_fault_ != nullptr || !controller_->glitch_faults().empty();
+  if (faulted) {
+    round_periods_.clear();
+    for (const sched::CycleSlot& slot : schedule.slots)
+      if (slot.kind == sched::SlotKind::kRound)
+        round_periods_.push_back(slot.period);
+  }
+  EncryptionRecord rec{aes::Block{}, std::move(schedule),
+                       faulted ? engine_.encrypt(plaintext, round_periods_,
+                                                 controller_->glitch_faults())
+                               : engine_.encrypt(plaintext)};
+  rec.fault_flips = rec.activity.injected_flips();
   rec.ciphertext = rec.activity.ciphertext();
   sched::observe_schedule(rec.schedule);
   return rec;

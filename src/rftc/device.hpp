@@ -22,6 +22,10 @@ struct EncryptionRecord {
   aes::Block ciphertext{};
   sched::EncryptionSchedule schedule;
   aes::EncryptionActivity activity;
+  /// State bits corrupted by fault injection (0 = correct AES output; see
+  /// docs/ROBUSTNESS.md).  Plumbed through so the acquisition layer can
+  /// count faulty traces without re-encrypting.
+  int fault_flips = 0;
 };
 
 class RftcDevice {
@@ -41,10 +45,21 @@ class RftcDevice {
   const aes::KeySchedule& key_schedule() const {
     return engine_.key_schedule();
   }
+  /// Engine-side (timing-closure) injector; null unless the timing family
+  /// is armed in ControllerParams::faults.
+  const fault::FaultInjector* engine_fault_injector() const {
+    return engine_fault_.get();
+  }
 
  private:
   aes::RoundEngine engine_;
   std::unique_ptr<RftcController> controller_;
+  /// Timing-closure injector, salted independently of the controller's
+  /// clocking injector so the families draw from disjoint streams.
+  std::unique_ptr<fault::FaultInjector> engine_fault_;
+  /// Scratch for the per-round crypto-clock periods handed to the engine
+  /// (reused across encryptions to avoid per-call allocation).
+  std::vector<Picoseconds> round_periods_;
 };
 
 /// A device clocked by an arbitrary scheduler — used to run the baseline

@@ -21,6 +21,14 @@ obs::Counter& captured_counter() {
   return c;
 }
 
+/// Captures whose ciphertext was corrupted by fault injection
+/// (docs/ROBUSTNESS.md); stays at zero on a fault-free run.
+obs::Counter& faulted_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("trace.faulted_encryptions");
+  return c;
+}
+
 }  // namespace
 
 aes::Block random_block(Xoshiro256StarStar& rng) {
@@ -39,12 +47,14 @@ TraceSet acquire_random(const Encryptor& encryptor, TraceSimulator& sim,
   RFTC_OBS_SPAN(span, "trace", "acquire_random");
   span.arg("n", static_cast<double>(n));
   obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
   TraceSet set(sim.samples());
   for (std::size_t i = 0; i < n; ++i) {
     const aes::Block pt = random_block(rng);
     const core::EncryptionRecord rec = encryptor(pt);
     set.add(sim.simulate(rec.schedule, rec.activity), pt, rec.ciphertext);
     captured.inc();
+    if (rec.fault_flips > 0) faulted.inc();
     if ((i & kProgressMask) == kProgressMask)
       RFTC_OBS_INSTANT("trace", "acquire_random.progress",
                        {"captured", static_cast<double>(i + 1)},
@@ -60,6 +70,7 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
   RFTC_OBS_SPAN(span, "trace", "acquire_tvla");
   span.arg("n_per_population", static_cast<double>(n_per_population));
   obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
   std::size_t done = 0;
   TvlaCapture cap{TraceSet(sim.samples()), TraceSet(sim.samples())};
   std::size_t remaining_fixed = n_per_population;
@@ -76,6 +87,7 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
     }
     const aes::Block pt = take_fixed ? fixed_plaintext : random_block(rng);
     const core::EncryptionRecord rec = encryptor(pt);
+    if (rec.fault_flips > 0) faulted.inc();
     auto tr = sim.simulate(rec.schedule, rec.activity);
     if (take_fixed) {
       cap.fixed.add(std::move(tr), pt, rec.ciphertext);
@@ -114,6 +126,7 @@ TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
   span.arg("n", static_cast<double>(n));
   if (n == 0) return TraceSet(factory(0).sim.samples());
   obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
 
   auto merged = par::sharded_reduce(
       0, n, shard_size, std::optional<TraceSet>{},
@@ -128,6 +141,7 @@ TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
           set.add(shard.sim.simulate(rec.schedule, rec.activity), pt,
                   rec.ciphertext);
           captured.inc();
+          if (rec.fault_flips > 0) faulted.inc();
         }
         RFTC_OBS_INSTANT("trace", "acquire_random_parallel.shard",
                          {"first", static_cast<double>(b)},
@@ -157,6 +171,7 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
     return TvlaCapture{TraceSet(samples), TraceSet(samples)};
   }
   obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
 
   auto merged = par::sharded_reduce(
       0, n_per_population, shard_size, std::optional<TvlaCapture>{},
@@ -181,6 +196,7 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
           const aes::Block pt =
               take_fixed ? fixed_plaintext : random_block(rng);
           const core::EncryptionRecord rec = shard.encryptor(pt);
+          if (rec.fault_flips > 0) faulted.inc();
           auto tr = shard.sim.simulate(rec.schedule, rec.activity);
           if (take_fixed) {
             cap.fixed.add(std::move(tr), pt, rec.ciphertext);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "aes/gf256.hpp"
+#include "aes/round_engine.hpp"
 #include "util/rng.hpp"
 
 namespace rftc::aes {
@@ -206,5 +207,129 @@ TEST_P(AvalancheTest, SingleBitFlipChangesAboutHalfTheCiphertext) {
 INSTANTIATE_TEST_SUITE_P(Bits, AvalancheTest,
                          ::testing::Values(0, 1, 7, 8, 31, 63, 64, 100, 127));
 
+
+// ---------------------------------------------------------------------------
+// FIPS-197 Appendix B: the full per-round state trace, checked against the
+// round engine's recorded cycles.  Cycle 0 is the state after the initial
+// AddRoundKey; cycle r is Appendix B's "Start of Round r+1" (= the state
+// latched after round r); cycle 10 is the ciphertext.
+// ---------------------------------------------------------------------------
+
+TEST(Aes128, FipsAppendixBPerRoundStates) {
+  static const char* kRoundStates[11] = {
+      "193de3bea0f4e22b9ac68d2ae9f84808",  // after initial AddRoundKey
+      "a49c7ff2689f352b6b5bea43026a5049",  // start of round 2
+      "aa8f5f0361dde3ef82d24ad26832469a",
+      "486c4eee671d9d0d4de3b138d65f58e7",
+      "e0927fe8c86363c0d9b1355085b8be01",
+      "f1006f55c1924cef7cc88b325db5d50c",
+      "260e2e173d41b77de86472a9fdd28b25",
+      "5a4142b11949dc1fa3e019657a8c040c",
+      "ea835cf00445332d655d98ad8596b0c5",
+      "eb40f21e592e38848ba113e71bc342d2",  // start of round 10
+      "3925841d02dc09fbdc118597196a0b32",  // output
+  };
+  const EncryptionActivity act(kFipsPlain, expand_key(kFipsKey), Block{});
+  ASSERT_EQ(act.cycles().size(), 11u);
+  for (std::size_t c = 0; c < 11; ++c) {
+    Block want{};
+    for (int i = 0; i < 16; ++i) {
+      auto nib = [&](char ch) {
+        return static_cast<std::uint8_t>(
+            ch <= '9' ? ch - '0' : ch - 'a' + 10);
+      };
+      want[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          (nib(kRoundStates[c][2 * i]) << 4) | nib(kRoundStates[c][2 * i + 1]));
+    }
+    EXPECT_EQ(act.cycles()[c].state, want) << "cycle " << c;
+  }
+  EXPECT_EQ(act.injected_flips(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fault analysis shape (docs/ROBUSTNESS.md): a single bit
+// flipped at the *input* of round 9 passes through one MixColumns, so it
+// corrupts exactly the 4 ciphertext bytes fed by one state column; flipped
+// at the input of round 10 (no MixColumns) it corrupts exactly 1 byte.
+// ---------------------------------------------------------------------------
+
+namespace dfa {
+
+/// Ciphertext positions corrupted by a round-9 input fault in byte `idx`:
+/// trace a marker byte through ShiftRows (round 9), expand to its column
+/// (MixColumns), then through ShiftRows again (round 10).
+std::array<bool, 16> round9_footprint(int idx) {
+  Block marker{};
+  marker[static_cast<std::size_t>(idx)] = 0xFF;
+  shift_rows(marker);
+  for (int c = 0; c < 4; ++c) {
+    bool hit = false;
+    for (int r = 0; r < 4; ++r) hit |= marker[static_cast<std::size_t>(4 * c + r)] != 0;
+    if (hit)
+      for (int r = 0; r < 4; ++r) marker[static_cast<std::size_t>(4 * c + r)] = 0xFF;
+  }
+  shift_rows(marker);
+  std::array<bool, 16> out{};
+  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = marker[static_cast<std::size_t>(i)] != 0;
+  return out;
+}
+
+}  // namespace dfa
+
+TEST(FaultedRoundDifferential, Round9BitFlipDiffusesToExactlyFourBytes) {
+  const KeySchedule ks = expand_key(kKatKey);
+  const Block clean = encrypt(kKatPlain, kKatKey);
+  for (int bit = 0; bit < 128; bit += 7) {
+    const std::vector<rftc::fault::FaultSite> forced{{9, bit}};
+    const EncryptionActivity act(kKatPlain, ks, Block{}, {}, forced, nullptr);
+    EXPECT_EQ(act.injected_flips(), 1);
+    const std::array<bool, 16> footprint = dfa::round9_footprint(bit / 8);
+    int diff_bytes = 0;
+    for (int i = 0; i < 16; ++i) {
+      const bool differs =
+          act.ciphertext()[static_cast<std::size_t>(i)] != clean[static_cast<std::size_t>(i)];
+      if (differs) ++diff_bytes;
+      EXPECT_EQ(differs, footprint[static_cast<std::size_t>(i)])
+          << "bit " << bit << " byte " << i;
+    }
+    EXPECT_EQ(diff_bytes, 4) << "bit " << bit;
+  }
+}
+
+TEST(FaultedRoundDifferential, Round10BitFlipCorruptsExactlyOneByte) {
+  const KeySchedule ks = expand_key(kKatKey);
+  const Block clean = encrypt(kKatPlain, kKatKey);
+  for (int bit = 0; bit < 128; bit += 11) {
+    const std::vector<rftc::fault::FaultSite> forced{{10, bit}};
+    const EncryptionActivity act(kKatPlain, ks, Block{}, {}, forced, nullptr);
+    int diff_bytes = 0;
+    int diff_at = -1;
+    for (int i = 0; i < 16; ++i) {
+      if (act.ciphertext()[static_cast<std::size_t>(i)] != clean[static_cast<std::size_t>(i)]) {
+        ++diff_bytes;
+        diff_at = i;
+      }
+    }
+    EXPECT_EQ(diff_bytes, 1) << "bit " << bit;
+    // The faulted byte lands where ShiftRows sends it: the ciphertext
+    // position whose pre-ShiftRows source is the faulted byte.
+    EXPECT_EQ(shift_rows_source(diff_at), bit / 8) << "bit " << bit;
+  }
+}
+
+TEST(FaultedRoundDifferential, EarlyRoundFaultAvalanchesBeyondFourBytes) {
+  // The 4-byte signature is specific to round 9: a round-1 fault passes
+  // through many MixColumns layers and avalanche destroys the structure.
+  const KeySchedule ks = expand_key(kKatKey);
+  const Block clean = encrypt(kKatPlain, kKatKey);
+  const std::vector<rftc::fault::FaultSite> forced{{1, 0}};
+  const EncryptionActivity act(kKatPlain, ks, Block{}, {}, forced, nullptr);
+  int diff_bytes = 0;
+  for (int i = 0; i < 16; ++i)
+    if (act.ciphertext()[static_cast<std::size_t>(i)] != clean[static_cast<std::size_t>(i)]) ++diff_bytes;
+  EXPECT_GT(diff_bytes, 10);
+}
+
 }  // namespace
 }  // namespace rftc::aes
+

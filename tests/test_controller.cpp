@@ -210,5 +210,96 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(2, 4), std::make_tuple(2, 16),
                       std::make_tuple(3, 4), std::make_tuple(3, 16)));
 
+
+// ---------------------------------------------------------------------------
+// Recovery policy (docs/ROBUSTNESS.md): watchdog floor, retry-then-fallback,
+// and the invariant that the cipher never runs from an unlocked clock.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, WatchdogDeadlineEnforcesThePaperFloor) {
+  const RecoveryPolicy policy;  // defaults: 34 us floor, factor 1.5
+  // A config that locks quickly must still get the full 34 us of the
+  // paper's Section 5 reconfiguration figure before being declared dead.
+  EXPECT_EQ(recovery_watchdog_deadline_ps(policy, 1 * kPicosPerMicro),
+            34 * kPicosPerMicro);
+  EXPECT_EQ(recovery_watchdog_deadline_ps(policy, 0), 34 * kPicosPerMicro);
+  // A slow-locking config scales by the factor instead.
+  EXPECT_EQ(recovery_watchdog_deadline_ps(policy, 100 * kPicosPerMicro),
+            150 * kPicosPerMicro);
+  // The crossover sits exactly where factor * expected == floor.
+  const Picoseconds crossover =
+      static_cast<Picoseconds>(34 * kPicosPerMicro / 1.5);
+  EXPECT_EQ(recovery_watchdog_deadline_ps(policy, crossover),
+            34 * kPicosPerMicro);
+  RecoveryPolicy tight = policy;
+  tight.watchdog_floor_ps = 5 * kPicosPerMicro;
+  tight.watchdog_factor = 2.0;
+  EXPECT_EQ(recovery_watchdog_deadline_ps(tight, 10 * kPicosPerMicro),
+            20 * kPicosPerMicro);
+}
+
+TEST(Recovery, CertainLockLossRetriesThenFallsBackAndNeverSwaps) {
+  ControllerParams cp;
+  cp.faults.lock_loss_rate = 1.0;
+  cp.faults.seed = 0x10CC;
+  RftcController c(small_plan(3, 8, 5), cp);
+  const int initial = c.active_mmcm();
+  // Each failed reconfiguration costs ~200 us of simulated time (watchdog
+  // deadlines plus exponential backoff) against ~0.5 us per encryption, so
+  // it takes a few thousand encryptions to cross several swap windows.
+  for (int i = 0; i < 2000; ++i) {
+    (void)c.next(10);
+    ASSERT_TRUE(c.active_locked()) << "encryption " << i;
+    // With every reconfiguration failing, the fallback must hold the
+    // last-locked MMCM forever: ping-pong freezes rather than swapping to
+    // an unlocked clock.
+    ASSERT_EQ(c.active_mmcm(), initial) << "encryption " << i;
+  }
+  const ControllerStats& st = c.stats();
+  EXPECT_GT(st.fallbacks(), 0u);
+  EXPECT_GT(st.lock_failures(), 0u);
+  // Every fallback exhausted the full retry budget first.
+  EXPECT_EQ(st.recovery_retries(),
+            static_cast<std::uint64_t>(cp.recovery.max_retries) *
+                (st.fallbacks() + 1));
+  // Nothing ever relocked, so no recovery incident closed.
+  EXPECT_EQ(st.recovery_latency_histogram().count(), 0u);
+}
+
+TEST(Recovery, IntermittentLockLossRecoversAndResumesPingPong) {
+  ControllerParams cp;
+  cp.faults.lock_loss_rate = 0.5;
+  cp.faults.seed = 0x10CC;
+  RftcController c(small_plan(3, 8, 5), cp);
+  std::unordered_set<int> actives;
+  for (int i = 0; i < 2000; ++i) {
+    (void)c.next(10);
+    ASSERT_TRUE(c.active_locked()) << "encryption " << i;
+    actives.insert(c.active_mmcm());
+  }
+  const ControllerStats& st = c.stats();
+  // Failures happened...
+  EXPECT_GT(st.lock_failures(), 0u);
+  EXPECT_GT(st.recovery_retries(), 0u);
+  // ...but retries succeeded often enough that ping-pong kept going: both
+  // MMCMs served as the active clock, and recovered incidents were timed.
+  EXPECT_EQ(actives.size(), 2u);
+  EXPECT_GT(st.recovery_latency_histogram().count(), 0u);
+  // Recovered incidents took at least one watchdog deadline to detect.
+  EXPECT_GE(st.recovery_latency_histogram().min(), 34 * kPicosPerMicro);
+}
+
+TEST(Recovery, DisarmedFaultsKeepRecoveryCountersAtZero) {
+  RftcController c(small_plan(3, 8, 5), {});
+  for (int i = 0; i < 300; ++i) (void)c.next(10);
+  const ControllerStats& st = c.stats();
+  EXPECT_EQ(st.lock_failures(), 0u);
+  EXPECT_EQ(st.recovery_retries(), 0u);
+  EXPECT_EQ(st.fallbacks(), 0u);
+  EXPECT_EQ(st.recovery_latency_histogram().count(), 0u);
+  EXPECT_EQ(c.fault_injector(), nullptr);
+}
+
 }  // namespace
 }  // namespace rftc::core
+

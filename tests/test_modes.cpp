@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 
 #include "rftc/device.hpp"
@@ -136,6 +138,116 @@ TEST(Modes, CtrThroughRftcDeviceRoundTrips) {
   const Block ctr0{};
   const auto ct = ctr_crypt(protected_enc, ctr0, msg);
   EXPECT_EQ(ctr_crypt(software_encryptor(kKey), ctr0, ct), msg);
+}
+
+// ---------------------------------------------------------------------------
+// Fault propagation through block-cipher modes (docs/ROBUSTNESS.md): a mux
+// glitch corrupts one device encryption, and the mode's chaining structure
+// dictates how far the damage spreads.
+// ---------------------------------------------------------------------------
+
+core::RftcDevice make_glitchy_device(double mux_glitch_rate,
+                                     std::uint64_t seed) {
+  core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = 8;
+  pp.seed = seed;
+  core::ControllerParams cp;
+  cp.lfsr_seed_lo = seed * 0x9E3779B97F4A7C15ULL + 1;
+  cp.lfsr_seed_hi = seed ^ 0xDEADBEEFCAFEBABEULL;
+  cp.faults.mux_glitch_rate = mux_glitch_rate;
+  cp.faults.seed = seed;
+  return core::RftcDevice(kKey, core::plan_frequencies(pp), cp);
+}
+
+TEST(Modes, ZeroRateFaultSpecStillMatchesNistCbcVector) {
+  // A device whose fault layer is constructed but fully disarmed must stay
+  // on the golden path: byte-identical to the published CBC vector.
+  core::RftcDevice dev = make_glitchy_device(/*mux_glitch_rate=*/0.0, 91);
+  auto enc = [&](const Block& b) { return dev.encrypt(b).ciphertext; };
+  EXPECT_EQ(cbc_encrypt(enc, kIv, from_hex(kPlainHex)),
+            from_hex("7649abac8119b246cee98e9b12e9197d"
+                     "5086cb9b507219ee95db113a917678b2"
+                     "73bed6b8e3c1743b7116e69e22229516"
+                     "3ff1caa1681fac09120eca307586e1a7"));
+}
+
+TEST(Modes, CtrConfinesDeviceFaultsToTheirOwnBlocks) {
+  // CTR has no ciphertext chaining: a corrupted keystream block damages
+  // exactly the message block it pads.  Ciphertext blocks must differ from
+  // the software reference precisely where the device reported a fault.
+  // A partial glitch rate leaves a mix of clean and faulted blocks, so both
+  // sides of the confinement invariant get exercised.
+  core::RftcDevice dev = make_glitchy_device(/*mux_glitch_rate=*/0.35, 77);
+  std::vector<int> block_flips;
+  auto enc = [&](const Block& b) {
+    const core::EncryptionRecord rec = dev.encrypt(b);
+    block_flips.push_back(rec.fault_flips);
+    return rec.ciphertext;
+  };
+  Xoshiro256StarStar rng(78);
+  std::vector<std::uint8_t> msg(16 * 12);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const Block ctr0{};
+  const auto faulted_ct = ctr_crypt(enc, ctr0, msg);
+  const auto clean_ct = ctr_crypt(software_encryptor(kKey), ctr0, msg);
+  ASSERT_EQ(block_flips.size(), 12u);
+  int faulted_blocks = 0;
+  for (std::size_t blk = 0; blk < block_flips.size(); ++blk) {
+    const bool block_differs =
+        !std::equal(faulted_ct.begin() + static_cast<std::ptrdiff_t>(16 * blk),
+                    faulted_ct.begin() + static_cast<std::ptrdiff_t>(16 * (blk + 1)),
+                    clean_ct.begin() + static_cast<std::ptrdiff_t>(16 * blk));
+    EXPECT_EQ(block_differs, block_flips[blk] > 0) << "block " << blk;
+    if (block_flips[blk] > 0) ++faulted_blocks;
+  }
+  // The seed is chosen so the message sees both faulted and clean blocks —
+  // either side missing would make the confinement check vacuous.
+  EXPECT_GE(faulted_blocks, 2);
+  EXPECT_LT(faulted_blocks, 12);
+}
+
+TEST(Modes, CbcPropagatesDeviceFaultsForwardFromFirstHit) {
+  // CBC chains ciphertext into the next block's input, so the first faulty
+  // encryption poisons everything after it; blocks before it stay exact.
+  core::RftcDevice dev = make_glitchy_device(/*mux_glitch_rate=*/1.0, 79);
+  std::vector<int> block_flips;
+  auto enc = [&](const Block& b) {
+    const core::EncryptionRecord rec = dev.encrypt(b);
+    block_flips.push_back(rec.fault_flips);
+    return rec.ciphertext;
+  };
+  Xoshiro256StarStar rng(80);
+  std::vector<std::uint8_t> msg(16 * 12);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const auto faulted_ct = cbc_encrypt(enc, kIv, msg);
+  const auto clean_ct = cbc_encrypt(software_encryptor(kKey), kIv, msg);
+  std::size_t first_fault = block_flips.size();
+  for (std::size_t blk = 0; blk < block_flips.size(); ++blk)
+    if (block_flips[blk] > 0) {
+      first_fault = blk;
+      break;
+    }
+  ASSERT_LT(first_fault, block_flips.size())
+      << "rate-1.0 glitches never fired; test is vacuous";
+  for (std::size_t blk = 0; blk < block_flips.size(); ++blk) {
+    const bool block_differs =
+        !std::equal(faulted_ct.begin() + static_cast<std::ptrdiff_t>(16 * blk),
+                    faulted_ct.begin() + static_cast<std::ptrdiff_t>(16 * (blk + 1)),
+                    clean_ct.begin() + static_cast<std::ptrdiff_t>(16 * blk));
+    EXPECT_EQ(block_differs, blk >= first_fault) << "block " << blk;
+  }
+  // Decrypting the faulted ciphertext with clean software AES recovers the
+  // plaintext exactly up to the first faulted block and nowhere reports
+  // phantom damage before it.
+  const auto decrypted = cbc_decrypt(kKey, kIv, faulted_ct);
+  EXPECT_TRUE(std::equal(decrypted.begin(),
+                         decrypted.begin() + static_cast<std::ptrdiff_t>(16 * first_fault),
+                         msg.begin()));
+  EXPECT_FALSE(std::equal(
+      decrypted.begin() + static_cast<std::ptrdiff_t>(16 * first_fault),
+      decrypted.begin() + static_cast<std::ptrdiff_t>(16 * (first_fault + 1)),
+      msg.begin() + static_cast<std::ptrdiff_t>(16 * first_fault)));
 }
 
 class ModeRoundTrip : public ::testing::TestWithParam<int> {};

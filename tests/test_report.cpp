@@ -242,5 +242,44 @@ TEST(ReportDiff, TimingUnitClassifier) {
   EXPECT_FALSE(is_timing_unit("speedup_vs_serial", "x"));
 }
 
+
+TEST(ReportDiff, CountMetricsMustMatchExactly) {
+  // Seeded event tallies (unit "count") form their own comparator class:
+  // any difference is a regression, no matter how small relative drift is.
+  Artifact baseline = parse_artifact(joined(sample_manifest()));
+  baseline.metrics["fallbacks"] = {1000.0, "count"};
+  Artifact candidate = baseline;
+  EXPECT_FALSE(diff_artifacts(candidate, baseline).regression);
+
+  // +1 on 1000 events is 0.1% drift — far inside the 5% value tolerance,
+  // but counts are exact.
+  candidate.metrics["fallbacks"].value = 1001.0;
+  const DiffResult res = diff_artifacts(candidate, baseline);
+  EXPECT_TRUE(res.regression);
+  ASSERT_FALSE(res.failures.empty());
+  EXPECT_NE(res.failures.front().find("fallbacks"), std::string::npos);
+  EXPECT_NE(res.failures.front().find("must match exactly"),
+            std::string::npos);
+
+  // The global value tolerance never relaxes a count...
+  DiffOptions loose;
+  loose.tolerance = 0.50;
+  EXPECT_TRUE(diff_artifacts(candidate, baseline, loose).regression);
+
+  // ...but an explicit per-metric override does (the escape hatch
+  // rftc-report exposes as --metric-tol).
+  DiffOptions per_metric;
+  per_metric.per_metric["fallbacks"] = 0.01;
+  EXPECT_FALSE(diff_artifacts(candidate, baseline, per_metric).regression);
+}
+
+TEST(ReportDiff, ExactUnitClassifier) {
+  EXPECT_TRUE(is_exact_unit("count"));
+  EXPECT_FALSE(is_exact_unit("bits"));
+  EXPECT_FALSE(is_exact_unit("s"));
+  EXPECT_FALSE(is_exact_unit(""));
+}
+
 }  // namespace
 }  // namespace rftc::obs
+

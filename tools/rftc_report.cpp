@@ -11,12 +11,15 @@
 //       candidate regresses beyond tolerance — the perf/security gate CI
 //       runs against committed baselines.  Value metrics are compared by
 //       relative drift; timing metrics (unit s/ms/us/ns or a rate, plus
-//       wall_seconds) only by ratio, because they are machine-dependent.
+//       wall_seconds) only by ratio, because they are machine-dependent;
+//       count metrics (unit "count" — seeded deterministic tallies such as
+//       fault-campaign event counts) must match exactly.
 //
 //       --tol <x>             relative drift allowed on value metrics
 //                             (default 0.05)
 //       --timing-factor <x>   allowed ratio on timing metrics (default 3)
-//       --metric-tol k=<x>    per-metric override (value-class comparison)
+//       --metric-tol k=<x>    per-metric override (value-class comparison;
+//                             also relaxes a count metric)
 //       --ignore <key>        exclude a key ("threads"/"batch" are always
 //                             excluded)
 //       --allow-missing       keys missing from the candidate only warn
