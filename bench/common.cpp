@@ -50,48 +50,58 @@ constexpr std::uint64_t kShardGolden = 0x9E3779B97F4A7C15ULL;
 
 }  // namespace
 
-analysis::CampaignFactory rftc_factory(int m, int p) {
+trace::CaptureShardFactory rftc_shard_factory(int m, int p,
+                                              std::uint64_t mix) {
   const aes::Key key = evaluation_key();
-  return [key, m, p](std::uint64_t repeat, std::size_t n) {
-    const std::uint64_t mix = SplitMix64(0x5EED0000 +
-                                         static_cast<std::uint64_t>(m) * 7919 +
-                                         static_cast<std::uint64_t>(p) * 104729 +
-                                         repeat)
-                                  .next();
-    // Pure shard factory: shard j's device and simulator seeds depend only
-    // on (mix, j), so the campaign is bit-identical under any RFTC_THREADS
-    // (see trace::CaptureShardFactory).  The device is shared_ptr-owned
-    // because Encryptor (std::function) requires a copyable callable.
-    const trace::CaptureShardFactory shards = [key, m, p,
-                                               mix](std::size_t shard) {
-      const std::uint64_t salt =
-          SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
-      auto dev = std::make_shared<core::RftcDevice>(
-          core::RftcDevice::make(key, m, p, salt | 1));
-      trace::PowerModelParams pm;
-      return trace::CaptureShard{
-          [dev](const aes::Block& pt) { return dev->encrypt(pt); },
-          trace::TraceSimulator(pm, salt ^ 0xA5A5A5A5ULL)};
-    };
-    return trace::acquire_random_parallel(shards, n, mix + 0xB0B0B0B0ULL);
+  // Pure shard factory: shard j's device and simulator seeds depend only
+  // on (mix, j), so the campaign is bit-identical under any RFTC_THREADS
+  // (see trace::CaptureShardFactory).  The device is shared_ptr-owned
+  // because Encryptor (std::function) requires a copyable callable.
+  return [key, m, p, mix](std::size_t shard) {
+    const std::uint64_t salt =
+        SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
+    auto dev = std::make_shared<core::RftcDevice>(
+        core::RftcDevice::make(key, m, p, salt | 1));
+    trace::PowerModelParams pm;
+    return trace::CaptureShard{
+        [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+        trace::TraceSimulator(pm, salt ^ 0xA5A5A5A5ULL)};
+  };
+}
+
+trace::CaptureShardFactory unprotected_shard_factory(std::uint64_t mix) {
+  const aes::Key key = evaluation_key();
+  return [key, mix](std::size_t shard) {
+    const std::uint64_t salt =
+        SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
+    auto dev = std::make_shared<core::ScheduledAesDevice>(
+        key, std::make_unique<sched::FixedClockScheduler>(48.0));
+    trace::PowerModelParams pm;
+    return trace::CaptureShard{
+        [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+        trace::TraceSimulator(pm, salt)};
+  };
+}
+
+std::uint64_t rftc_campaign_mix(int m, int p, std::uint64_t repeat) {
+  return SplitMix64(0x5EED0000 + static_cast<std::uint64_t>(m) * 7919 +
+                    static_cast<std::uint64_t>(p) * 104729 + repeat)
+      .next();
+}
+
+analysis::CampaignFactory rftc_factory(int m, int p) {
+  return [m, p](std::uint64_t repeat, std::size_t n) {
+    const std::uint64_t mix = rftc_campaign_mix(m, p, repeat);
+    return trace::acquire_random_parallel(rftc_shard_factory(m, p, mix), n,
+                                          mix + 0xB0B0B0B0ULL);
   };
 }
 
 analysis::CampaignFactory unprotected_factory() {
-  const aes::Key key = evaluation_key();
-  return [key](std::uint64_t repeat, std::size_t n) {
+  return [](std::uint64_t repeat, std::size_t n) {
     const std::uint64_t mix = SplitMix64(0xC000 + repeat).next();
-    const trace::CaptureShardFactory shards = [key, mix](std::size_t shard) {
-      const std::uint64_t salt =
-          SplitMix64(mix ^ (kShardGolden * (shard + 1))).next();
-      auto dev = std::make_shared<core::ScheduledAesDevice>(
-          key, std::make_unique<sched::FixedClockScheduler>(48.0));
-      trace::PowerModelParams pm;
-      return trace::CaptureShard{
-          [dev](const aes::Block& pt) { return dev->encrypt(pt); },
-          trace::TraceSimulator(pm, salt)};
-    };
-    return trace::acquire_random_parallel(shards, n, 0xD000 + repeat);
+    return trace::acquire_random_parallel(unprotected_shard_factory(mix), n,
+                                          0xD000 + repeat);
   };
 }
 

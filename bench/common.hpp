@@ -55,6 +55,22 @@ analysis::CampaignFactory rftc_factory(int m, int p);
 /// parallel-capture determinism contract as rftc_factory).
 analysis::CampaignFactory unprotected_factory();
 
+/// The pure capture-shard factory underneath rftc_factory: shard j's device
+/// and simulator seeds depend only on (mix, j).  Exposed so the out-of-core
+/// benches can stream the same campaigns into a trace store
+/// (trace::acquire_random_store / acquire_tvla_store) that the in-RAM
+/// campaigns capture — same factory + same seed = byte-identical traces.
+trace::CaptureShardFactory rftc_shard_factory(int m, int p,
+                                              std::uint64_t mix);
+/// Unprotected counterpart of rftc_shard_factory.
+trace::CaptureShardFactory unprotected_shard_factory(std::uint64_t mix);
+
+/// The campaign mix rftc_factory derives for repetition `repeat` of an
+/// RFTC(m, p) suite.  `acquire_random_store(rftc_shard_factory(m, p, mix),
+/// n, mix + 0xB0B0B0B0)` therefore writes a store byte-identical to the
+/// TraceSet `rftc_factory(m, p)(repeat, n)` returns.
+std::uint64_t rftc_campaign_mix(int m, int p, std::uint64_t repeat);
+
 /// Outcome of one four-attack suite, for machine-readable reporting.
 struct AttackSuiteResult {
   /// CPA, PCA-CPA, DTW-CPA, FFT-CPA (in that order).

@@ -7,10 +7,20 @@
 //
 // BENCH_fig4_cpa_speedup.json records serial_seconds, batched_seconds and
 // speedup_vs_serial (the acceptance gate: >= 4x).
+//
+// Out-of-core mode: with RFTC_STORE_DIR set, the same campaign is also
+// streamed into a chunked .rtst store and attacked through the store-backed
+// run_attack overload — the outcome must match the in-RAM batched run
+// bit-for-bit (exit 1 otherwise), pinning the streamed fig. 4 path at bench
+// scale.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 
 #include "common.hpp"
+#include "trace/trace_store.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -78,6 +88,36 @@ int main() {
   std::printf("speedup_vs_serial:        %8.2fx   outcomes %s\n", speedup,
               match ? "bit-identical" : "MISMATCH");
 
+  // Out-of-core cross-check: re-acquire the identical campaign into a
+  // chunked store (same shard factory, same seed) and attack it through
+  // the streamed path with the batched engine still configured.
+  bool ooc_match = true;
+  if (const char* env = std::getenv("RFTC_STORE_DIR")) {
+    std::filesystem::create_directories(env);
+    const std::string path = std::string(env) + "/fig4_cpa_campaign.rtst";
+    const std::uint64_t mix = bench::rftc_campaign_mix(1, 4, /*repeat=*/0);
+    {
+      trace::TraceStoreWriter writer(path, set.samples());
+      trace::acquire_random_store(bench::rftc_shard_factory(1, 4, mix),
+                                  set.size(), mix + 0xB0B0B0B0ULL, writer);
+      writer.finalize();
+    }
+    const trace::TraceStore store(path);
+    analysis::AttackOutcome ooc_out;
+    const auto t0 = std::chrono::steady_clock::now();
+    ooc_out = analysis::run_attack(store, rk10, params);
+    const double ooc_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ooc_match = same_outcome(batched_out, ooc_out);
+    std::printf("out-of-core, %zu chunks:  %8.2f s   outcomes %s\n",
+                store.chunk_count(), ooc_s,
+                ooc_match ? "bit-identical" : "MISMATCH");
+    report.note("store", path);
+    report.metric("ooc_seconds", ooc_s, "s");
+    report.metric("ooc_outcomes_match", ooc_match ? 1.0 : 0.0, "bool");
+  }
+
   report.metric("traces", static_cast<double>(set.size()), "traces");
   report.metric("serial_seconds", serial_s, "s");
   report.metric("batched_seconds", batched_s, "s");
@@ -89,6 +129,12 @@ int main() {
     std::fprintf(stderr,
                  "fig4_cpa_speedup: batched engine diverged from the "
                  "streaming reference\n");
+    return 1;
+  }
+  if (!ooc_match) {
+    std::fprintf(stderr,
+                 "fig4_cpa_speedup: out-of-core attack diverged from the "
+                 "in-RAM batched run\n");
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "analysis/attacks.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 
@@ -43,6 +44,213 @@ CheckpointEval evaluate_checkpoint(const CpaEngine& engine,
   return ev;
 }
 
+/// The streamed and in-RAM campaigns share one core that walks *segments*:
+/// contiguous runs of (already downsampled) traces with a global offset.
+/// The in-RAM path is a single segment (the whole set); the store path is
+/// one segment per chunk.  Segment boundaries never change the result:
+/// traces feed the engine one at a time in global order, and transform
+/// tiles write disjoint rows — so streamed results are bit-identical to
+/// the in-RAM path (the golden streaming test pins this).
+struct SegmentSource {
+  /// Total traces and post-downsample sample count.
+  std::size_t total = 0;
+  std::size_t samples = 0;
+  /// First `n` downsampled traces, for preprocessing fits (DTW reference,
+  /// PCA basis).  The reference stays valid until the source dies.
+  std::function<const trace::TraceSet&(std::size_t n)> prefix;
+  /// Calls `feed(segment, first_global_index)` over consecutive segments.
+  std::function<void(
+      const std::function<void(const trace::TraceSet&, std::size_t)>&)>
+      for_each_segment;
+};
+
+AttackOutcome run_attack_impl(const SegmentSource& src,
+                              const aes::Block& correct_key,
+                              const AttackParams& params) {
+  if (src.total == 0) throw std::invalid_argument("run_attack: empty set");
+  RFTC_OBS_SPAN(attack_span, "analysis", "run_attack");
+  attack_span.arg("traces", static_cast<double>(src.total));
+  static obs::Counter& attacks_run =
+      obs::Registry::global().counter("analysis.attacks_run");
+  attacks_run.inc();
+
+  std::vector<int> bytes = params.byte_positions;
+  if (bytes.empty()) {
+    bytes.resize(16);
+    std::iota(bytes.begin(), bytes.end(), 0);
+  }
+
+  std::vector<std::size_t> checkpoints = params.checkpoints;
+  if (checkpoints.empty()) checkpoints = {src.total};
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(
+      std::remove_if(checkpoints.begin(), checkpoints.end(),
+                     [&](std::size_t c) { return c == 0 || c > src.total; }),
+      checkpoints.end());
+  if (checkpoints.empty()) checkpoints = {src.total};
+
+  // Preprocessing setup.
+  std::vector<double> dtw_ref;
+  PcaBasis pca;
+  std::size_t features = src.samples;
+  switch (params.kind) {
+    case AttackKind::kCpa:
+      break;
+    case AttackKind::kDtwCpa: {
+      // Reference: one real capture, as in elastic alignment [22] — every
+      // other trace is warped onto its time base.  (A mean over differently
+      // clocked traces would smear the round pulses and give the DP nothing
+      // to lock onto.)  Among the first dtw_ref_traces captures we pick the
+      // one whose length (completion) is closest to the median so extreme
+      // stretches are halved.
+      const std::size_t nref =
+          std::max<std::size_t>(1, std::min(params.dtw_ref_traces, src.total));
+      const trace::TraceSet& head = src.prefix(nref);
+      // Rank candidate references by total energy (a proxy for capture
+      // length: longer encryptions spread energy further right), and take
+      // the median.
+      std::vector<std::pair<double, std::size_t>> energy(nref);
+      for (std::size_t i = 0; i < nref; ++i) {
+        double centroid = 0.0, mass = 0.0;
+        const auto tr = head.trace(i);
+        for (std::size_t s = 0; s < tr.size(); ++s) {
+          centroid += static_cast<double>(tr[s]) * static_cast<double>(s);
+          mass += static_cast<double>(tr[s]);
+        }
+        energy[i] = {mass > 0 ? centroid / mass : 0.0, i};
+      }
+      std::sort(energy.begin(), energy.end());
+      const std::size_t ref_idx = energy[nref / 2].second;
+      const auto ref_tr = head.trace(ref_idx);
+      dtw_ref.assign(ref_tr.begin(), ref_tr.end());
+      break;
+    }
+    case AttackKind::kPcaCpa: {
+      const std::size_t nfit = std::min(params.pca_fit_traces, src.total);
+      pca = compute_pca(src.prefix(nfit), params.pca_components, nfit);
+      features = pca.dims();
+      break;
+    }
+    case AttackKind::kFftCpa:
+      features = next_pow2(src.samples) / 2;
+      break;
+    case AttackKind::kSwCpa: {
+      const std::size_t w = std::max<std::size_t>(1, params.sw_window);
+      const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
+      features = src.samples >= w ? (src.samples - w) / s + 1 : 1;
+      break;
+    }
+  }
+
+  CpaEngine engine(features, bytes, params.leakage, params.engine_mode);
+  AttackOutcome out;
+  out.kind = params.kind;
+
+  // Preprocessing transforms are pure per-trace functions, so each tile of
+  // traces is transformed in parallel (disjoint feature rows) and then fed
+  // to the engine serially in trace order — results are independent of the
+  // thread count, the tile size and the segment boundaries.  Tiles never
+  // straddle a checkpoint or a segment.
+  const std::size_t tile = std::max<std::size_t>(1, engine.batch_size());
+  std::vector<float> feat_buf(params.kind == AttackKind::kCpa
+                                  ? 0
+                                  : tile * features);
+  std::size_t next_cp = 0;
+
+  src.for_each_segment([&](const trace::TraceSet& seg, std::size_t first) {
+    const auto transform_tile = [&](std::size_t i0, std::size_t i1) {
+      par::parallel_for(i0, i1, 1, [&](std::size_t jb, std::size_t je) {
+        for (std::size_t i = jb; i < je; ++i) {
+          const auto tr = seg.trace(i - first);
+          float* feat = feat_buf.data() + (i - i0) * features;
+          switch (params.kind) {
+            case AttackKind::kCpa:
+              break;
+            case AttackKind::kDtwCpa: {
+              const std::vector<float> f = dtw_align(dtw_ref, tr, params.dtw);
+              std::copy(f.begin(), f.end(), feat);
+              break;
+            }
+            case AttackKind::kPcaCpa: {
+              const std::vector<float> f = pca.project(tr);
+              std::copy(f.begin(), f.end(), feat);
+              break;
+            }
+            case AttackKind::kFftCpa: {
+              const auto mag = magnitude_spectrum(tr);
+              for (std::size_t k = 0; k < mag.size(); ++k)
+                feat[k] = static_cast<float>(mag[k]);
+              break;
+            }
+            case AttackKind::kSwCpa: {
+              const std::size_t w = std::max<std::size_t>(1, params.sw_window);
+              const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
+              for (std::size_t k = 0; k < features; ++k) {
+                double acc = 0.0;
+                const std::size_t base = k * s;
+                for (std::size_t x = 0; x < w && base + x < tr.size(); ++x)
+                  acc += static_cast<double>(tr[base + x]);
+                feat[k] = static_cast<float>(acc);
+              }
+              break;
+            }
+          }
+        }
+      });
+    };
+
+    std::size_t i = first;
+    const std::size_t seg_end = first + seg.size();
+    while (i < seg_end) {
+      std::size_t block_end = std::min(i + tile, seg_end);
+      if (next_cp < checkpoints.size())
+        block_end = std::min(block_end, checkpoints[next_cp]);
+      if (params.kind == AttackKind::kCpa) {
+        for (std::size_t j = i; j < block_end; ++j)
+          engine.add(seg.plaintext(j - first), seg.ciphertext(j - first),
+                     seg.trace(j - first));
+      } else {
+        transform_tile(i, block_end);
+        for (std::size_t j = i; j < block_end; ++j)
+          engine.add(seg.plaintext(j - first), seg.ciphertext(j - first),
+                     std::span<const float>(
+                         feat_buf.data() + (j - i) * features, features));
+      }
+      i = block_end;
+      while (next_cp < checkpoints.size() && i == checkpoints[next_cp]) {
+        const CheckpointEval ev = evaluate_checkpoint(engine, correct_key);
+        out.checkpoints.push_back(checkpoints[next_cp]);
+        out.success.push_back(ev.recovered);
+        out.mean_rank.push_back(ev.mean_rank);
+        out.peak_corr.push_back(ev.peak_corr);
+        // Convergence checkpoint: correlation peak and key rank vs traces —
+        // the quantity Fig. 4/Fig. 5 plot as a success-rate curve.
+        RFTC_OBS_INSTANT("analysis", "cpa.checkpoint",
+                         {"traces", static_cast<double>(checkpoints[next_cp])},
+                         {"peak_corr", ev.peak_corr},
+                         {"mean_rank", ev.mean_rank});
+        if (params.monitor != nullptr)
+          params.monitor->observe_cpa(engine, correct_key);
+        ++next_cp;
+      }
+    }
+  });
+  return out;
+}
+
+/// Copies one mapped chunk into a TraceSet, downsampled by `factor` —
+/// per-trace box averaging with the exact arithmetic of
+/// TraceSet::downsampled, so streamed features match the in-RAM path bit
+/// for bit.
+trace::TraceSet chunk_to_set(const trace::TraceChunk& c, std::size_t factor) {
+  trace::TraceSet raw(c.samples());
+  raw.reserve(c.count());
+  for (std::size_t k = 0; k < c.count(); ++k)
+    raw.add(std::vector<float>(c.trace(k).begin(), c.trace(k).end()),
+            c.plaintext(k), c.ciphertext(k));
+  return factor > 1 ? raw.downsampled(factor) : raw;
+}
+
 }  // namespace
 
 std::string attack_name(AttackKind kind) {
@@ -66,169 +274,58 @@ AttackOutcome run_attack(const trace::TraceSet& raw,
                          const aes::Block& correct_key,
                          const AttackParams& params) {
   if (raw.size() == 0) throw std::invalid_argument("run_attack: empty set");
-  RFTC_OBS_SPAN(attack_span, "analysis", "run_attack");
-  attack_span.arg("traces", static_cast<double>(raw.size()));
-  static obs::Counter& attacks_run =
-      obs::Registry::global().counter("analysis.attacks_run");
-  attacks_run.inc();
-
   const trace::TraceSet set =
       params.downsample > 1 ? raw.downsampled(params.downsample) : raw;
 
-  std::vector<int> bytes = params.byte_positions;
-  if (bytes.empty()) {
-    bytes.resize(16);
-    std::iota(bytes.begin(), bytes.end(), 0);
-  }
+  SegmentSource src;
+  src.total = set.size();
+  src.samples = set.samples();
+  src.prefix = [&set](std::size_t) -> const trace::TraceSet& { return set; };
+  src.for_each_segment =
+      [&set](const std::function<void(const trace::TraceSet&, std::size_t)>&
+                 feed) { feed(set, 0); };
+  return run_attack_impl(src, correct_key, params);
+}
 
-  std::vector<std::size_t> checkpoints = params.checkpoints;
-  if (checkpoints.empty()) checkpoints = {set.size()};
-  std::sort(checkpoints.begin(), checkpoints.end());
-  checkpoints.erase(
-      std::remove_if(checkpoints.begin(), checkpoints.end(),
-                     [&](std::size_t c) { return c == 0 || c > set.size(); }),
-      checkpoints.end());
-  if (checkpoints.empty()) checkpoints = {set.size()};
+AttackOutcome run_attack(const trace::TraceStore& store,
+                         const aes::Block& correct_key,
+                         const AttackParams& params) {
+  if (store.size() == 0)
+    throw std::invalid_argument("run_attack: empty store");
+  const std::size_t factor = std::max<std::size_t>(1, params.downsample);
+  if (store.samples() / factor == 0)
+    throw std::invalid_argument("run_attack: downsample factor too large");
 
-  // Preprocessing setup.
-  std::vector<double> dtw_ref;
-  PcaBasis pca;
-  std::size_t features = set.samples();
-  switch (params.kind) {
-    case AttackKind::kCpa:
-      break;
-    case AttackKind::kDtwCpa: {
-      // Reference: one real capture, as in elastic alignment [22] — every
-      // other trace is warped onto its time base.  (A mean over differently
-      // clocked traces would smear the round pulses and give the DP nothing
-      // to lock onto.)  Among the first dtw_ref_traces captures we pick the
-      // one whose length (completion) is closest to the median so extreme
-      // stretches are halved.
-      const std::size_t nref =
-          std::max<std::size_t>(1, std::min(params.dtw_ref_traces, set.size()));
-      // Rank candidate references by total energy (a proxy for capture
-      // length: longer encryptions spread energy further right), and take
-      // the median.
-      std::vector<std::pair<double, std::size_t>> energy(nref);
-      for (std::size_t i = 0; i < nref; ++i) {
-        double centroid = 0.0, mass = 0.0;
-        const auto tr = set.trace(i);
-        for (std::size_t s = 0; s < tr.size(); ++s) {
-          centroid += static_cast<double>(tr[s]) * static_cast<double>(s);
-          mass += static_cast<double>(tr[s]);
-        }
-        energy[i] = {mass > 0 ? centroid / mass : 0.0, i};
-      }
-      std::sort(energy.begin(), energy.end());
-      const std::size_t ref_idx = energy[nref / 2].second;
-      const auto ref_tr = set.trace(ref_idx);
-      dtw_ref.assign(ref_tr.begin(), ref_tr.end());
-      break;
+  // Preprocessing fit window, materialized once.  compute_pca and the DTW
+  // reference pick read only the first n traces of the set, so a prefix cut
+  // at trace granularity reproduces the in-RAM fit exactly.
+  trace::TraceSet head(1);
+  std::size_t head_n = 0;
+  SegmentSource src;
+  src.total = store.size();
+  src.samples = store.samples() / factor;
+  src.prefix = [&](std::size_t n) -> const trace::TraceSet& {
+    if (head_n < n) {
+      trace::TraceSet raw_head = store.prefix(n);
+      head = factor > 1 ? raw_head.downsampled(factor) : std::move(raw_head);
+      head_n = n;
     }
-    case AttackKind::kPcaCpa:
-      pca = compute_pca(set, params.pca_components,
-                        std::min(params.pca_fit_traces, set.size()));
-      features = pca.dims();
-      break;
-    case AttackKind::kFftCpa:
-      features = next_pow2(set.samples()) / 2;
-      break;
-    case AttackKind::kSwCpa: {
-      const std::size_t w = std::max<std::size_t>(1, params.sw_window);
-      const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
-      features = set.samples() >= w ? (set.samples() - w) / s + 1 : 1;
-      break;
-    }
-  }
-
-  CpaEngine engine(features, bytes, params.leakage, params.engine_mode);
-  AttackOutcome out;
-  out.kind = params.kind;
-
-  // Preprocessing transforms are pure per-trace functions, so each tile of
-  // traces is transformed in parallel (disjoint feature rows) and then fed
-  // to the engine serially in trace order — results are independent of the
-  // thread count and the tile size.  Tiles never straddle a checkpoint.
-  const std::size_t tile = std::max<std::size_t>(1, engine.batch_size());
-  std::vector<float> feat_buf(params.kind == AttackKind::kCpa
-                                  ? 0
-                                  : tile * features);
-  const auto transform_tile = [&](std::size_t i0, std::size_t i1) {
-    par::parallel_for(i0, i1, 1, [&](std::size_t jb, std::size_t je) {
-      for (std::size_t i = jb; i < je; ++i) {
-        const auto tr = set.trace(i);
-        float* feat = feat_buf.data() + (i - i0) * features;
-        switch (params.kind) {
-          case AttackKind::kCpa:
-            break;
-          case AttackKind::kDtwCpa: {
-            const std::vector<float> f = dtw_align(dtw_ref, tr, params.dtw);
-            std::copy(f.begin(), f.end(), feat);
-            break;
-          }
-          case AttackKind::kPcaCpa: {
-            const std::vector<float> f = pca.project(tr);
-            std::copy(f.begin(), f.end(), feat);
-            break;
-          }
-          case AttackKind::kFftCpa: {
-            const auto mag = magnitude_spectrum(tr);
-            for (std::size_t k = 0; k < mag.size(); ++k)
-              feat[k] = static_cast<float>(mag[k]);
-            break;
-          }
-          case AttackKind::kSwCpa: {
-            const std::size_t w = std::max<std::size_t>(1, params.sw_window);
-            const std::size_t s = std::max<std::size_t>(1, params.sw_stride);
-            for (std::size_t k = 0; k < features; ++k) {
-              double acc = 0.0;
-              const std::size_t base = k * s;
-              for (std::size_t x = 0; x < w && base + x < tr.size(); ++x)
-                acc += static_cast<double>(tr[base + x]);
-              feat[k] = static_cast<float>(acc);
-            }
-            break;
-          }
-        }
-      }
-    });
+    return head;
   };
-
-  std::size_t next_cp = 0;
-  std::size_t i = 0;
-  while (i < set.size()) {
-    std::size_t block_end = std::min(i + tile, set.size());
-    if (next_cp < checkpoints.size())
-      block_end = std::min(block_end, checkpoints[next_cp]);
-    if (params.kind == AttackKind::kCpa) {
-      for (std::size_t j = i; j < block_end; ++j)
-        engine.add(set.plaintext(j), set.ciphertext(j), set.trace(j));
-    } else {
-      transform_tile(i, block_end);
-      for (std::size_t j = i; j < block_end; ++j)
-        engine.add(set.plaintext(j), set.ciphertext(j),
-                   std::span<const float>(
-                       feat_buf.data() + (j - i) * features, features));
-    }
-    i = block_end;
-    while (next_cp < checkpoints.size() && i == checkpoints[next_cp]) {
-      const CheckpointEval ev = evaluate_checkpoint(engine, correct_key);
-      out.checkpoints.push_back(checkpoints[next_cp]);
-      out.success.push_back(ev.recovered);
-      out.mean_rank.push_back(ev.mean_rank);
-      out.peak_corr.push_back(ev.peak_corr);
-      // Convergence checkpoint: correlation peak and key rank vs traces —
-      // the quantity Fig. 4/Fig. 5 plot as a success-rate curve.
-      RFTC_OBS_INSTANT("analysis", "cpa.checkpoint",
-                       {"traces", static_cast<double>(checkpoints[next_cp])},
-                       {"peak_corr", ev.peak_corr},
-                       {"mean_rank", ev.mean_rank});
-      if (params.monitor != nullptr)
-        params.monitor->observe_cpa(engine, correct_key);
-      ++next_cp;
-    }
-  }
-  return out;
+  src.for_each_segment =
+      [&](const std::function<void(const trace::TraceSet&, std::size_t)>&
+              feed) {
+        std::size_t first = 0;
+        for (std::size_t c = 0; c < store.chunk_count(); ++c) {
+          // One chunk resident at a time: the mapping dies with `seg`'s
+          // source chunk at the end of each iteration.
+          const trace::TraceSet seg =
+              chunk_to_set(store.chunk(c), factor);
+          feed(seg, first);
+          first += seg.size();
+        }
+      };
+  return run_attack_impl(src, correct_key, params);
 }
 
 }  // namespace rftc::analysis

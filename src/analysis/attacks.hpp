@@ -14,6 +14,7 @@
 #include "analysis/cpa.hpp"
 #include "analysis/dtw.hpp"
 #include "trace/trace_set.hpp"
+#include "trace/trace_store.hpp"
 
 namespace rftc::analysis {
 
@@ -84,6 +85,16 @@ struct AttackOutcome {
 /// only for scoring (the round-10 key under the last-round model, the
 /// master key under the first-round model).
 AttackOutcome run_attack(const trace::TraceSet& set,
+                         const aes::Block& correct_key,
+                         const AttackParams& params);
+
+/// Out-of-core variant: consumes a chunked trace store chunk-by-chunk, so
+/// the campaign runs in O(chunk) resident memory.  Preprocessing artefacts
+/// come from a materialized prefix (the DTW reference / PCA fit window) and
+/// every trace then streams through the same engine in the same order, so
+/// the outcome is bit-identical to run_attack over the equivalent in-RAM
+/// TraceSet.
+AttackOutcome run_attack(const trace::TraceStore& store,
                          const aes::Block& correct_key,
                          const AttackParams& params);
 

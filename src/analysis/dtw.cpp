@@ -12,23 +12,33 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Band description for row i (1-based): columns [lo(i), hi(i)] inclusive.
+//
+// Membership is the symmetric scaled Sakoe–Chiba condition
+//   |i*m - j*n| <= w * max(n, m)
+// in exact integer arithmetic.  The condition is invariant under swapping
+// the inputs (n <-> m with i <-> j), so dtw_distance(a, b) == dtw_distance
+// (b, a) for any band — the earlier floor-truncated "center = i*m/n,
+// j in [center-w, center+w]" geometry admitted cells in one orientation it
+// excluded in the other and broke that symmetry.  For n == m it reduces to
+// the classic |i - j| <= w band, cell for cell.
 struct Band {
   std::size_t n, m, w;
+  /// Half-width in the cross-multiplied (j*n) units.
+  std::size_t W() const { return w * std::max(n, m); }
   std::size_t lo(std::size_t i) const {
-    // Keep the band centred on the main diagonal scaled by m/n.
-    const double center =
-        static_cast<double>(i) * static_cast<double>(m) / static_cast<double>(n);
-    const auto c = static_cast<std::ptrdiff_t>(center);
-    const std::ptrdiff_t lo = c - static_cast<std::ptrdiff_t>(w);
-    return static_cast<std::size_t>(std::max<std::ptrdiff_t>(1, lo));
+    const std::size_t im = i * m, width = W();
+    if (im <= width) return 1;
+    // Smallest j with j*n >= i*m - W.
+    return std::max<std::size_t>(1, (im - width + n - 1) / n);
   }
   std::size_t hi(std::size_t i) const {
-    const double center =
-        static_cast<double>(i) * static_cast<double>(m) / static_cast<double>(n);
-    const auto c = static_cast<std::size_t>(center);
-    return std::min(m, c + w);
+    // Largest j <= m with j*n <= i*m + W.
+    return std::min(m, (i * m + W()) / n);
   }
-  std::size_t width() const { return 2 * w + 2; }
+  /// Upper bound on hi(i) - lo(i) + 1 over all rows (move-matrix stride).
+  std::size_t width() const {
+    return std::min<std::size_t>(m, 2 * W() / n + 2);
+  }
 };
 
 enum Move : std::uint8_t { kDiag = 0, kUp = 1, kLeft = 2, kNone = 3 };
@@ -43,6 +53,10 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
       params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));
   Band band{n, m, w};
 
+  // prev[0] = D(0, 0) = 0 anchors the path start: cell (1, 1) reads it as
+  // its diagonal predecessor inside the sweep, so no post-sweep patching of
+  // row 1 is needed (the band always contains (1, 1) because
+  // w >= |n - m| implies |m - n| <= w * max(n, m)).
   std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
   for (std::size_t i = 1; i <= n; ++i) {
@@ -54,13 +68,6 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
       const double best =
           std::min({prev[j - 1], prev[j], cur[j - 1]});
       if (best < kInf) cur[j] = cost + best;
-    }
-    if (i == 1) {
-      // Path start: D(1,1) anchors to D(0,0).
-      if (lo <= 1 && 1 <= hi) {
-        const double d = a[0] - static_cast<double>(b[0]);
-        cur[1] = d * d;
-      }
     }
     std::swap(prev, cur);
   }

@@ -7,6 +7,10 @@
 namespace rftc::analysis {
 
 std::size_t next_pow2(std::size_t n) {
+  // next_pow2(0) == 1 by definition (the smallest power of two), so
+  // callers sizing an FFT from an unvalidated length still get a legal
+  // transform size — but see magnitude_spectrum, which rejects empty
+  // signals outright rather than returning an empty spectrum.
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -46,6 +50,11 @@ void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
 }
 
 std::vector<double> magnitude_spectrum(std::span<const float> signal) {
+  // An empty signal used to fall through to a 1-point FFT and come back as
+  // an empty spectrum — a silent nonsense value for any downstream feature
+  // extractor.  Reject it loudly instead.
+  if (signal.empty())
+    throw std::invalid_argument("magnitude_spectrum: empty signal");
   const std::size_t n = next_pow2(signal.size());
   std::vector<std::complex<double>> buf(n, {0.0, 0.0});
   for (std::size_t i = 0; i < signal.size(); ++i)

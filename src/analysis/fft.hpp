@@ -13,11 +13,14 @@ namespace rftc::analysis {
 /// of two; throws std::invalid_argument otherwise.
 void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
 
-/// Magnitude spectrum of a real signal, zero-padded to the next power of
-/// two; returns bins 0 .. N/2-1 (the non-redundant half).
+/// Magnitude spectrum of a real signal: the input is zero-padded on the
+/// right to N = next_pow2(size) (padding adds no energy, so Parseval holds
+/// against the padded signal), and bins 0 .. N/2-1 (the non-redundant half
+/// for a real input) are returned.  Throws std::invalid_argument on an
+/// empty signal.
 std::vector<double> magnitude_spectrum(std::span<const float> signal);
 
-/// Smallest power of two >= n.
+/// Smallest power of two >= n; next_pow2(0) == 1.
 std::size_t next_pow2(std::size_t n);
 
 }  // namespace rftc::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "analysis/convergence.hpp"
@@ -44,14 +45,44 @@ void accumulate_block(WelchTTest& test, const trace::TvlaCapture& capture,
                     });
 }
 
-}  // namespace
+/// Accumulates traces [i0, i1) of one store-backed population through the
+/// mapped chunk windows, sample-sharded exactly like accumulate_block.
+/// Chunks are visited in order and each per-sample shard walks the chunk's
+/// traces in index order, so every Welch accumulator sees the same update
+/// sequence as the in-RAM path — the golden streaming test pins the
+/// resulting t_values bit for bit.
+void accumulate_store_block(WelchTTest& test, const trace::TraceStore& store,
+                            std::size_t i0, std::size_t i1, bool is_fixed) {
+  if (i0 >= i1) return;
+  for (std::size_t c = store.chunk_of(i0); c < store.chunk_count(); ++c) {
+    // One mapped chunk at a time: the window unmaps at the end of each
+    // iteration, keeping resident memory at O(chunk).
+    const trace::TraceChunk chunk = store.chunk(c);
+    const std::size_t b = std::max(i0, chunk.first());
+    const std::size_t e = std::min(i1, chunk.first() + chunk.count());
+    if (b >= e) break;
+    par::parallel_for(0, store.samples(), kSampleGrain,
+                      [&](std::size_t s0, std::size_t s1) {
+                        for (std::size_t i = b; i < e; ++i) {
+                          const auto tr = chunk.trace(i - chunk.first());
+                          if (is_fixed)
+                            test.add_fixed_range(tr, s0, s1);
+                          else
+                            test.add_random_range(tr, s0, s1);
+                        }
+                      });
+  }
+}
 
-TvlaResult run_tvla(const trace::TvlaCapture& capture,
-                    ConvergenceMonitor* monitor) {
-  if (capture.fixed.samples() != capture.random.samples())
-    throw std::invalid_argument("run_tvla: sample count mismatch");
+/// Checkpointed Welch skeleton shared by the in-RAM and streamed paths:
+/// `accumulate(i0, i1, fixed, random)` feeds traces [i0, i1) of the
+/// selected populations into `test`.
+TvlaResult run_tvla_impl(
+    WelchTTest& test, std::size_t n_fixed, std::size_t n_random,
+    const std::function<void(std::size_t, std::size_t, bool, bool)>&
+        accumulate,
+    ConvergenceMonitor* monitor) {
   RFTC_OBS_SPAN(span, "analysis", "run_tvla");
-  WelchTTest test(capture.fixed.samples());
   TvlaResult res;
 
   // Both populations advance in lockstep so the t-statistic is meaningful
@@ -60,12 +91,11 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture,
   // accumulators are independent, so accumulating a whole inter-checkpoint
   // block at once (sample-sharded) gives the same t_values as a
   // pairwise-interleaved loop.
-  const std::size_t paired =
-      std::min(capture.fixed.size(), capture.random.size());
+  const std::size_t paired = std::min(n_fixed, n_random);
   std::size_t i = 0;
   for (const std::size_t cp : obs::checkpoints_from_env(paired)) {
     if (cp >= paired) break;  // the final count is evaluated below
-    accumulate_block(test, capture, i, cp, true, true);
+    accumulate(i, cp, true, true);
     i = cp;
     const double t_now = max_abs(test.t_values());
     res.convergence.emplace_back(i, t_now);
@@ -74,9 +104,9 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture,
                      {"max_abs_t", t_now});
     if (monitor != nullptr) monitor->observe_tvla(test);
   }
-  accumulate_block(test, capture, i, paired, true, true);
-  accumulate_block(test, capture, paired, capture.fixed.size(), true, false);
-  accumulate_block(test, capture, paired, capture.random.size(), false, true);
+  accumulate(i, paired, true, true);
+  accumulate(paired, n_fixed, true, false);
+  accumulate(paired, n_random, false, true);
 
   res.t_values = test.t_values();
   for (std::size_t s = 0; s < res.t_values.size(); ++s) {
@@ -87,19 +117,48 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture,
     }
     if (a > kTvlaThreshold) ++res.leaking_samples;
   }
-  res.convergence.emplace_back(capture.fixed.size(), res.max_abs_t);
-  RFTC_OBS_INSTANT(
-      "analysis", "tvla.checkpoint",
-      {"traces_per_population", static_cast<double>(capture.fixed.size())},
-      {"max_abs_t", res.max_abs_t});
+  res.convergence.emplace_back(n_fixed, res.max_abs_t);
+  RFTC_OBS_INSTANT("analysis", "tvla.checkpoint",
+                   {"traces_per_population", static_cast<double>(n_fixed)},
+                   {"max_abs_t", res.max_abs_t});
   if (monitor != nullptr) monitor->observe_tvla(test);
   static obs::Gauge& last_t =
       obs::Registry::global().gauge("analysis.tvla.last_max_abs_t");
   last_t.set(res.max_abs_t);
 
-  span.arg("traces_per_population", static_cast<double>(capture.fixed.size()));
+  span.arg("traces_per_population", static_cast<double>(n_fixed));
   span.arg("max_abs_t", res.max_abs_t);
   return res;
+}
+
+}  // namespace
+
+TvlaResult run_tvla(const trace::TvlaCapture& capture,
+                    ConvergenceMonitor* monitor) {
+  if (capture.fixed.samples() != capture.random.samples())
+    throw std::invalid_argument("run_tvla: sample count mismatch");
+  WelchTTest test(capture.fixed.samples());
+  return run_tvla_impl(
+      test, capture.fixed.size(), capture.random.size(),
+      [&](std::size_t i0, std::size_t i1, bool fixed, bool random) {
+        accumulate_block(test, capture, i0, i1, fixed, random);
+      },
+      monitor);
+}
+
+TvlaResult run_tvla(const trace::StoredTvlaCapture& capture,
+                    ConvergenceMonitor* monitor) {
+  if (capture.fixed.samples() != capture.random.samples())
+    throw std::invalid_argument("run_tvla: sample count mismatch");
+  WelchTTest test(capture.fixed.samples());
+  return run_tvla_impl(
+      test, capture.fixed.size(), capture.random.size(),
+      [&](std::size_t i0, std::size_t i1, bool fixed, bool random) {
+        if (fixed) accumulate_store_block(test, capture.fixed, i0, i1, true);
+        if (random)
+          accumulate_store_block(test, capture.random, i0, i1, false);
+      },
+      monitor);
 }
 
 }  // namespace rftc::analysis

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "trace/acquisition.hpp"
+#include "trace/trace_store.hpp"
 
 namespace rftc::analysis {
 
@@ -36,6 +37,13 @@ struct TvlaResult {
 /// snapshotted (observe_tvla) at every convergence checkpoint, including
 /// the final count — so the monitor's last checkpoint equals max_abs_t.
 TvlaResult run_tvla(const trace::TvlaCapture& capture,
+                    ConvergenceMonitor* monitor = nullptr);
+
+/// Out-of-core variant over two chunked trace stores: chunks stream through
+/// the same per-sample Welch accumulators in global trace order, so the
+/// result is bit-identical to run_tvla over the equivalent in-RAM capture
+/// while only O(chunk) of either corpus is resident at a time.
+TvlaResult run_tvla(const trace::StoredTvlaCapture& capture,
                     ConvergenceMonitor* monitor = nullptr);
 
 }  // namespace rftc::analysis

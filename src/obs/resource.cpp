@@ -1,0 +1,29 @@
+#include "obs/resource.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rftc::obs {
+
+std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::size_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+double peak_rss_mib() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+}  // namespace rftc::obs

@@ -1,0 +1,19 @@
+// Process resource probes for the bounded-memory pipeline: the out-of-core
+// benches gate themselves on "peak RSS stayed well below the corpus size",
+// which only works if the probe asks the kernel rather than guessing.
+#pragma once
+
+#include <cstddef>
+
+namespace rftc::obs {
+
+/// Peak resident set size of the process in bytes (getrusage ru_maxrss),
+/// 0 when the platform cannot report it.  Monotone over the process
+/// lifetime: it reflects the historical maximum, not the current RSS, so
+/// probe it *after* the phase whose footprint you want to bound.
+std::size_t peak_rss_bytes();
+
+/// Convenience: peak RSS in MiB as a double (for gauges/metrics).
+double peak_rss_mib();
+
+}  // namespace rftc::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "trace/trace_store.hpp"
 #include "util/parallel.hpp"
 
 namespace rftc::trace {
@@ -115,6 +116,89 @@ Xoshiro256StarStar shard_stream(std::uint64_t seed, std::size_t shard_index) {
   return rng;
 }
 
+/// Shard body shared by the in-RAM and out-of-core random campaigns: the
+/// store path MUST produce byte-identical traces to the merged TraceSet
+/// path, which it gets for free by running the exact same code per shard.
+TraceSet capture_random_shard(const CaptureShardFactory& factory,
+                              std::uint64_t seed, std::size_t b, std::size_t e,
+                              std::size_t shard_size) {
+  CaptureShard shard = factory(b / shard_size);
+  Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
+  TraceSet set(shard.sim.samples());
+  set.reserve(e - b);
+  obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
+  for (std::size_t i = b; i < e; ++i) {
+    const aes::Block pt = random_block(rng);
+    const core::EncryptionRecord rec = shard.encryptor(pt);
+    set.add(shard.sim.simulate(rec.schedule, rec.activity), pt,
+            rec.ciphertext);
+    captured.inc();
+    if (rec.fault_flips > 0) faulted.inc();
+  }
+  return set;
+}
+
+/// Shard body shared by the in-RAM and out-of-core TVLA campaigns (same
+/// bit-identity contract as capture_random_shard).
+TvlaCapture capture_tvla_shard(const CaptureShardFactory& factory,
+                               const aes::Block& fixed_plaintext,
+                               std::uint64_t seed, std::size_t b,
+                               std::size_t e, std::size_t shard_size) {
+  CaptureShard shard = factory(b / shard_size);
+  Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
+  TvlaCapture cap{TraceSet(shard.sim.samples()),
+                  TraceSet(shard.sim.samples())};
+  cap.fixed.reserve(e - b);
+  cap.random.reserve(e - b);
+  obs::Counter& captured = captured_counter();
+  obs::Counter& faulted = faulted_counter();
+  std::size_t remaining_fixed = e - b;
+  std::size_t remaining_random = e - b;
+  while (remaining_fixed > 0 || remaining_random > 0) {
+    bool take_fixed;
+    if (remaining_fixed == 0) {
+      take_fixed = false;
+    } else if (remaining_random == 0) {
+      take_fixed = true;
+    } else {
+      take_fixed = (rng.next() & 1) != 0;
+    }
+    const aes::Block pt = take_fixed ? fixed_plaintext : random_block(rng);
+    const core::EncryptionRecord rec = shard.encryptor(pt);
+    if (rec.fault_flips > 0) faulted.inc();
+    auto tr = shard.sim.simulate(rec.schedule, rec.activity);
+    if (take_fixed) {
+      cap.fixed.add(std::move(tr), pt, rec.ciphertext);
+      --remaining_fixed;
+    } else {
+      cap.random.add(std::move(tr), pt, rec.ciphertext);
+      --remaining_random;
+    }
+    captured.inc();
+  }
+  return cap;
+}
+
+/// Drives shards [0, total) in groups of `thread_count` through `make`
+/// (parallel within a group) and hands each shard result to `sink` in
+/// strict shard order — the bounded-memory replacement for
+/// par::sharded_reduce, which must hold every partial at once.
+template <typename Part, typename Make, typename Sink>
+void grouped_shards(std::size_t total, std::size_t shard_size, Make&& make,
+                    Sink&& sink) {
+  const std::size_t group = par::thread_count() * shard_size;
+  for (std::size_t g0 = 0; g0 < total; g0 += group) {
+    const std::size_t g1 = std::min(total, g0 + group);
+    std::vector<std::optional<Part>> parts(
+        par::shard_count(g0, g1, shard_size));
+    par::parallel_for(g0, g1, shard_size, [&](std::size_t b, std::size_t e) {
+      parts[(b - g0) / shard_size].emplace(make(b, e));
+    });
+    for (auto& p : parts) sink(std::move(*p));
+  }
+}
+
 }  // namespace
 
 TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
@@ -125,24 +209,11 @@ TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
   RFTC_OBS_SPAN(span, "trace", "acquire_random_parallel");
   span.arg("n", static_cast<double>(n));
   if (n == 0) return TraceSet(factory(0).sim.samples());
-  obs::Counter& captured = captured_counter();
-  obs::Counter& faulted = faulted_counter();
 
   auto merged = par::sharded_reduce(
       0, n, shard_size, std::optional<TraceSet>{},
       [&](std::size_t b, std::size_t e) {
-        CaptureShard shard = factory(b / shard_size);
-        Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
-        TraceSet set(shard.sim.samples());
-        set.reserve(e - b);
-        for (std::size_t i = b; i < e; ++i) {
-          const aes::Block pt = random_block(rng);
-          const core::EncryptionRecord rec = shard.encryptor(pt);
-          set.add(shard.sim.simulate(rec.schedule, rec.activity), pt,
-                  rec.ciphertext);
-          captured.inc();
-          if (rec.fault_flips > 0) faulted.inc();
-        }
+        TraceSet set = capture_random_shard(factory, seed, b, e, shard_size);
         RFTC_OBS_INSTANT("trace", "acquire_random_parallel.shard",
                          {"first", static_cast<double>(b)},
                          {"count", static_cast<double>(e - b)});
@@ -155,6 +226,21 @@ TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
           acc->append(*part);
       });
   return std::move(*merged);
+}
+
+void acquire_random_store(const CaptureShardFactory& factory, std::size_t n,
+                          std::uint64_t seed, TraceStoreWriter& out,
+                          std::size_t shard_size) {
+  if (shard_size == 0)
+    throw std::invalid_argument("acquire_random_store: zero shard size");
+  RFTC_OBS_SPAN(span, "trace", "acquire_random_store");
+  span.arg("n", static_cast<double>(n));
+  grouped_shards<TraceSet>(
+      n, shard_size,
+      [&](std::size_t b, std::size_t e) {
+        return capture_random_shard(factory, seed, b, e, shard_size);
+      },
+      [&](TraceSet&& part) { out.append(part); });
 }
 
 TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
@@ -170,43 +256,13 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
     const std::size_t samples = factory(0).sim.samples();
     return TvlaCapture{TraceSet(samples), TraceSet(samples)};
   }
-  obs::Counter& captured = captured_counter();
-  obs::Counter& faulted = faulted_counter();
 
   auto merged = par::sharded_reduce(
       0, n_per_population, shard_size, std::optional<TvlaCapture>{},
       [&](std::size_t b, std::size_t e) {
-        CaptureShard shard = factory(b / shard_size);
-        Xoshiro256StarStar rng = shard_stream(seed, b / shard_size);
-        TvlaCapture cap{TraceSet(shard.sim.samples()),
-                        TraceSet(shard.sim.samples())};
-        cap.fixed.reserve(e - b);
-        cap.random.reserve(e - b);
-        std::size_t remaining_fixed = e - b;
-        std::size_t remaining_random = e - b;
-        while (remaining_fixed > 0 || remaining_random > 0) {
-          bool take_fixed;
-          if (remaining_fixed == 0) {
-            take_fixed = false;
-          } else if (remaining_random == 0) {
-            take_fixed = true;
-          } else {
-            take_fixed = (rng.next() & 1) != 0;
-          }
-          const aes::Block pt =
-              take_fixed ? fixed_plaintext : random_block(rng);
-          const core::EncryptionRecord rec = shard.encryptor(pt);
-          if (rec.fault_flips > 0) faulted.inc();
-          auto tr = shard.sim.simulate(rec.schedule, rec.activity);
-          if (take_fixed) {
-            cap.fixed.add(std::move(tr), pt, rec.ciphertext);
-            --remaining_fixed;
-          } else {
-            cap.random.add(std::move(tr), pt, rec.ciphertext);
-            --remaining_random;
-          }
-          captured.inc();
-        }
+        TvlaCapture cap =
+            capture_tvla_shard(factory, fixed_plaintext, seed, b, e,
+                               shard_size);
         RFTC_OBS_INSTANT("trace", "acquire_tvla_parallel.shard",
                          {"first_pair", static_cast<double>(b)},
                          {"pairs", static_cast<double>(e - b)});
@@ -221,6 +277,27 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
         }
       });
   return std::move(*merged);
+}
+
+void acquire_tvla_store(const CaptureShardFactory& factory,
+                        std::size_t n_per_population,
+                        const aes::Block& fixed_plaintext, std::uint64_t seed,
+                        TraceStoreWriter& fixed_out,
+                        TraceStoreWriter& random_out, std::size_t shard_size) {
+  if (shard_size == 0)
+    throw std::invalid_argument("acquire_tvla_store: zero shard size");
+  RFTC_OBS_SPAN(span, "trace", "acquire_tvla_store");
+  span.arg("n_per_population", static_cast<double>(n_per_population));
+  grouped_shards<TvlaCapture>(
+      n_per_population, shard_size,
+      [&](std::size_t b, std::size_t e) {
+        return capture_tvla_shard(factory, fixed_plaintext, seed, b, e,
+                                  shard_size);
+      },
+      [&](TvlaCapture&& part) {
+        fixed_out.append(part.fixed);
+        random_out.append(part.random);
+      });
 }
 
 }  // namespace rftc::trace

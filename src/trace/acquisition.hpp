@@ -71,4 +71,28 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
                                   std::uint64_t seed,
                                   std::size_t shard_size = kCaptureShardSize);
 
+class TraceStoreWriter;
+
+/// Out-of-core random-plaintext capture: the same shards (same factory and
+/// substream discipline) as acquire_random_parallel, but each group of
+/// `thread_count` shards is captured in parallel and appended to `out` in
+/// shard order instead of being merged in RAM — so resident memory is
+/// O(threads · shard) while the store contents are bit-identical to the
+/// TraceSet acquire_random_parallel returns for the same (factory, n, seed,
+/// shard_size).  The caller finalizes the writer.
+void acquire_random_store(const CaptureShardFactory& factory, std::size_t n,
+                          std::uint64_t seed, TraceStoreWriter& out,
+                          std::size_t shard_size = kCaptureShardSize);
+
+/// Out-of-core TVLA capture: same contract as acquire_random_store, with
+/// the fixed and random populations appended to their own stores.  The
+/// store contents are bit-identical to the TvlaCapture
+/// acquire_tvla_parallel returns for the same inputs.
+void acquire_tvla_store(const CaptureShardFactory& factory,
+                        std::size_t n_per_population,
+                        const aes::Block& fixed_plaintext, std::uint64_t seed,
+                        TraceStoreWriter& fixed_out,
+                        TraceStoreWriter& random_out,
+                        std::size_t shard_size = kCaptureShardSize);
+
 }  // namespace rftc::trace

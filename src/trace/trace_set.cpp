@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace rftc::trace {
@@ -92,6 +93,13 @@ void TraceSet::save(const std::string& path) const {
 TraceSet TraceSet::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("TraceSet::load: cannot open " + path);
+  // Total file size, for exact-length validation before any allocation: a
+  // garbage header must not drive a multi-gigabyte resize, and a truncated
+  // or padded file must be rejected up front rather than yielding a
+  // silently short read.
+  f.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0, std::ios::beg);
   char magic[8];
   f.read(magic, sizeof magic);
   if (!f || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
@@ -101,6 +109,21 @@ TraceSet TraceSet::load(const std::string& path) {
   f.read(reinterpret_cast<char*>(&s), sizeof s);
   if (!f || s == 0)
     throw std::runtime_error("TraceSet::load: corrupt header in " + path);
+  // Expected size: 24-byte header + 16-byte plaintext and ciphertext per
+  // trace + float32 samples.  Guard the products against overflow first.
+  constexpr std::uint64_t kHeaderBytes = 24;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (s > (kMax - 32) / 4)
+    throw std::runtime_error("TraceSet::load: implausible header in " + path);
+  const std::uint64_t per_trace = 32 + 4 * s;
+  if (n > (kMax - kHeaderBytes) / per_trace)
+    throw std::runtime_error("TraceSet::load: implausible header in " + path);
+  const std::uint64_t expect = kHeaderBytes + n * per_trace;
+  if (file_bytes != expect)
+    throw std::runtime_error(
+        "TraceSet::load: file size mismatch in " + path + " (have " +
+        std::to_string(file_bytes) + " bytes, header implies " +
+        std::to_string(expect) + ")");
   TraceSet set(s);
   set.plaintexts_.resize(n);
   set.ciphertexts_.resize(n);

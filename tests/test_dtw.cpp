@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -12,6 +14,38 @@ namespace {
 
 std::vector<double> to_double(const std::vector<float>& v) {
   return {v.begin(), v.end()};
+}
+
+/// Naive full-matrix O(n*m) DP reference for dtw_distance: the textbook
+/// recurrence over every in-band cell, with the same symmetric band
+/// membership |i*m - j*n| <= w * max(n, m) the production code documents.
+/// No rolling rows, no early exits — a deliberately independent
+/// implementation to pin the banded sweep against.
+double naive_dtw(const std::vector<double>& a, const std::vector<double>& b,
+                 std::size_t band) {
+  const std::size_t n = a.size(), m = b.size();
+  const std::size_t w =
+      band == 0 ? std::max(n, m) : std::max(band, (n > m ? n - m : m - n));
+  const auto in_band = [&](std::size_t i, std::size_t j) {
+    const auto lhs = static_cast<long long>(i * m) -
+                     static_cast<long long>(j * n);
+    return static_cast<unsigned long long>(lhs < 0 ? -lhs : lhs) <=
+           static_cast<unsigned long long>(w) * std::max(n, m);
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> d(n + 1, std::vector<double>(m + 1, inf));
+  d[0][0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (!in_band(i, j)) continue;
+      const double best =
+          std::min({d[i - 1][j - 1], d[i - 1][j], d[i][j - 1]});
+      if (best == inf) continue;
+      const double diff = a[i - 1] - b[j - 1];
+      d[i][j] = diff * diff + best;
+    }
+  }
+  return d[n][m];
 }
 
 TEST(DtwDistance, IdenticalSequencesHaveZeroDistance) {
@@ -55,6 +89,50 @@ TEST(DtwDistance, UnconstrainedMatchesWideBand) {
   const double full = dtw_distance(a, b, {.band = 0});
   const double wide = dtw_distance(a, b, {.band = 40});
   EXPECT_NEAR(full, wide, 1e-9);
+}
+
+TEST(DtwDistance, MatchesNaiveReferenceDp) {
+  // Differential fuzz against the full-matrix reference, band disabled and
+  // enabled, equal and unequal lengths.  Exact equality: both walk the
+  // same cells and sum the same squared differences, only in a different
+  // evaluation order of min().
+  Xoshiro256StarStar rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.uniform(40);
+    const std::size_t m = 1 + rng.uniform(40);
+    std::vector<double> a(n), b(m);
+    for (auto& v : a) v = rng.gaussian();
+    for (auto& v : b) v = rng.gaussian();
+    for (const std::size_t band : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{3}, std::size_t{8}}) {
+      const double got = dtw_distance(a, b, {.band = band});
+      const double want = naive_dtw(a, b, band);
+      EXPECT_DOUBLE_EQ(got, want)
+          << "n=" << n << " m=" << m << " band=" << band;
+    }
+  }
+}
+
+TEST(DtwDistance, SymmetricUnderSwappedInputs) {
+  // dtw_distance(a, b) == dtw_distance(b, a): the cost is symmetric and
+  // the band membership |i*m - j*n| <= w*max(n,m) is invariant under
+  // transposing the DP matrix.  The earlier floor-truncated band geometry
+  // violated this for n != m with a narrow band (e.g. n=19, m=17, band=1
+  // gave 18.36 one way and 22.08 the other).
+  Xoshiro256StarStar rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.uniform(30);
+    const std::size_t m = 2 + rng.uniform(30);
+    std::vector<double> a(n), b(m);
+    for (auto& v : a) v = rng.gaussian();
+    for (auto& v : b) v = rng.gaussian();
+    for (const std::size_t band :
+         {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+      EXPECT_DOUBLE_EQ(dtw_distance(a, b, {.band = band}),
+                       dtw_distance(b, a, {.band = band}))
+          << "n=" << n << " m=" << m << " band=" << band;
+    }
+  }
 }
 
 TEST(DtwAlign, AlignedOutputHasReferenceLength) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -11,6 +12,7 @@ namespace rftc::analysis {
 namespace {
 
 TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);  // smallest power of two, by definition
   EXPECT_EQ(next_pow2(1), 1u);
   EXPECT_EQ(next_pow2(2), 2u);
   EXPECT_EQ(next_pow2(3), 4u);
@@ -120,6 +122,62 @@ TEST(MagnitudeSpectrum, PadsToPowerOfTwo) {
   const auto mag = magnitude_spectrum(sig);
   EXPECT_EQ(mag.size(), 64u);  // 128 / 2
   EXPECT_NEAR(mag[0], 100.0, 1e-9);  // DC = sum of samples
+}
+
+TEST(MagnitudeSpectrum, EmptySignalThrows) {
+  // A size-0 trace used to come back as an empty spectrum and flow on
+  // silently; it must be rejected at the API boundary.
+  const std::vector<float> empty;
+  EXPECT_THROW(magnitude_spectrum(empty), std::invalid_argument);
+}
+
+TEST(MagnitudeSpectrum, ParsevalHoldsAgainstPaddedSignal) {
+  // Zero-padding adds no energy, so for a real signal of any (non-pow2)
+  // length: sum x^2 == (|X0|^2 + |X_{N/2}|^2 + 2 * sum_{1..N/2-1} |Xk|^2)/N,
+  // where the returned half-spectrum supplies bins 0 .. N/2-1 and the
+  // Nyquist bin comes from a direct alternating sum.
+  Xoshiro256StarStar rng(23);
+  for (const std::size_t len : {std::size_t{37}, std::size_t{64},
+                                std::size_t{100}, std::size_t{129}}) {
+    std::vector<float> sig(len);
+    double time_energy = 0.0;
+    for (auto& v : sig) {
+      v = static_cast<float>(rng.gaussian());
+      time_energy += static_cast<double>(v) * static_cast<double>(v);
+    }
+    const auto mag = magnitude_spectrum(sig);
+    const std::size_t n = next_pow2(len);
+    ASSERT_EQ(mag.size(), n / 2);
+    double nyquist = 0.0;  // X_{N/2} = sum (-1)^i x_i for a real input
+    for (std::size_t i = 0; i < len; ++i)
+      nyquist += (i % 2 == 0 ? 1.0 : -1.0) * static_cast<double>(sig[i]);
+    double freq_energy = mag[0] * mag[0] + nyquist * nyquist;
+    for (std::size_t k = 1; k < n / 2; ++k)
+      freq_energy += 2.0 * mag[k] * mag[k];
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-9 * std::max(1.0, time_energy))
+        << "len=" << len;
+  }
+}
+
+TEST(MagnitudeSpectrum, RoundTripThroughInverseFft) {
+  // FFT -> IFFT over the padded signal recovers the original samples (and
+  // zeros in the pad): the full forward/backward property at the signal
+  // level rather than on a hand-built complex buffer.
+  Xoshiro256StarStar rng(29);
+  std::vector<float> sig(90);
+  for (auto& v : sig) v = static_cast<float>(rng.gaussian());
+  const std::size_t n = next_pow2(sig.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < sig.size(); ++i)
+    buf[i] = {static_cast<double>(sig[i]), 0.0};
+  fft_inplace(buf);
+  fft_inplace(buf, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = i < sig.size() ? static_cast<double>(sig[i]) : 0.0;
+    EXPECT_NEAR(buf[i].real(), want, 1e-9) << i;
+    EXPECT_NEAR(buf[i].imag(), 0.0, 1e-9) << i;
+  }
 }
 
 }  // namespace

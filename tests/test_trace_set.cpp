@@ -146,6 +146,39 @@ TEST(TraceSetPersistence, LoadRejectsTruncated) {
   std::remove(path.c_str());
 }
 
+TEST(TraceSetPersistence, LoadRejectsImplausibleHeaderWithoutAllocating) {
+  // A garbage header claiming ~2^61 traces must be rejected by the
+  // file-size check (24 bytes on disk vs exabytes implied) instead of
+  // driving a giant allocation; overflowing n*s products must not wrap
+  // into a "plausible" expected size either.
+  const std::string path = testing::TempDir() + "rftc_huge.rtrc";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("RTRC0001", 8);
+    const std::uint64_t n = 1ull << 61, s = 1ull << 62;
+    f.write(reinterpret_cast<const char*>(&n), 8);
+    f.write(reinterpret_cast<const char*>(&s), 8);
+  }
+  EXPECT_THROW(TraceSet::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSetPersistence, LoadRejectsTrailingGarbage) {
+  // The file must be exactly header + payload: appended bytes mean the
+  // header lies about the contents (or the writer was interrupted mid
+  // re-write) and the set is rejected rather than silently half-read.
+  TraceSet set(8);
+  set.add(std::vector<float>(8, 2.5f), aes::Block{}, aes::Block{});
+  const std::string path = testing::TempDir() + "rftc_trailing.rtrc";
+  set.save(path);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "extra";
+  }
+  EXPECT_THROW(TraceSet::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(Acquisition, RandomBlockCoversValues) {
   Xoshiro256StarStar rng(11);
   std::array<int, 256> seen{};

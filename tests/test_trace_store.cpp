@@ -1,0 +1,362 @@
+// rftc::trace v2 store: format round-trip, corruption rejection, and the
+// bit-identity contract between the streamed (out-of-core) and in-RAM
+// acquisition + analysis paths.
+#include "trace/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "analysis/attacks.hpp"
+#include "analysis/tvla.hpp"
+#include "rftc/device.hpp"
+#include "sched/fixed_clock.hpp"
+#include "trace/acquisition.hpp"
+#include "util/parallel.hpp"
+
+namespace rftc::trace {
+namespace {
+
+std::string temp_store(const char* tag) {
+  const auto p = std::filesystem::temp_directory_path() /
+                 (std::string("rftc_store_test_") + tag + ".rtst");
+  std::filesystem::remove(p);
+  return p.string();
+}
+
+aes::Key test_key() {
+  aes::Key k{};
+  for (int i = 0; i < 16; ++i)
+    k[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xA5 ^ (7 * i));
+  return k;
+}
+
+CaptureShardFactory test_factory() {
+  const aes::Key key = test_key();
+  return [key](std::size_t shard) {
+    auto dev = std::make_shared<core::ScheduledAesDevice>(
+        key, std::make_unique<sched::FixedClockScheduler>(48.0));
+    trace::PowerModelParams pm;
+    return CaptureShard{
+        [dev](const aes::Block& pt) { return dev->encrypt(pt); },
+        TraceSimulator(pm, 0x7777 + shard)};
+  };
+}
+
+/// Exact (bit-for-bit) comparison of a store against an in-RAM set.
+void expect_store_equals_set(const TraceStore& store, const TraceSet& set) {
+  ASSERT_EQ(store.size(), set.size());
+  ASSERT_EQ(store.samples(), set.samples());
+  for (std::size_t c = 0; c < store.chunk_count(); ++c) {
+    const TraceChunk chunk = store.chunk(c);
+    for (std::size_t k = 0; k < chunk.count(); ++k) {
+      const std::size_t i = chunk.first() + k;
+      EXPECT_EQ(chunk.plaintext(k), set.plaintext(i)) << "trace " << i;
+      EXPECT_EQ(chunk.ciphertext(k), set.ciphertext(i)) << "trace " << i;
+      ASSERT_EQ(std::memcmp(chunk.trace(k).data(), set.trace(i).data(),
+                            set.samples() * sizeof(float)),
+                0)
+          << "trace " << i;
+    }
+  }
+}
+
+TEST(TraceStore, WriterRoundTripsAcrossChunkBoundaries) {
+  const std::string path = temp_store("roundtrip");
+  TraceSet set(5);
+  // 10 traces, chunk size 4 -> chunks of 4, 4, 2.
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::vector<float> tr(5);
+    for (std::size_t s = 0; s < 5; ++s)
+      tr[s] = static_cast<float>(i) + 0.25f * static_cast<float>(s);
+    aes::Block pt{}, ct{};
+    pt[0] = static_cast<std::uint8_t>(i);
+    ct[0] = static_cast<std::uint8_t>(0xF0 | i);
+    set.add(tr, pt, ct);
+  }
+  {
+    TraceStoreWriter w(path, 5, 4);
+    w.append(set);
+    w.finalize();
+    EXPECT_EQ(w.size(), 10u);
+    EXPECT_EQ(w.chunks_written(), 3u);
+  }
+  TraceStore store(path);
+  EXPECT_EQ(store.chunk_count(), 3u);
+  EXPECT_EQ(store.chunk_traces(), 4u);
+  EXPECT_EQ(store.chunk(2).count(), 2u);
+  EXPECT_EQ(store.chunk(2).first(), 8u);
+  expect_store_equals_set(store, set);
+  const StoreVerifyResult v = store.verify();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.chunks_checked, 3u);
+  // prefix() materializes exactly the leading traces.
+  const TraceSet head = store.prefix(6);
+  ASSERT_EQ(head.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(0, std::memcmp(head.trace(i).data(), set.trace(i).data(),
+                             set.samples() * sizeof(float)));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStore, RejectsGarbageTruncationAndUnfinalized) {
+  const std::string path = temp_store("reject");
+  // Garbage magic.
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a trace store at all, padding padding padding padding";
+  }
+  EXPECT_THROW(TraceStore{path}, std::runtime_error);
+
+  // Valid store, then truncated mid-payload.
+  {
+    TraceStoreWriter w(path, 8, 4);
+    TraceSet set(8);
+    for (std::size_t i = 0; i < 8; ++i)
+      set.add(std::vector<float>(8, static_cast<float>(i)), aes::Block{},
+              aes::Block{});
+    w.append(set);
+    w.finalize();
+  }
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 7);
+  EXPECT_THROW(TraceStore{path}, std::runtime_error);
+  std::filesystem::resize_file(path, 13);  // shorter than the header
+  EXPECT_THROW(TraceStore{path}, std::runtime_error);
+
+  // Unfinalized writer (simulated crash): header still carries the open
+  // sentinel and must be rejected.
+  std::filesystem::remove(path);
+  {
+    TraceStoreWriter w(path, 8, 4);
+    TraceSet set(8);
+    set.add(std::vector<float>(8, 1.0f), aes::Block{}, aes::Block{});
+    w.append(set);
+    // no finalize(); keep the fd alive past the check via a copy of path
+    EXPECT_THROW(TraceStore{path}, std::runtime_error);
+    w.finalize();
+  }
+  EXPECT_NO_THROW(TraceStore{path});
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStore, VerifyCatchesPayloadCorruption) {
+  const std::string path = temp_store("corrupt");
+  {
+    TraceStoreWriter w(path, 6, 8);
+    TraceSet set(6);
+    for (std::size_t i = 0; i < 20; ++i)
+      set.add(std::vector<float>(6, 0.5f * static_cast<float>(i)),
+              aes::Block{}, aes::Block{});
+    w.append(set);
+    w.finalize();
+  }
+  // Flip one byte in the last chunk's payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    char b = 0;
+    f.seekg(-1, std::ios::end);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(-1, std::ios::end);
+    f.write(&b, 1);
+  }
+  TraceStore store(path);  // header is intact, open succeeds
+  const StoreVerifyResult v = store.verify();
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.error.empty());
+  EXPECT_FALSE(store.chunk(store.chunk_count() - 1).crc_ok());
+  EXPECT_TRUE(store.chunk(0).crc_ok());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStore, StreamedAcquisitionMatchesParallelGolden) {
+  // The store acquisition path must write byte-identical traces to the
+  // merged in-RAM path for the same factory/seed/shard size.
+  const std::string path = temp_store("acq");
+  const std::size_t n = 300, shard = 64;
+  const TraceSet golden =
+      acquire_random_parallel(test_factory(), n, 0xBEEF, shard);
+  {
+    TraceStoreWriter w(path, golden.samples(), /*chunk_traces=*/100);
+    acquire_random_store(test_factory(), n, 0xBEEF, w, shard);
+    w.finalize();
+  }
+  TraceStore store(path);
+  expect_store_equals_set(store, golden);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStore, StreamedTvlaAcquisitionMatchesParallelGolden) {
+  const std::string fpath = temp_store("tvla_f");
+  const std::string rpath = temp_store("tvla_r");
+  aes::Block fixed_pt{};
+  for (int i = 0; i < 16; ++i)
+    fixed_pt[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 17);
+  const std::size_t n = 200, shard = 64;
+  const TvlaCapture golden =
+      acquire_tvla_parallel(test_factory(), n, fixed_pt, 0xACE, shard);
+  {
+    TraceStoreWriter wf(fpath, golden.fixed.samples(), 96);
+    TraceStoreWriter wr(rpath, golden.random.samples(), 96);
+    acquire_tvla_store(test_factory(), n, fixed_pt, 0xACE, wf, wr, shard);
+    wf.finalize();
+    wr.finalize();
+  }
+  TraceStore fs(fpath), rs(rpath);
+  expect_store_equals_set(fs, golden.fixed);
+  expect_store_equals_set(rs, golden.random);
+  std::filesystem::remove(fpath);
+  std::filesystem::remove(rpath);
+}
+
+/// Shared fixture corpus for the streamed-analysis golden tests.
+class StreamedAnalysis : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kTraces = 1'200;
+  static const TraceSet& corpus() {
+    static TraceSet set =
+        acquire_random_parallel(test_factory(), kTraces, 0xF00D, 256);
+    return set;
+  }
+  static const std::string& store_path() {
+    static std::string path = [] {
+      std::string p = temp_store("analysis");
+      // Chunk size deliberately prime-ish and misaligned with every batch,
+      // checkpoint and thread count in the tests below.
+      TraceStoreWriter w(p, corpus().samples(), 177);
+      w.append(corpus());
+      w.finalize();
+      return p;
+    }();
+    return path;
+  }
+};
+
+TEST_F(StreamedAnalysis, CpaBitIdenticalToInRamAcrossEnginesAndThreads) {
+  const aes::Block rk10 = aes::expand_key(test_key())[10];
+  TraceStore store(store_path());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    for (const analysis::CpaMode mode :
+         {analysis::CpaMode::kStreaming, analysis::CpaMode::kBatched}) {
+      analysis::AttackParams params;
+      params.kind = analysis::AttackKind::kCpa;
+      params.engine_mode = mode;
+      params.byte_positions = {0, 7, 15};
+      params.checkpoints = {250, 700, kTraces};
+      const analysis::AttackOutcome ram =
+          run_attack(corpus(), rk10, params);
+      const analysis::AttackOutcome ooc = run_attack(store, rk10, params);
+      ASSERT_EQ(ram.checkpoints, ooc.checkpoints);
+      ASSERT_EQ(ram.success, ooc.success);
+      for (std::size_t i = 0; i < ram.checkpoints.size(); ++i) {
+        // Bit-identical, not approximately equal: the streamed path must
+        // feed the same floats through the same accumulators in the same
+        // order.
+        EXPECT_EQ(ram.mean_rank[i], ooc.mean_rank[i])
+            << "threads=" << threads << " cp=" << ram.checkpoints[i];
+        EXPECT_EQ(ram.peak_corr[i], ooc.peak_corr[i])
+            << "threads=" << threads << " cp=" << ram.checkpoints[i];
+      }
+    }
+  }
+  par::set_thread_count(0);  // restore the default
+}
+
+TEST_F(StreamedAnalysis, PreprocessedCpaBitIdenticalToInRam) {
+  // PCA exercises the materialized preprocessing prefix (basis fit on the
+  // first pca_fit_traces); SW-CPA exercises a pure per-trace transform.
+  const aes::Block rk10 = aes::expand_key(test_key())[10];
+  TraceStore store(store_path());
+  for (const analysis::AttackKind kind :
+       {analysis::AttackKind::kPcaCpa, analysis::AttackKind::kSwCpa}) {
+    analysis::AttackParams params;
+    params.kind = kind;
+    params.byte_positions = {0, 11};
+    params.pca_fit_traces = 400;  // spans three chunks of the store
+    params.checkpoints = {600, kTraces};
+    const analysis::AttackOutcome ram = run_attack(corpus(), rk10, params);
+    const analysis::AttackOutcome ooc = run_attack(store, rk10, params);
+    ASSERT_EQ(ram.checkpoints, ooc.checkpoints);
+    for (std::size_t i = 0; i < ram.checkpoints.size(); ++i) {
+      EXPECT_EQ(ram.mean_rank[i], ooc.mean_rank[i])
+          << attack_name(kind) << " cp=" << ram.checkpoints[i];
+      EXPECT_EQ(ram.peak_corr[i], ooc.peak_corr[i])
+          << attack_name(kind) << " cp=" << ram.checkpoints[i];
+    }
+  }
+}
+
+TEST(TraceStoreTvla, StreamedTvlaBitIdenticalToInRam) {
+  aes::Block fixed_pt{};
+  fixed_pt[3] = 0x5A;
+  const std::size_t n = 500;
+  const TvlaCapture cap =
+      acquire_tvla_parallel(test_factory(), n, fixed_pt, 0xD1CE, 128);
+  const std::string fpath = temp_store("tvla_ooc_f");
+  const std::string rpath = temp_store("tvla_ooc_r");
+  {
+    TraceStoreWriter wf(fpath, cap.fixed.samples(), 93);
+    TraceStoreWriter wr(rpath, cap.random.samples(), 93);
+    wf.append(cap.fixed);
+    wr.append(cap.random);
+    wf.finalize();
+    wr.finalize();
+  }
+  StoredTvlaCapture stored{TraceStore(fpath), TraceStore(rpath)};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    const analysis::TvlaResult ram = analysis::run_tvla(cap);
+    const analysis::TvlaResult ooc = analysis::run_tvla(stored);
+    ASSERT_EQ(ram.t_values.size(), ooc.t_values.size());
+    for (std::size_t s = 0; s < ram.t_values.size(); ++s)
+      EXPECT_EQ(ram.t_values[s], ooc.t_values[s]) << "sample " << s;
+    EXPECT_EQ(ram.max_abs_t, ooc.max_abs_t);
+    EXPECT_EQ(ram.leaking_samples, ooc.leaking_samples);
+    EXPECT_EQ(ram.worst_sample, ooc.worst_sample);
+    ASSERT_EQ(ram.convergence.size(), ooc.convergence.size());
+    for (std::size_t i = 0; i < ram.convergence.size(); ++i) {
+      EXPECT_EQ(ram.convergence[i].first, ooc.convergence[i].first);
+      EXPECT_EQ(ram.convergence[i].second, ooc.convergence[i].second);
+    }
+  }
+  par::set_thread_count(0);
+  std::filesystem::remove(fpath);
+  std::filesystem::remove(rpath);
+}
+
+TEST(TraceStoreWriterApi, AddAndAppendAgree) {
+  // Feeding traces one at a time must produce the same file as append().
+  const std::string p1 = temp_store("add"), p2 = temp_store("append");
+  TraceSet set(4);
+  for (std::size_t i = 0; i < 11; ++i)
+    set.add(std::vector<float>{1.f * i, 2.f * i, 3.f * i, 4.f * i},
+            aes::Block{}, aes::Block{});
+  {
+    TraceStoreWriter w(p1, 4, 3);
+    for (std::size_t i = 0; i < set.size(); ++i)
+      w.add(set.trace(i), set.plaintext(i), set.ciphertext(i));
+    w.finalize();
+  }
+  {
+    TraceStoreWriter w(p2, 4, 3);
+    w.append(set);
+    w.finalize();
+  }
+  std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+  const std::vector<char> b1((std::istreambuf_iterator<char>(f1)), {});
+  const std::vector<char> b2((std::istreambuf_iterator<char>(f2)), {});
+  EXPECT_EQ(b1, b2);
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+}
+
+}  // namespace
+}  // namespace rftc::trace

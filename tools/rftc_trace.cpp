@@ -1,0 +1,73 @@
+// rftc-trace: inspect and check the chunked trace stores (.rtst) the
+// out-of-core pipeline produces (see src/trace/trace_store.hpp for the
+// format).
+//
+//   rftc-trace info <store.rtst>
+//       Prints the header: schema, traces, samples per trace, chunk
+//       geometry and file size.  Exits 1 if the file does not open as a
+//       store (bad magic, bad header CRC, truncated, unfinalized).
+//
+//   rftc-trace verify <store.rtst>...
+//       info plus a full payload sweep: every chunk is mapped and its
+//       CRC-32 recomputed.  Exits 1 on the first store with a mismatch —
+//       the post-campaign integrity gate CI runs on out-of-core corpora.
+//
+// Exit codes: 0 = OK, 1 = invalid or corrupt store, 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "trace/trace_store.hpp"
+
+namespace {
+
+void print_info(const rftc::trace::TraceStore& store) {
+  std::printf("%s\n", store.path().c_str());
+  std::printf("  schema        %u\n", rftc::trace::kStoreSchema);
+  std::printf("  traces        %zu\n", store.size());
+  std::printf("  samples/trace %zu\n", store.samples());
+  std::printf("  chunk traces  %zu\n", store.chunk_traces());
+  std::printf("  chunks        %zu\n", store.chunk_count());
+  std::printf("  file bytes    %llu (%.1f MiB)\n",
+              static_cast<unsigned long long>(store.file_bytes()),
+              static_cast<double>(store.file_bytes()) / (1024.0 * 1024.0));
+}
+
+int run_one(const char* path, bool verify) {
+  try {
+    const rftc::trace::TraceStore store{std::string(path)};
+    print_info(store);
+    if (verify) {
+      const rftc::trace::StoreVerifyResult v = store.verify();
+      if (!v.ok) {
+        std::fprintf(stderr, "rftc-trace: %s: %s\n", path, v.error.c_str());
+        return 1;
+      }
+      std::printf("  verify        OK (%zu chunks, payload CRCs match)\n",
+                  v.chunks_checked);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rftc-trace: %s: %s\n", path, e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: rftc-trace info|verify <store.rtst>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const bool verify = std::strcmp(argv[1], "verify") == 0;
+  if (!verify && std::strcmp(argv[1], "info") != 0) return usage();
+  for (int i = 2; i < argc; ++i) {
+    const int rc = run_one(argv[i], verify);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
