@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sched/fixed_clock.hpp"
 
 namespace rftc::bench {
@@ -125,6 +126,11 @@ AttackSuiteResult run_attack_suite(const std::string& label,
     std::printf("%10zu", c);
   std::printf("\n");
   std::fflush(stdout);
+
+  // Every suite extends the heartbeat denominator by its own capture plan,
+  // so a bench that runs several suites shows campaign-wide progress.
+  obs::add_campaign_total(static_cast<double>(profile.sr_repeats) *
+                          static_cast<double>(profile.sr_max_traces));
 
   // One campaign per repetition, shared by all four attack kinds (each
   // attack sees the same adversary budget, as in the paper's evaluation).

@@ -22,6 +22,7 @@
 #include "analysis/tvla.hpp"
 #include "common.hpp"
 #include "obs/resource.hpp"
+#include "obs/sampler.hpp"
 #include "sched/fixed_clock.hpp"
 #include "trace/trace_store.hpp"
 #include "util/io.hpp"
@@ -108,6 +109,8 @@ int main() {
   report.seed(900);  // base of the per-config capture seeds below
   report.note("profile", profile.name);
   report.metric("traces_per_population", static_cast<double>(n), "traces");
+  // Heartbeat denominator: 7 configurations × 2 populations × n traces.
+  obs::set_campaign_total(14.0 * static_cast<double>(n));
   std::string store_dir;
   if (const char* env = std::getenv("RFTC_STORE_DIR")) {
     store_dir = env;

@@ -7,6 +7,12 @@
 // RFTC_STORE_BENCH_TRACES overrides the corpus size (default 20,000 traces
 // of 500 samples — ~40 MiB, large enough to dwarf per-chunk overheads and
 // small enough for any CI runner).
+//
+// Doubling as the heartbeat overhead gate: the bench times a burst of
+// forced sampler ticks and reports heartbeat.tick_ms plus
+// heartbeat.overhead_pct (tick cost as a percentage of the default 1 s
+// interval).  It self-gates at 1% — the ISSUE's budget for live telemetry
+// — and CI additionally diffs the metric against the committed baseline.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +21,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/sampler.hpp"
 #include "trace/trace_store.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +63,7 @@ int main() {
 
   auto t0 = std::chrono::steady_clock::now();
   {
+    obs::PhaseScope io(obs::kPhaseStoreIo);
     trace::TraceStoreWriter writer(path, samples);
     for (std::size_t i = 0; i < n; ++i) {
       for (auto& v : tr) v = static_cast<float>(rng.uniform01());
@@ -72,15 +81,22 @@ int main() {
   // Mapped sequential read: touch every float through the chunk windows.
   t0 = std::chrono::steady_clock::now();
   double checksum = 0.0;
+  {
+  obs::PhaseScope io(obs::kPhaseStoreIo);
   for (std::size_t c = 0; c < store.chunk_count(); ++c) {
     const trace::TraceChunk chunk = store.chunk(c);
     for (std::size_t k = 0; k < chunk.count(); ++k)
       for (const float v : chunk.trace(k)) checksum += v;
   }
+  }
   const double read_s = seconds_since(t0);
 
   t0 = std::chrono::steady_clock::now();
-  const trace::StoreVerifyResult v = store.verify();
+  trace::StoreVerifyResult v;
+  {
+    obs::PhaseScope io(obs::kPhaseStoreIo);
+    v = store.verify();
+  }
   const double verify_s = seconds_since(t0);
 
   std::printf("corpus    %8.1f MiB (%zu chunks of %zu traces)\n", mib,
@@ -98,7 +114,44 @@ int main() {
   report.metric("verify_bw", mib / verify_s, "MiB/s");
   report.metric("verify_ok", v.ok ? 1.0 : 0.0, "count");
   report.throughput(static_cast<double>(n) / write_s, "traces/s");
+
+  // Heartbeat overhead: force a burst of ticks and price one tick against
+  // the default sampling interval.  Uses the already-armed sampler when
+  // RFTC_OBS_HEARTBEAT is set, otherwise a scratch sink that is removed
+  // after the measurement.
+  obs::HeartbeatSampler& sampler = obs::HeartbeatSampler::global();
+  std::string scratch_hb;
+  if (!sampler.configured()) {
+    scratch_hb = (std::filesystem::temp_directory_path() /
+                  "rftc_bench_store_heartbeat.jsonl")
+                     .string();
+    std::filesystem::remove(scratch_hb);
+    sampler.configure(scratch_hb);
+  }
+  constexpr int kTicks = 20;
+  t0 = std::chrono::steady_clock::now();
+  int ticked = 0;
+  for (int i = 0; i < kTicks; ++i)
+    if (sampler.tick_now()) ++ticked;
+  const double tick_ms =
+      ticked > 0 ? seconds_since(t0) * 1e3 / ticked : 0.0;
+  const double interval_ms = static_cast<double>(
+      std::chrono::milliseconds(obs::HeartbeatSampler::kDefaultInterval)
+          .count());
+  const double overhead_pct = 100.0 * tick_ms / interval_ms;
+  std::printf("heartbeat %8.3f ms/tick (%.3f%% of the %.0f ms interval)\n",
+              tick_ms, overhead_pct, interval_ms);
+  report.metric("heartbeat.tick_ms", tick_ms, "ms");
+  report.metric("heartbeat.overhead_pct", overhead_pct, "%");
+  const bool hb_ok = ticked == kTicks && overhead_pct <= 1.0;
+  if (!hb_ok)
+    std::fprintf(stderr,
+                 "trace_store: heartbeat overhead gate FAILED "
+                 "(%d/%d ticks, %.3f%% > 1%%)\n",
+                 ticked, kTicks, overhead_pct);
+  if (!scratch_hb.empty()) std::filesystem::remove(scratch_hb);
+
   report.write();
   std::filesystem::remove(path);
-  return v.ok ? 0 : 1;
+  return v.ok && hb_ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "analysis/fft.hpp"
 #include "analysis/pca.hpp"
 #include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
 #include "util/parallel.hpp"
 
 namespace rftc::analysis {
@@ -44,6 +46,19 @@ CheckpointEval evaluate_checkpoint(const CpaEngine& engine,
   return ev;
 }
 
+/// Phase the preprocessing transform of an attack kind bills to (nullptr
+/// for plain CPA, which has no transform).
+const char* transform_phase(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kCpa: return nullptr;
+    case AttackKind::kDtwCpa: return obs::kPhaseDtw;
+    case AttackKind::kPcaCpa: return obs::kPhasePca;
+    case AttackKind::kFftCpa: return obs::kPhaseFft;
+    case AttackKind::kSwCpa: return obs::kPhaseSw;
+  }
+  return nullptr;
+}
+
 /// The streamed and in-RAM campaigns share one core that walks *segments*:
 /// contiguous runs of (already downsampled) traces with a global offset.
 /// The in-RAM path is a single segment (the whole set); the store path is
@@ -73,6 +88,8 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
   static obs::Counter& attacks_run =
       obs::Registry::global().counter("analysis.attacks_run");
   attacks_run.inc();
+  static obs::Counter& traces_attacked =
+      obs::Registry::global().counter("analysis.traces_attacked");
 
   std::vector<int> bytes = params.byte_positions;
   if (bytes.empty()) {
@@ -97,6 +114,7 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
     case AttackKind::kCpa:
       break;
     case AttackKind::kDtwCpa: {
+      obs::PhaseScope setup_phase(obs::kPhaseDtw);
       // Reference: one real capture, as in elastic alignment [22] — every
       // other trace is warped onto its time base.  (A mean over differently
       // clocked traces would smear the round pulses and give the DP nothing
@@ -126,6 +144,7 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
       break;
     }
     case AttackKind::kPcaCpa: {
+      obs::PhaseScope setup_phase(obs::kPhasePca);
       const std::size_t nfit = std::min(params.pca_fit_traces, src.total);
       pca = compute_pca(src.prefix(nfit), params.pca_components, nfit);
       features = pca.dims();
@@ -206,18 +225,25 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
       if (next_cp < checkpoints.size())
         block_end = std::min(block_end, checkpoints[next_cp]);
       if (params.kind == AttackKind::kCpa) {
+        obs::PhaseScope kernel_phase(obs::kPhaseCpaKernel);
         for (std::size_t j = i; j < block_end; ++j)
           engine.add(seg.plaintext(j - first), seg.ciphertext(j - first),
                      seg.trace(j - first));
       } else {
-        transform_tile(i, block_end);
+        {
+          obs::PhaseScope tile_phase(transform_phase(params.kind));
+          transform_tile(i, block_end);
+        }
+        obs::PhaseScope kernel_phase(obs::kPhaseCpaKernel);
         for (std::size_t j = i; j < block_end; ++j)
           engine.add(seg.plaintext(j - first), seg.ciphertext(j - first),
                      std::span<const float>(
                          feat_buf.data() + (j - i) * features, features));
       }
+      traces_attacked.inc(block_end - i);
       i = block_end;
       while (next_cp < checkpoints.size() && i == checkpoints[next_cp]) {
+        obs::PhaseScope report_phase(obs::kPhaseReport);
         const CheckpointEval ev = evaluate_checkpoint(engine, correct_key);
         out.checkpoints.push_back(checkpoints[next_cp]);
         out.success.push_back(ev.recovered);
@@ -306,6 +332,7 @@ AttackOutcome run_attack(const trace::TraceStore& store,
   src.samples = store.samples() / factor;
   src.prefix = [&](std::size_t n) -> const trace::TraceSet& {
     if (head_n < n) {
+      obs::PhaseScope io(obs::kPhaseStoreIo);
       trace::TraceSet raw_head = store.prefix(n);
       head = factor > 1 ? raw_head.downsampled(factor) : std::move(raw_head);
       head_n = n;
@@ -319,8 +346,12 @@ AttackOutcome run_attack(const trace::TraceStore& store,
         for (std::size_t c = 0; c < store.chunk_count(); ++c) {
           // One chunk resident at a time: the mapping dies with `seg`'s
           // source chunk at the end of each iteration.
-          const trace::TraceSet seg =
-              chunk_to_set(store.chunk(c), factor);
+          std::optional<trace::TraceSet> seg_opt;
+          {
+            obs::PhaseScope io(obs::kPhaseStoreIo);
+            seg_opt.emplace(chunk_to_set(store.chunk(c), factor));
+          }
+          const trace::TraceSet& seg = *seg_opt;
           feed(seg, first);
           first += seg.size();
         }

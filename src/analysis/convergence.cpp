@@ -5,6 +5,7 @@
 
 #include "analysis/tvla.hpp"
 #include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "util/rng.hpp"
 
 namespace rftc::analysis {
@@ -95,6 +96,12 @@ void ConvergenceMonitor::observe_cpa(const CpaEngine& engine,
                    {"traces", static_cast<double>(cp.traces)},
                    {"mean_rank", cp.mean_rank},
                    {"mtd", cp.mtd.point});
+  // Publish for the heartbeat sampler: the next tick carries this
+  // checkpoint so a watcher sees attack convergence live.
+  obs::publish_checkpoint("cpa", static_cast<double>(cp.traces),
+                          {{"mean_rank", cp.mean_rank},
+                           {"mtd", cp.mtd.point},
+                           {"peak_corr", cp.peak_corr}});
   cpa_.push_back(std::move(cp));
 }
 
@@ -117,6 +124,10 @@ void ConvergenceMonitor::observe_tvla(const WelchTTest& test) {
       "analysis", "monitor.tvla",
       {"traces_per_population", static_cast<double>(cp.traces_per_population)},
       {"max_abs_t", cp.max_abs_t});
+  obs::publish_checkpoint(
+      "tvla", static_cast<double>(cp.traces_per_population),
+      {{"max_abs_t", cp.max_abs_t},
+       {"leaking_samples", static_cast<double>(cp.leaking_samples)}});
   tvla_.push_back(cp);
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rftc::analysis {
 
 namespace {
@@ -194,6 +196,11 @@ std::vector<float> dtw_align(std::span<const double> reference,
                              const DtwParams& params) {
   const std::size_t n = reference.size(), m = trace.size();
   if (n == 0 || m == 0) throw std::invalid_argument("dtw_align: empty");
+  // Tally every alignment so heartbeat readers can see DTW progress (the
+  // banded DP dominates the dtw phase; one counter bump per call is noise).
+  static obs::Counter& alignments =
+      obs::Registry::global().counter("analysis.dtw.alignments");
+  alignments.inc();
   if (params.slope_constrained) return dtw_align_p1(reference, trace, params);
   const std::size_t w =
       params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));

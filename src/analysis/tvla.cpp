@@ -8,6 +8,7 @@
 #include "analysis/convergence.hpp"
 #include "obs/checkpoints.hpp"
 #include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -82,7 +83,20 @@ TvlaResult run_tvla_impl(
     const std::function<void(std::size_t, std::size_t, bool, bool)>&
         accumulate,
     ConvergenceMonitor* monitor) {
+  // The whole Welch sweep (accumulation, per-checkpoint t scans and the
+  // final scan) bills to the tvla phase; chunk mapping on the streamed path
+  // is lazy reads inside the accumulate callback and is attributed here
+  // too — it is the cost of running TVLA out of core.
+  obs::PhaseScope phase(obs::kPhaseTvla);
   RFTC_OBS_SPAN(span, "analysis", "run_tvla");
+  static obs::Counter& traces_attacked =
+      obs::Registry::global().counter("analysis.traces_attacked");
+  const auto feed = [&](std::size_t i0, std::size_t i1, bool fixed,
+                        bool random) {
+    accumulate(i0, i1, fixed, random);
+    if (i1 > i0)
+      traces_attacked.inc((i1 - i0) * ((fixed ? 1u : 0u) + (random ? 1u : 0u)));
+  };
   TvlaResult res;
 
   // Both populations advance in lockstep so the t-statistic is meaningful
@@ -95,7 +109,7 @@ TvlaResult run_tvla_impl(
   std::size_t i = 0;
   for (const std::size_t cp : obs::checkpoints_from_env(paired)) {
     if (cp >= paired) break;  // the final count is evaluated below
-    accumulate(i, cp, true, true);
+    feed(i, cp, true, true);
     i = cp;
     const double t_now = max_abs(test.t_values());
     res.convergence.emplace_back(i, t_now);
@@ -104,9 +118,9 @@ TvlaResult run_tvla_impl(
                      {"max_abs_t", t_now});
     if (monitor != nullptr) monitor->observe_tvla(test);
   }
-  accumulate(i, paired, true, true);
-  accumulate(paired, n_fixed, true, false);
-  accumulate(paired, n_random, false, true);
+  feed(i, paired, true, true);
+  feed(paired, n_fixed, true, false);
+  feed(paired, n_random, false, true);
 
   res.t_values = test.t_values();
   for (std::size_t s = 0; s < res.t_values.size(); ++s) {

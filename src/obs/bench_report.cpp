@@ -6,6 +6,8 @@
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/sampler.hpp"
 
 namespace rftc::obs {
 
@@ -25,6 +27,10 @@ BenchReport::BenchReport(std::string name)
   const Provenance& prov = manifest_.provenance();
   metric("threads", static_cast<double>(prov.threads), "threads");
   metric("batch", static_cast<double>(prov.batch), "traces");
+  // When live telemetry is on, record where the heartbeat went so a reader
+  // of the report can find the in-flight record of the same run.
+  const HeartbeatSampler& sampler = HeartbeatSampler::global();
+  if (sampler.configured()) note("heartbeat", sampler.path());
 }
 
 void BenchReport::throughput(double value, std::string unit) {
@@ -55,11 +61,29 @@ double BenchReport::elapsed_seconds() const {
 
 std::string BenchReport::to_json() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 2,\n";
+  out += "  \"schema_version\": 3,\n";
   out += "  \"name\": " + json::quote(name_) + ",\n";
   out += "  \"wall_seconds\": " + json::number(elapsed_seconds()) + ",\n";
   out += "  \"throughput\": {\"value\": " + json::number(throughput_value_) +
          ", \"unit\": " + json::quote(throughput_unit_) + "},\n";
+  // Per-phase attribution (schema_version 3): PhaseTimer self-time plus
+  // perf counters when the hardware path is available.
+  const auto phases = PhaseTimer::global().snapshot();
+  out += "  \"phases\": {";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& [pname, stat] = phases[i];
+    if (i > 0) out += ',';
+    out += "\n    " + json::quote(pname) +
+           ": {\"seconds\": " + json::number(stat.seconds) +
+           ", \"entries\": " + std::to_string(stat.entries);
+    if (stat.has_events) {
+      for (int e = 0; e < kPerfEventCount; ++e)
+        out += ", " + json::quote(kPerfEventNames[e]) + ": " +
+               std::to_string(stat.events[static_cast<std::size_t>(e)]);
+    }
+    out += "}";
+  }
+  out += phases.empty() ? "},\n" : "\n  },\n";
   out += "  \"provenance\": " + manifest_.provenance().to_json() + ",\n";
   out += "  \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
@@ -101,6 +125,10 @@ std::string BenchReport::write() const {
   manifest_.final_metric("throughput", throughput_value_, throughput_unit_);
   for (const auto& [key, m] : metrics_)
     manifest_.final_metric(key, m.first, m.second);
+  // Phase seconds mirror into the manifest as timing-class metrics (the
+  // "_seconds" suffix keys them as machine-dependent for rftc-report diff).
+  for (const auto& [pname, stat] : PhaseTimer::global().snapshot())
+    manifest_.final_metric("phase." + pname + "_seconds", stat.seconds, "s");
   const std::string mpath = manifest_.write();
   if (!mpath.empty()) std::printf("[bench-report] wrote %s\n", mpath.c_str());
   return path;

@@ -4,18 +4,30 @@
 // manifest (see obs/run_manifest.hpp) carrying the same provenance and any
 // checkpoint streams the bench recorded.
 //
-// Schema (schema_version 2, gated by the CI `rftc-report diff` job):
+// Schema (schema_version 3, gated by the CI `rftc-report diff` job):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "name": "<bench name>",
 //     "wall_seconds": <double>,               // whole-process wall time
 //     "throughput": {"value": <double>, "unit": "<string>"},
+//     "phases": {"<phase>": {"seconds": <double>, "entries": N,
+//                            "cycles": N, ...}, ...},
 //     "provenance": {"git_sha": "...", "build_type": "...",
 //                    "cpa_mode": "...", "threads": N, "batch": N,
 //                    "seed": "N"},   // quoted: 64-bit, exceeds a double
 //     "metrics": {"<key>": {"value": <double>, "unit": "<string>"}, ...},
 //     "notes": {"<key>": "<string>", ...}     // e.g. scale profile
 //   }
+//
+// schema_version 3 (this PR) added the "phases" block: the PhaseTimer
+// breakdown (obs/phase_timer.hpp) snapshotted at write() — self-time
+// seconds per named phase (capture / store-io / cpa-kernel / tvla / dtw /
+// report / ...) plus, when perf_event_open is available, the per-phase
+// hardware counters (cycles, instructions, cache_misses, branch_misses).
+// The counters are simply absent on the no-perf fallback path.  Phase
+// seconds are mirrored into the run manifest as "phase.<name>_seconds"
+// final metrics so `rftc-report diff` attributes wall-time regressions
+// either way.  schema_version 2 lacked "phases"; the parser accepts both.
 //
 // Every report automatically carries "threads" and "batch" metrics — the
 // RFTC_THREADS / RFTC_CPA_BATCH configuration the bench ran under — and the

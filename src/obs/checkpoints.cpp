@@ -3,18 +3,24 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace rftc::obs {
 
 namespace {
 
-/// Parses a non-negative integer; returns false on any non-digit input.
+/// Parses a non-negative integer; returns false on any non-digit input or
+/// a value that would overflow std::size_t (so an absurd spec falls back
+/// to the default schedule instead of silently wrapping).
 bool parse_count(std::string_view s, std::size_t& out) {
   if (s.empty()) return false;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
   std::size_t v = 0;
   for (const char c : s) {
     if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::size_t>(c - '0');
+    const auto d = static_cast<std::size_t>(c - '0');
+    if (v > (kMax - d) / 10) return false;
+    v = v * 10 + d;
   }
   out = v;
   return true;

@@ -1,10 +1,14 @@
 #include "obs/obs.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
+
+#include "obs/run_manifest.hpp"
+#include "obs/sampler.hpp"
 
 namespace rftc::obs {
 
@@ -14,9 +18,10 @@ struct SinkConfig {
   std::string trace_path;
   std::string jsonl_path;
   std::string metrics_dest;
+  bool heartbeat = false;
   bool any() const {
     return !trace_path.empty() || !jsonl_path.empty() ||
-           !metrics_dest.empty();
+           !metrics_dest.empty() || heartbeat;
   }
 };
 
@@ -25,15 +30,16 @@ SinkConfig& sinks() {
   return *c;
 }
 
-void write_file(const std::string& path, const std::string& content) {
+bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "rftc::obs: cannot open %s for writing\n",
                  path.c_str());
-    return;
+    return false;
   }
   std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
+  return true;
 }
 
 std::once_flag g_init_once;
@@ -45,6 +51,20 @@ void init_impl() {
   if (const char* p = std::getenv("RFTC_OBS_METRICS")) c.metrics_dest = p;
   if (!c.trace_path.empty() || !c.jsonl_path.empty())
     Tracer::global().set_enabled(true);
+  if (const char* spec = std::getenv("RFTC_OBS_HEARTBEAT")) {
+    std::string path;
+    std::chrono::milliseconds interval{};
+    HeartbeatSampler& sampler = HeartbeatSampler::global();
+    if (HeartbeatSampler::parse_spec(spec, path, interval) &&
+        sampler.configure(path, interval) && sampler.start()) {
+      c.heartbeat = true;
+    } else {
+      std::fprintf(stderr,
+                   "rftc::obs: invalid RFTC_OBS_HEARTBEAT spec \"%s\" "
+                   "(want <path>[:interval_ms])\n",
+                   spec);
+    }
+  }
   if (c.any()) std::atexit([] { flush(); });
 }
 
@@ -57,19 +77,51 @@ bool trace_enabled() {
   return Tracer::global().enabled();
 }
 
+std::string write_artifact(const std::string& path_spec,
+                           const std::string& content) {
+  const std::string path = resolve_artifact_path(path_spec);
+  return write_file(path, content) ? path : std::string();
+}
+
 void flush() {
   init_from_env();
   const SinkConfig& c = sinks();
+  // Losing flight-recorder events must be visible: surface the drop count
+  // as a gauge (exported with the metrics below) and warn once on stderr.
+  const std::uint64_t dropped = Tracer::global().dropped();
+  Registry::global()
+      .gauge("obs.trace.dropped_events")
+      .set(static_cast<double>(dropped));
+  if (dropped > 0) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "rftc::obs: %llu trace events dropped (ring full; raise "
+                   "RFTC_OBS_TRACE_CAPACITY)\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+  }
+  if (c.heartbeat) {
+    // One last snapshot so the heartbeat's final line reflects the state
+    // the other sinks are about to export.
+    HeartbeatSampler& sampler = HeartbeatSampler::global();
+    if (sampler.running())
+      sampler.stop();  // stops the thread and writes the final tick
+    else
+      sampler.tick_now();
+  }
   if (!c.trace_path.empty())
-    write_file(c.trace_path, Tracer::global().chrome_json());
-  if (!c.jsonl_path.empty()) write_file(c.jsonl_path, Tracer::global().jsonl());
+    write_artifact(c.trace_path, Tracer::global().chrome_json());
+  if (!c.jsonl_path.empty())
+    write_artifact(c.jsonl_path, Tracer::global().jsonl());
   if (!c.metrics_dest.empty()) {
     if (c.metrics_dest == "stderr") {
       Registry::global().write_text(stderr);
     } else if (c.metrics_dest == "stdout") {
       Registry::global().write_text(stdout);
     } else {
-      write_file(c.metrics_dest, Registry::global().to_json() + "\n");
+      write_artifact(c.metrics_dest, Registry::global().to_json() + "\n");
     }
   }
 }

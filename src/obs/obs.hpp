@@ -8,6 +8,15 @@
 //   RFTC_OBS_TRACE_CAPACITY=<n>     per-thread ring capacity in events
 //   RFTC_OBS_METRICS=stderr|<path>  dump the metric registry at exit:
 //                                   human-readable to stderr, JSON to <path>
+//   RFTC_OBS_HEARTBEAT=<path>[:interval_ms]
+//                                   start the background heartbeat sampler
+//                                   (obs/sampler.hpp): append one snapshot
+//                                   line to <path> every interval_ms
+//                                   (default 1000), fsync'd per tick
+//   RFTC_OBS_PERF=0                 disable perf_event_open profiling
+//
+// Relative sink paths (trace/metrics/heartbeat) land under RFTC_BENCH_DIR
+// like every other artifact; absolute paths are used as-is.
 //
 // See docs/OBSERVABILITY.md for the metric catalogue and span names.
 #pragma once
@@ -28,7 +37,15 @@ void init_from_env();
 bool trace_enabled();
 
 /// Writes all configured sinks now (also runs automatically at exit).
-/// Useful before abnormal termination or between bench phases.
+/// Useful before abnormal termination or between bench phases.  Also
+/// surfaces Tracer::dropped() as the obs.trace.dropped_events gauge and
+/// warns on stderr (once) when flight-recorder events were lost.
 void flush();
+
+/// Writes `content` to `path_spec` routed exactly like the RFTC_OBS_*
+/// sinks (relative paths land under artifact_dir()); returns the resolved
+/// path, or "" when the file cannot be opened.
+std::string write_artifact(const std::string& path_spec,
+                           const std::string& content);
 
 }  // namespace rftc::obs

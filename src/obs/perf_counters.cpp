@@ -1,0 +1,96 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rftc::obs {
+
+const char* const kPerfEventNames[kPerfEventCount] = {
+    "cycles", "instructions", "cache_misses", "branch_misses"};
+
+PerfSample PerfSample::delta(const PerfSample& start, const PerfSample& end) {
+  PerfSample d;
+  if (!start.valid || !end.valid) return d;
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    if (end.values[static_cast<std::size_t>(i)] <
+        start.values[static_cast<std::size_t>(i)])
+      return d;  // counter reset underneath us; drop the interval
+    d.values[static_cast<std::size_t>(i)] =
+        end.values[static_cast<std::size_t>(i)] -
+        start.values[static_cast<std::size_t>(i)];
+  }
+  d.valid = true;
+  return d;
+}
+
+#if defined(__linux__)
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  // User-space cost of this process only: kernel/hypervisor exclusion also
+  // keeps the open legal under perf_event_paranoid <= 2.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Count worker threads spawned after the open, not just the caller.
+  attr.inherit = 1;
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+#endif
+
+PerfCounters::PerfCounters() {
+  if (const char* env = std::getenv("RFTC_OBS_PERF")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) return;
+  }
+#if defined(__linux__)
+  constexpr std::uint64_t kConfigs[kPerfEventCount] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    fds_[i] = open_event(PERF_TYPE_HARDWARE, kConfigs[i]);
+    if (fds_[i] < 0) {
+      // All or nothing: a partial event set would skew per-phase ratios.
+      for (int j = 0; j < i; ++j) ::close(fds_[j]);
+      for (int j = 0; j < kPerfEventCount; ++j) fds_[j] = -1;
+      return;
+    }
+  }
+  available_ = true;
+#endif
+}
+
+PerfCounters& PerfCounters::global() {
+  // Leaky singleton (like Registry): the fds live for the process and the
+  // kernel reclaims them at exit, so no destructor-order hazards.
+  static PerfCounters* p = new PerfCounters;
+  return *p;
+}
+
+PerfSample PerfCounters::read() const {
+  PerfSample s;
+  if (!available_) return s;
+#if defined(__linux__)
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    std::uint64_t v = 0;
+    if (::read(fds_[i], &v, sizeof v) != static_cast<ssize_t>(sizeof v))
+      return PerfSample{};
+    s.values[static_cast<std::size_t>(i)] = v;
+  }
+  s.valid = true;
+#endif
+  return s;
+}
+
+}  // namespace rftc::obs

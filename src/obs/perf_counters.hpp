@@ -1,0 +1,60 @@
+// Hardware performance-counter sampling for per-phase profiling: a
+// process-wide perf_event_open group (cycles, instructions, cache misses,
+// branch misses) read at phase boundaries by PhaseScope so BENCH_*.json can
+// attribute hardware cost, not just wall time, to each pipeline phase.
+//
+// Portability contract: on non-Linux platforms, or when the kernel refuses
+// perf_event_open (seccomp-filtered containers, perf_event_paranoid,
+// missing PMU), available() is false and read() returns an invalid sample —
+// callers simply omit the counters ("cleanly absent" in reports).  Set
+// RFTC_OBS_PERF=0 (or "off") to force the fallback path.
+//
+// The events are opened with inherit=1 on the calling thread, so worker
+// threads the pool spawns *after* first use are counted too; open the
+// counters (first PhaseScope) before the first parallel region for full
+// coverage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rftc::obs {
+
+/// Number of hardware events sampled per read.
+inline constexpr int kPerfEventCount = 4;
+
+/// Event names in sample order: cycles, instructions, cache_misses,
+/// branch_misses (the report/JSON keys).
+extern const char* const kPerfEventNames[kPerfEventCount];
+
+/// One point-in-time reading of all events.  `valid` is false when the
+/// counters are unavailable or a read failed.
+struct PerfSample {
+  std::array<std::uint64_t, kPerfEventCount> values{};
+  bool valid = false;
+
+  /// end - start per event; invalid unless both inputs are valid and no
+  /// counter ran backwards.
+  static PerfSample delta(const PerfSample& start, const PerfSample& end);
+};
+
+/// Lazily opened process-global counter set.  Thread-safe: reads after
+/// construction touch only immutable fds.
+class PerfCounters {
+ public:
+  /// First call opens the events (or records unavailability).
+  static PerfCounters& global();
+
+  bool available() const { return available_; }
+
+  /// Current counter values; s.valid == false on the fallback path.
+  PerfSample read() const;
+
+ private:
+  PerfCounters();
+
+  int fds_[kPerfEventCount] = {-1, -1, -1, -1};
+  bool available_ = false;
+};
+
+}  // namespace rftc::obs

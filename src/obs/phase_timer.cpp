@@ -1,0 +1,122 @@
+#include "obs/phase_timer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace rftc::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TimerState {
+  mutable std::mutex mu;
+  std::map<std::string, PhaseStat, std::less<>> stats;
+};
+
+TimerState& state() {
+  static TimerState* s = new TimerState;
+  return *s;
+}
+
+/// Top of the calling thread's scope stack (nullptr outside any scope).
+thread_local PhaseScope* t_top = nullptr;
+
+}  // namespace
+
+PhaseTimer& PhaseTimer::global() {
+  static PhaseTimer* t = new PhaseTimer;
+  return *t;
+}
+
+void PhaseTimer::add(std::string_view phase, double seconds,
+                     const PerfSample& delta) {
+  TimerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.stats.find(phase);
+  if (it == s.stats.end())
+    it = s.stats.emplace(std::string(phase), PhaseStat{}).first;
+  PhaseStat& st = it->second;
+  st.seconds += seconds;
+  ++st.entries;
+  if (delta.valid) {
+    st.has_events = true;
+    for (int i = 0; i < kPerfEventCount; ++i)
+      st.events[static_cast<std::size_t>(i)] +=
+          delta.values[static_cast<std::size_t>(i)];
+  }
+}
+
+std::vector<std::pair<std::string, PhaseStat>> PhaseTimer::snapshot() const {
+  TimerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.stats.begin(), s.stats.end()};  // std::map: already name-sorted
+}
+
+double PhaseTimer::total_seconds() const {
+  TimerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  double total = 0.0;
+  for (const auto& [name, st] : s.stats) total += st.seconds;
+  return total;
+}
+
+void PhaseTimer::reset() {
+  TimerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.clear();
+}
+
+PhaseScope::PhaseScope(const char* phase)
+    : phase_(phase), parent_(t_top) {
+  const std::uint64_t now = steady_ns();
+  PerfCounters& perf = PerfCounters::global();
+  const PerfSample sample = perf.read();
+  if (parent_ != nullptr) {
+    // Pause the parent: bill its open interval before this scope starts.
+    parent_->self_ns_ += static_cast<double>(now - parent_->interval_start_ns_);
+    const PerfSample d =
+        PerfSample::delta(parent_->interval_start_perf_, sample);
+    if (d.valid) {
+      parent_->has_events_ = true;
+      for (int i = 0; i < kPerfEventCount; ++i)
+        parent_->self_events_[static_cast<std::size_t>(i)] +=
+            d.values[static_cast<std::size_t>(i)];
+    }
+  }
+  interval_start_ns_ = now;
+  interval_start_perf_ = sample;
+  t_top = this;
+}
+
+PhaseScope::~PhaseScope() {
+  const std::uint64_t now = steady_ns();
+  const PerfSample sample = PerfCounters::global().read();
+  self_ns_ += static_cast<double>(now - interval_start_ns_);
+  PerfSample total;
+  const PerfSample d = PerfSample::delta(interval_start_perf_, sample);
+  if (d.valid || has_events_) {
+    total.valid = true;
+    total.values = self_events_;
+    if (d.valid)
+      for (int i = 0; i < kPerfEventCount; ++i)
+        total.values[static_cast<std::size_t>(i)] +=
+            d.values[static_cast<std::size_t>(i)];
+  }
+  PhaseTimer::global().add(phase_, self_ns_ / 1e9, total);
+  t_top = parent_;
+  if (parent_ != nullptr) {
+    // Resume the parent's self-interval where this scope left off.
+    parent_->interval_start_ns_ = now;
+    parent_->interval_start_perf_ = sample;
+  }
+}
+
+}  // namespace rftc::obs

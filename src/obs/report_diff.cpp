@@ -39,6 +39,21 @@ void parse_bench_json(const json::Value& doc, Artifact& art) {
         art.metrics[key] = {v->num, u && u->is_string() ? u->str : ""};
     }
   }
+  // schema_version 3: flatten the per-phase breakdown into metrics so two
+  // reports diff phase-by-phase — seconds as "phase.<name>_seconds"
+  // (timing-class via the key suffix) and hardware counters as
+  // "phase.<name>.<event>" with the machine-dependent "events" unit.
+  if (const json::Value* phases = doc.find("phases");
+      phases && phases->is_object()) {
+    for (const auto& [pname, p] : phases->object) {
+      if (!p.is_object()) continue;
+      if (const json::Value* s = p.find("seconds"); s && s->is_number())
+        art.metrics["phase." + pname + "_seconds"] = {s->num, "s"};
+      for (const auto& [k, v] : p.object)
+        if (k != "seconds" && k != "entries" && v.is_number())
+          art.metrics["phase." + pname + "." + k] = {v.num, "events"};
+    }
+  }
   if (const json::Value* notes = doc.find("notes");
       notes && notes->is_object()) {
     for (const auto& [key, v] : notes->object)
@@ -136,6 +151,10 @@ Artifact parse_artifact(const std::string& text) {
 bool is_timing_unit(const std::string& key, const std::string& unit) {
   if (key == "wall_seconds" || key.ends_with("_seconds")) return true;
   if (unit == "s" || unit == "ms" || unit == "us" || unit == "ns") return true;
+  // Hardware perf-counter tallies (per-phase cycles/instructions/misses)
+  // scale with the machine like timings do: ratio-bound them, never
+  // relative-drift them.
+  if (unit == "events") return true;
   return unit.find("/s") != std::string::npos;
 }
 

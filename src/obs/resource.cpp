@@ -1,7 +1,10 @@
 #include "obs/resource.hpp"
 
+#include <cstdio>
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace rftc::obs {
@@ -24,6 +27,23 @@ std::size_t peak_rss_bytes() {
 
 double peak_rss_mib() {
   return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
 }
 
 }  // namespace rftc::obs

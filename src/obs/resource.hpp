@@ -16,4 +16,9 @@ std::size_t peak_rss_bytes();
 /// Convenience: peak RSS in MiB as a double (for gauges/metrics).
 double peak_rss_mib();
 
+/// Current resident set size in bytes (/proc/self/statm on Linux), 0 when
+/// the platform cannot report it.  Unlike peak_rss_bytes() this tracks the
+/// live footprint, which is what the heartbeat sampler reports each tick.
+std::size_t current_rss_bytes();
+
 }  // namespace rftc::obs

@@ -35,6 +35,17 @@ std::string artifact_dir() {
                                           : std::string(".");
 }
 
+std::string resolve_artifact_path(const std::string& path_spec) {
+  const std::filesystem::path p(path_spec);
+  const std::filesystem::path resolved =
+      p.is_absolute() ? p : std::filesystem::path(artifact_dir()) / p;
+  std::error_code ec;
+  if (resolved.has_parent_path())
+    std::filesystem::create_directories(resolved.parent_path(),
+                                        ec);  // best effort; open reports
+  return resolved.string();
+}
+
 Provenance Provenance::collect() {
   Provenance p;
   p.git_sha = RFTC_GIT_SHA;

@@ -29,8 +29,16 @@ namespace rftc::obs {
 inline constexpr int kManifestVersion = 1;
 
 /// Directory that receives every observability artifact (BENCH_*.json,
-/// runs/*.jsonl): $RFTC_BENCH_DIR, or "." when unset.
+/// runs/*.jsonl, trace/metric sinks, heartbeat.jsonl): $RFTC_BENCH_DIR,
+/// or "." when unset.
 std::string artifact_dir();
+
+/// Routes a sink path spec the way every artifact writer does: an absolute
+/// path is returned unchanged; a relative one lands under artifact_dir()
+/// (whose directories are created best-effort).  Keeps all four artifact
+/// kinds — bench reports, run manifests, trace/metric sinks and the
+/// heartbeat file — in one place under RFTC_BENCH_DIR.
+std::string resolve_artifact_path(const std::string& path_spec);
 
 /// Where this run came from: the configuration knobs that must match for
 /// two artifacts to be comparable, stamped into every bench report and

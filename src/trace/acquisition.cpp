@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
 #include "trace/trace_store.hpp"
 #include "util/parallel.hpp"
 
@@ -45,6 +46,7 @@ aes::Block random_block(Xoshiro256StarStar& rng) {
 
 TraceSet acquire_random(const Encryptor& encryptor, TraceSimulator& sim,
                         std::size_t n, Xoshiro256StarStar& rng) {
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_random");
   span.arg("n", static_cast<double>(n));
   obs::Counter& captured = captured_counter();
@@ -68,6 +70,7 @@ TvlaCapture acquire_tvla(const Encryptor& encryptor, TraceSimulator& sim,
                          std::size_t n_per_population,
                          const aes::Block& fixed_plaintext,
                          Xoshiro256StarStar& rng) {
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_tvla");
   span.arg("n_per_population", static_cast<double>(n_per_population));
   obs::Counter& captured = captured_counter();
@@ -206,6 +209,7 @@ TraceSet acquire_random_parallel(const CaptureShardFactory& factory,
                                  std::size_t shard_size) {
   if (shard_size == 0)
     throw std::invalid_argument("acquire_random_parallel: zero shard size");
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_random_parallel");
   span.arg("n", static_cast<double>(n));
   if (n == 0) return TraceSet(factory(0).sim.samples());
@@ -233,6 +237,7 @@ void acquire_random_store(const CaptureShardFactory& factory, std::size_t n,
                           std::size_t shard_size) {
   if (shard_size == 0)
     throw std::invalid_argument("acquire_random_store: zero shard size");
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_random_store");
   span.arg("n", static_cast<double>(n));
   grouped_shards<TraceSet>(
@@ -240,7 +245,10 @@ void acquire_random_store(const CaptureShardFactory& factory, std::size_t n,
       [&](std::size_t b, std::size_t e) {
         return capture_random_shard(factory, seed, b, e, shard_size);
       },
-      [&](TraceSet&& part) { out.append(part); });
+      [&](TraceSet&& part) {
+        obs::PhaseScope io(obs::kPhaseStoreIo);
+        out.append(part);
+      });
 }
 
 TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
@@ -250,6 +258,7 @@ TvlaCapture acquire_tvla_parallel(const CaptureShardFactory& factory,
                                   std::size_t shard_size) {
   if (shard_size == 0)
     throw std::invalid_argument("acquire_tvla_parallel: zero shard size");
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_tvla_parallel");
   span.arg("n_per_population", static_cast<double>(n_per_population));
   if (n_per_population == 0) {
@@ -286,6 +295,7 @@ void acquire_tvla_store(const CaptureShardFactory& factory,
                         TraceStoreWriter& random_out, std::size_t shard_size) {
   if (shard_size == 0)
     throw std::invalid_argument("acquire_tvla_store: zero shard size");
+  obs::PhaseScope phase(obs::kPhaseCapture);
   RFTC_OBS_SPAN(span, "trace", "acquire_tvla_store");
   span.arg("n_per_population", static_cast<double>(n_per_population));
   grouped_shards<TvlaCapture>(
@@ -295,6 +305,7 @@ void acquire_tvla_store(const CaptureShardFactory& factory,
                                   shard_size);
       },
       [&](TvlaCapture&& part) {
+        obs::PhaseScope io(obs::kPhaseStoreIo);
         fixed_out.append(part.fixed);
         random_out.append(part.random);
       });

@@ -205,6 +205,10 @@ bool TraceChunk::crc_ok() const {
   return util::crc32(payload_, payload_len_) == stored_crc_;
 }
 
+std::uint32_t TraceChunk::computed_crc() const {
+  return util::crc32(payload_, payload_len_);
+}
+
 // ----------------------------------------------------------------- store --
 
 TraceStore::TraceStore(const std::string& path) : path_(path) {
@@ -336,17 +340,20 @@ StoreVerifyResult TraceStore::verify() const {
   try {
     for (std::size_t i = 0; i < n_chunks_; ++i) {
       const TraceChunk c = chunk(i);
-      if (!c.crc_ok()) {
-        res.error = "chunk " + std::to_string(i) + " CRC mismatch";
-        return res;
-      }
       ++res.chunks_checked;
+      if (c.crc_ok()) continue;
+      // Record and keep scanning: corruption rarely stops at one chunk,
+      // and the caller wants the full damage map in a single pass.
+      res.failures.push_back({i, chunk_offset(i), c.stored_crc(),
+                              c.computed_crc()});
+      if (res.error.empty())
+        res.error = "chunk " + std::to_string(i) + " CRC mismatch";
     }
   } catch (const std::exception& e) {
     res.error = e.what();
     return res;
   }
-  res.ok = true;
+  res.ok = res.failures.empty();
   return res;
 }
 

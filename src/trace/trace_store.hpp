@@ -129,6 +129,11 @@ class TraceChunk {
   /// Recomputes the payload CRC-32 against the stored one.
   bool crc_ok() const;
 
+  /// CRC-32 recorded in the chunk header at write time.
+  std::uint32_t stored_crc() const { return stored_crc_; }
+  /// CRC-32 of the payload as it reads back now (a fresh full-payload scan).
+  std::uint32_t computed_crc() const;
+
  private:
   friend class TraceStore;
   TraceChunk() = default;
@@ -146,11 +151,28 @@ class TraceChunk {
   const float* traces_ = nullptr;
 };
 
-/// Outcome of TraceStore::verify().
+/// One chunk whose payload failed its CRC check: enough detail to locate
+/// the corruption with dd/xxd (chunk index and absolute byte offset of the
+/// chunk header) and to see how far the payload drifted (stored vs
+/// recomputed CRC-32).
+struct StoreChunkFailure {
+  std::size_t chunk = 0;
+  std::uint64_t byte_offset = 0;  ///< chunk header offset within the file
+  std::uint32_t expected_crc = 0;  ///< CRC-32 recorded at write time
+  std::uint32_t actual_crc = 0;    ///< CRC-32 of the payload as read back
+};
+
+/// Outcome of TraceStore::verify().  The scan keeps going past CRC
+/// mismatches so a multi-chunk corruption is reported in one pass;
+/// `failures` lists every bad chunk while `error` keeps the first-failure
+/// summary for legacy one-line consumers.  A structural error (truncated
+/// file, contradicting chunk header) still stops the scan — nothing past
+/// it can be trusted.
 struct StoreVerifyResult {
   bool ok = false;
   std::size_t chunks_checked = 0;
   std::string error;  // empty when ok
+  std::vector<StoreChunkFailure> failures;
 };
 
 /// Read side: validates the header (magic, schema, CRC, exact file size)

@@ -77,6 +77,55 @@ TEST(Checkpoints, LogSpecAndMalformedSpecFallBack) {
             obs::log_spaced_checkpoints(10'000));
 }
 
+TEST(Checkpoints, DegenerateLogSpecsFallBackToDefault) {
+  // "log:0" names a density of zero — meaningless, so it must select the
+  // default schedule rather than divide by zero or loop forever.
+  const auto def = obs::log_spaced_checkpoints(10'000);
+  EXPECT_EQ(obs::parse_checkpoints("log:0", 10'000), def);
+  // "log:" (missing count) and a non-numeric count likewise.
+  EXPECT_EQ(obs::parse_checkpoints("log:", 10'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("log:x", 10'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("log:-3", 10'000), def);
+}
+
+TEST(Checkpoints, NegativeAndOverflowingCountsFallBack) {
+  const auto def = obs::log_spaced_checkpoints(1'000);
+  // A '-' is a non-digit: the whole list spec is rejected, not truncated.
+  EXPECT_EQ(obs::parse_checkpoints("-5,100", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("100,-5", 1'000), def);
+  // 2^64 * 10 and friends must not silently wrap to a small count.
+  EXPECT_EQ(obs::parse_checkpoints("184467440737095516160", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("99999999999999999999999999", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("log:184467440737095516160", 10'000),
+            obs::log_spaced_checkpoints(10'000));
+}
+
+TEST(Checkpoints, TrailingAndDoubledCommasFallBack) {
+  const auto def = obs::log_spaced_checkpoints(1'000);
+  // An empty element anywhere makes the spec malformed as a whole.
+  EXPECT_EQ(obs::parse_checkpoints("100,", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints(",100", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints("100,,500", 1'000), def);
+  EXPECT_EQ(obs::parse_checkpoints(",", 1'000), def);
+}
+
+TEST(Checkpoints, DuplicatesAndUnsortedListsNormalize) {
+  EXPECT_EQ(obs::parse_checkpoints("700,5,700,5,300", 1'000),
+            (std::vector<std::size_t>{5, 300, 700, 1'000}));
+  // All entries above max_n: nothing usable survives clipping -> default.
+  EXPECT_EQ(obs::parse_checkpoints("5000,9000", 1'000),
+            obs::log_spaced_checkpoints(1'000));
+  // max_n itself as the only entry needs no appended duplicate.
+  EXPECT_EQ(obs::parse_checkpoints("1000", 1'000),
+            (std::vector<std::size_t>{1'000}));
+}
+
+TEST(Checkpoints, ZeroMaxNYieldsEmptySchedule) {
+  EXPECT_TRUE(obs::parse_checkpoints("1,2,3", 0).empty());
+  EXPECT_TRUE(obs::parse_checkpoints("log:4", 0).empty());
+  EXPECT_TRUE(obs::log_spaced_checkpoints(0).empty());
+}
+
 // --------------------------------------------------------------------- MTD
 
 TEST(Mtd, NotEstimableAtOrBelowZero) {

@@ -10,6 +10,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace_event.hpp"
 
 namespace rftc::obs {
@@ -350,6 +351,28 @@ TEST_F(ObsTracer, RingOverwritesOldestAndCountsDrops) {
     if (std::string_view(ev.name) == "obs.flood") ++flood;
   EXPECT_EQ(flood, 16u);  // most recent 16 of 40 survive
   EXPECT_EQ(tracer.dropped() - dropped_before, 24u);
+}
+
+TEST_F(ObsTracer, FlushSurfacesDropCountAsGauge) {
+  // flush() must mirror the tracer's drop tally into the metric registry
+  // (obs.trace.dropped_events) so an exported metrics.json reveals a ring
+  // that silently overwrote events.  No RFTC_OBS_* sink env is set in the
+  // test binary, so flush() writes nothing — it only updates the gauge.
+  flush();
+  Gauge& g = Registry::global().gauge("obs.trace.dropped_events");
+  EXPECT_EQ(g.value(), static_cast<double>(Tracer::global().dropped()));
+
+  Tracer& tracer = Tracer::global();
+  const std::size_t saved = tracer.ring_capacity();
+  tracer.set_ring_capacity(16);
+  std::thread([] {
+    for (int i = 0; i < 20; ++i)
+      Tracer::global().instant("test", "obs.flood_gauge");
+  }).join();
+  tracer.set_ring_capacity(saved);
+  flush();
+  EXPECT_EQ(g.value(), static_cast<double>(tracer.dropped()));
+  EXPECT_GE(g.value(), 4.0);
 }
 
 TEST_F(ObsTracer, DisabledModeRecordsNothing) {

@@ -238,8 +238,60 @@ TEST(ReportDiff, TimingUnitClassifier) {
   EXPECT_TRUE(is_timing_unit("throughput", "traces/s"));
   EXPECT_TRUE(is_timing_unit("wall_seconds", ""));
   EXPECT_TRUE(is_timing_unit("serial_seconds", "s"));
+  // Hardware counters (schema 3 per-phase cycles etc.) are machine-scaled.
+  EXPECT_TRUE(is_timing_unit("phase.cpa-kernel.cycles", "events"));
   EXPECT_FALSE(is_timing_unit("max_abs_t", "|t|"));
   EXPECT_FALSE(is_timing_unit("speedup_vs_serial", "x"));
+}
+
+TEST(ReportDiff, Schema3PhasesFlattenIntoMetrics) {
+  const std::string doc = R"({
+  "schema_version": 3,
+  "name": "phased",
+  "wall_seconds": 10.0,
+  "throughput": {"value": 100.0, "unit": "traces/s"},
+  "phases": {
+    "capture": {"seconds": 6.0, "entries": 3},
+    "cpa-kernel": {"seconds": 3.5, "entries": 7,
+                   "cycles": 123456, "instructions": 654321}
+  },
+  "metrics": {"answer": {"value": 42.0, "unit": ""}},
+  "notes": {}
+})";
+  const Artifact art = parse_artifact(doc);
+  ASSERT_TRUE(art.metrics.count("phase.capture_seconds"));
+  EXPECT_DOUBLE_EQ(art.metrics.at("phase.capture_seconds").value, 6.0);
+  EXPECT_EQ(art.metrics.at("phase.capture_seconds").unit, "s");
+  ASSERT_TRUE(art.metrics.count("phase.cpa-kernel.cycles"));
+  EXPECT_DOUBLE_EQ(art.metrics.at("phase.cpa-kernel.cycles").value, 123456.0);
+  EXPECT_EQ(art.metrics.at("phase.cpa-kernel.cycles").unit, "events");
+  // "entries" is bookkeeping, not a gated metric.
+  EXPECT_FALSE(art.metrics.count("phase.capture.entries"));
+
+  // Phase seconds and counters diff as timing class: a big swing passes...
+  Artifact faster = art;
+  faster.metrics["phase.capture_seconds"].value = 4.0;
+  faster.metrics["phase.cpa-kernel.cycles"].value = 200000.0;
+  EXPECT_FALSE(diff_artifacts(faster, art).regression);
+  // ...but beyond the timing factor it regresses.
+  Artifact slow = art;
+  slow.metrics["phase.capture_seconds"].value = 60.0;
+  EXPECT_TRUE(diff_artifacts(slow, art).regression);
+
+  // A baseline written before schema 3 (no phases) must keep passing: the
+  // candidate-only phase keys are informational notes, not failures.
+  const std::string old_doc = R"({
+  "schema_version": 2,
+  "name": "phased",
+  "wall_seconds": 10.0,
+  "throughput": {"value": 100.0, "unit": "traces/s"},
+  "metrics": {"answer": {"value": 42.0, "unit": ""}},
+  "notes": {}
+})";
+  const Artifact old_art = parse_artifact(old_doc);
+  const DiffResult res = diff_artifacts(art, old_art);
+  EXPECT_FALSE(res.regression);
+  EXPECT_FALSE(res.notes.empty());
 }
 
 

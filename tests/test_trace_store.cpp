@@ -173,6 +173,59 @@ TEST(TraceStore, VerifyCatchesPayloadCorruption) {
   EXPECT_FALSE(v.error.empty());
   EXPECT_FALSE(store.chunk(store.chunk_count() - 1).crc_ok());
   EXPECT_TRUE(store.chunk(0).crc_ok());
+  // The damage map names the bad chunk with both CRCs.
+  ASSERT_EQ(v.failures.size(), 1u);
+  EXPECT_EQ(v.failures[0].chunk, store.chunk_count() - 1);
+  EXPECT_NE(v.failures[0].expected_crc, v.failures[0].actual_crc);
+  EXPECT_EQ(v.failures[0].expected_crc,
+            store.chunk(store.chunk_count() - 1).stored_crc());
+  EXPECT_EQ(v.failures[0].actual_crc,
+            store.chunk(store.chunk_count() - 1).computed_crc());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStore, VerifyReportsEveryCorruptChunkInOnePass) {
+  const std::string path = temp_store("multicorrupt");
+  {
+    TraceStoreWriter w(path, 6, 8);
+    TraceSet set(6);
+    for (std::size_t i = 0; i < 24; ++i)  // chunks of 8, 8, 8
+      set.add(std::vector<float>(6, 0.25f * static_cast<float>(i)),
+              aes::Block{}, aes::Block{});
+    w.append(set);
+    w.finalize();
+  }
+  // Corrupt the payloads of chunks 0 and 2, leaving chunk 1 intact.  The
+  // last byte of each chunk is payload (trace data), so flipping it breaks
+  // exactly that chunk's CRC.
+  const std::uint64_t chunk_bytes =
+      (std::filesystem::file_size(path) - 64) / 3;
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    for (const std::uint64_t c : {0ull, 2ull}) {
+      const auto pos =
+          static_cast<std::streamoff>(64 + (c + 1) * chunk_bytes - 1);
+      char b = 0;
+      f.seekg(pos);
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x11);
+      f.seekp(pos);
+      f.write(&b, 1);
+    }
+  }
+  TraceStore store(path);
+  const StoreVerifyResult v = store.verify();
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.chunks_checked, 3u);  // the scan kept going past chunk 0
+  ASSERT_EQ(v.failures.size(), 2u);
+  EXPECT_EQ(v.failures[0].chunk, 0u);
+  EXPECT_EQ(v.failures[1].chunk, 2u);
+  EXPECT_EQ(v.failures[0].byte_offset, 64u);
+  EXPECT_EQ(v.failures[1].byte_offset, 64u + 2 * chunk_bytes);
+  for (const StoreChunkFailure& f : v.failures)
+    EXPECT_NE(f.expected_crc, f.actual_crc);
+  // error keeps the legacy first-failure summary.
+  EXPECT_NE(v.error.find("chunk 0"), std::string::npos);
   std::filesystem::remove(path);
 }
 

@@ -24,16 +24,30 @@
 //                             excluded)
 //       --allow-missing       keys missing from the candidate only warn
 //
-// Exit codes: 0 = no drift beyond tolerance, 1 = regression, 2 = usage or
-// I/O error.
+//   rftc-report tail <heartbeat.jsonl> [-n N]
+//       Renders the last N (default 10) heartbeat snapshots of a live (or
+//       crashed) campaign as a fixed-width table.  Exits 1 when the file
+//       contains no parseable snapshot line.
+//
+//   rftc-report watch <heartbeat.jsonl> [--interval-ms M] [--timeout-s S]
+//       Follow mode: prints each new snapshot as the campaign appends it
+//       (like tail -f), polling every M ms (default 500).  Stops when no
+//       new line arrives for S seconds (default: run until interrupted).
+//
+// Exit codes: 0 = no drift beyond tolerance / snapshots rendered,
+// 1 = regression or no valid heartbeat line, 2 = usage or I/O error.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "obs/report_diff.hpp"
+#include "obs/sampler.hpp"
 
 namespace {
 
@@ -46,7 +60,10 @@ int usage() {
                "usage: rftc-report show <file>\n"
                "       rftc-report diff <candidate> <baseline> [--tol x]\n"
                "           [--timing-factor x] [--metric-tol key=x]\n"
-               "           [--ignore key] [--allow-missing]\n");
+               "           [--ignore key] [--allow-missing]\n"
+               "       rftc-report tail <heartbeat.jsonl> [-n N]\n"
+               "       rftc-report watch <heartbeat.jsonl>"
+               " [--interval-ms M] [--timeout-s S]\n");
   return 2;
 }
 
@@ -138,6 +155,121 @@ int cmd_diff(int argc, char** argv) {
   return res.regression ? 1 : 0;
 }
 
+using rftc::obs::HeartbeatSnapshot;
+
+int cmd_tail(int argc, char** argv) {
+  std::size_t n = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage();
+      n = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream in(argv[0]);
+  if (!in) {
+    std::fprintf(stderr, "rftc-report: cannot read %s\n", argv[0]);
+    return 2;
+  }
+  // Keep one extra snapshot in front so the oldest printed row still shows
+  // its convergence delta.
+  std::deque<HeartbeatSnapshot> last;
+  std::string line;
+  while (std::getline(in, line)) {
+    HeartbeatSnapshot snap;
+    if (!rftc::obs::parse_heartbeat_line(line, snap)) continue;
+    last.push_back(std::move(snap));
+    if (last.size() > n + 1) last.pop_front();
+  }
+  if (last.empty()) {
+    std::fprintf(stderr, "rftc-report: %s: no heartbeat snapshots\n", argv[0]);
+    return 1;
+  }
+  std::printf("%s\n", rftc::obs::heartbeat_header_row().c_str());
+  for (std::size_t i = last.size() > n ? 1 : 0; i < last.size(); ++i)
+    std::printf("%s\n",
+                rftc::obs::format_heartbeat_row(last[i],
+                                                i > 0 ? &last[i - 1] : nullptr)
+                    .c_str());
+  return 0;
+}
+
+int cmd_watch(int argc, char** argv) {
+  auto poll = std::chrono::milliseconds(500);
+  double timeout_s = -1.0;  // run until interrupted
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage();
+      poll = std::chrono::milliseconds(v);
+    } else if (std::strcmp(argv[i], "--timeout-s") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+      if (timeout_s <= 0.0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  // Follow by byte offset so each poll only reads what the campaign
+  // appended since the last one; a heartbeat line is fsynced whole, so a
+  // partial trailing line never parses and is retried next poll.
+  std::printf("%s\n", rftc::obs::heartbeat_header_row().c_str());
+  std::fflush(stdout);
+  std::string buffered;
+  std::streamoff offset = 0;
+  bool have_prev = false;
+  HeartbeatSnapshot prev;
+  std::size_t printed = 0;
+  auto last_new = std::chrono::steady_clock::now();
+  for (;;) {
+    std::ifstream in(argv[0], std::ios::binary);
+    if (in) {
+      in.seekg(0, std::ios::end);
+      const std::streamoff size = in.tellg();
+      if (size < offset) {  // truncated/rotated: start over
+        offset = 0;
+        buffered.clear();
+      }
+      if (size > offset) {
+        in.seekg(offset);
+        std::string chunk(static_cast<std::size_t>(size - offset), '\0');
+        in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        offset += in.gcount();
+        buffered.append(chunk, 0, static_cast<std::size_t>(in.gcount()));
+        std::size_t eol;
+        while ((eol = buffered.find('\n')) != std::string::npos) {
+          HeartbeatSnapshot snap;
+          if (rftc::obs::parse_heartbeat_line(
+                  std::string_view(buffered).substr(0, eol), snap)) {
+            std::printf("%s\n",
+                        rftc::obs::format_heartbeat_row(
+                            snap, have_prev ? &prev : nullptr)
+                            .c_str());
+            std::fflush(stdout);
+            prev = std::move(snap);
+            have_prev = true;
+            ++printed;
+            last_new = std::chrono::steady_clock::now();
+          }
+          buffered.erase(0, eol + 1);
+        }
+      }
+    }
+    if (timeout_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_new)
+                .count() > timeout_s)
+      break;
+    std::this_thread::sleep_for(poll);
+  }
+  if (printed == 0) {
+    std::fprintf(stderr, "rftc-report: %s: no heartbeat snapshots\n", argv[0]);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,5 +278,9 @@ int main(int argc, char** argv) {
     return cmd_show(argv[2]);
   if (std::strcmp(argv[1], "diff") == 0)
     return cmd_diff(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "tail") == 0)
+    return cmd_tail(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "watch") == 0)
+    return cmd_watch(argc - 2, argv + 2);
   return usage();
 }

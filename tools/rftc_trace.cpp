@@ -2,15 +2,21 @@
 // out-of-core pipeline produces (see src/trace/trace_store.hpp for the
 // format).
 //
-//   rftc-trace info <store.rtst>
+//   rftc-trace info [--json] <store.rtst>...
 //       Prints the header: schema, traces, samples per trace, chunk
-//       geometry and file size.  Exits 1 if the file does not open as a
+//       geometry and file size.  Exits 1 if a file does not open as a
 //       store (bad magic, bad header CRC, truncated, unfinalized).
 //
-//   rftc-trace verify <store.rtst>...
+//   rftc-trace verify [--json] <store.rtst>...
 //       info plus a full payload sweep: every chunk is mapped and its
-//       CRC-32 recomputed.  Exits 1 on the first store with a mismatch —
-//       the post-campaign integrity gate CI runs on out-of-core corpora.
+//       CRC-32 recomputed.  Each mismatching chunk is reported with its
+//       index, absolute byte offset and expected/actual CRC-32 so the
+//       corruption can be located with dd/xxd.  Exits 1 when any store
+//       fails — the post-campaign integrity gate CI runs on out-of-core
+//       corpora.  All stores are processed even after a failure.
+//
+//   --json emits one JSON object per store (JSONL) instead of the table,
+//   for scripted consumers; open errors become {"path":...,"error":...}.
 //
 // Exit codes: 0 = OK, 1 = invalid or corrupt store, 2 = usage error.
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/json.hpp"
 #include "trace/trace_store.hpp"
 
 namespace {
@@ -34,28 +41,82 @@ void print_info(const rftc::trace::TraceStore& store) {
               static_cast<double>(store.file_bytes()) / (1024.0 * 1024.0));
 }
 
-int run_one(const char* path, bool verify) {
+void print_failure(const rftc::trace::StoreChunkFailure& f) {
+  std::fprintf(stderr,
+               "  chunk %zu CRC mismatch at byte offset %llu: "
+               "expected %08x, got %08x\n",
+               f.chunk, static_cast<unsigned long long>(f.byte_offset),
+               f.expected_crc, f.actual_crc);
+}
+
+std::string json_failures(const rftc::trace::StoreVerifyResult& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.failures.size(); ++i) {
+    const auto& f = v.failures[i];
+    char crc[32];
+    if (i > 0) out += ',';
+    out += "{\"chunk\": " + std::to_string(f.chunk) +
+           ", \"byte_offset\": " + std::to_string(f.byte_offset);
+    std::snprintf(crc, sizeof crc, "\"%08x\"", f.expected_crc);
+    out += std::string(", \"expected_crc\": ") + crc;
+    std::snprintf(crc, sizeof crc, "\"%08x\"", f.actual_crc);
+    out += std::string(", \"actual_crc\": ") + crc + "}";
+  }
+  return out + "]";
+}
+
+int run_one(const char* path, bool verify, bool json) {
+  namespace json_fmt = rftc::obs::json;
   try {
     const rftc::trace::TraceStore store{std::string(path)};
+    rftc::trace::StoreVerifyResult v;
+    if (verify) v = store.verify();
+    if (json) {
+      std::string line = "{\"path\": " + json_fmt::quote(store.path()) +
+                         ", \"schema\": " +
+                         std::to_string(rftc::trace::kStoreSchema) +
+                         ", \"traces\": " + std::to_string(store.size()) +
+                         ", \"samples\": " + std::to_string(store.samples()) +
+                         ", \"chunk_traces\": " +
+                         std::to_string(store.chunk_traces()) +
+                         ", \"chunks\": " + std::to_string(store.chunk_count()) +
+                         ", \"file_bytes\": " +
+                         std::to_string(store.file_bytes());
+      if (verify)
+        line += std::string(", \"verify\": {\"ok\": ") +
+                (v.ok ? "true" : "false") +
+                ", \"chunks_checked\": " + std::to_string(v.chunks_checked) +
+                ", \"failures\": " + json_failures(v) + "}";
+      line += "}";
+      std::printf("%s\n", line.c_str());
+      if (verify && !v.ok) return 1;
+      return 0;
+    }
     print_info(store);
     if (verify) {
-      const rftc::trace::StoreVerifyResult v = store.verify();
       if (!v.ok) {
         std::fprintf(stderr, "rftc-trace: %s: %s\n", path, v.error.c_str());
+        for (const auto& f : v.failures) print_failure(f);
         return 1;
       }
       std::printf("  verify        OK (%zu chunks, payload CRCs match)\n",
                   v.chunks_checked);
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "rftc-trace: %s: %s\n", path, e.what());
+    if (json)
+      std::printf("{\"path\": %s, \"error\": %s}\n",
+                  json_fmt::quote(path).c_str(),
+                  json_fmt::quote(e.what()).c_str());
+    else
+      std::fprintf(stderr, "rftc-trace: %s: %s\n", path, e.what());
     return 1;
   }
   return 0;
 }
 
 int usage() {
-  std::fprintf(stderr, "usage: rftc-trace info|verify <store.rtst>...\n");
+  std::fprintf(stderr,
+               "usage: rftc-trace info|verify [--json] <store.rtst>...\n");
   return 2;
 }
 
@@ -65,9 +126,17 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const bool verify = std::strcmp(argv[1], "verify") == 0;
   if (!verify && std::strcmp(argv[1], "info") != 0) return usage();
-  for (int i = 2; i < argc; ++i) {
-    const int rc = run_one(argv[i], verify);
-    if (rc != 0) return rc;
+  bool json = false;
+  int first = 2;
+  if (std::strcmp(argv[2], "--json") == 0) {
+    json = true;
+    first = 3;
   }
-  return 0;
+  if (first >= argc) return usage();
+  // Check every store before deciding the exit code: a campaign that wrote
+  // several shards wants the full damage report, not the first bad one.
+  int rc = 0;
+  for (int i = first; i < argc; ++i)
+    if (run_one(argv[i], verify, json) != 0) rc = 1;
+  return rc;
 }
