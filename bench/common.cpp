@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "sched/fixed_clock.hpp"
+#include "simd/simd.hpp"
 
 namespace rftc::bench {
 
@@ -184,6 +185,7 @@ void record_suite(obs::BenchReport& report, const std::string& label,
 void finish_capture_bench(obs::BenchReport& report) {
   const double captured = static_cast<double>(
       obs::Registry::global().counter("trace.traces_captured").value());
+  report.note("simd_isa", simd::backend_name());
   report.metric("traces_captured", captured, "traces");
   report.throughput(captured / report.elapsed_seconds(), "traces/s");
   report.write();

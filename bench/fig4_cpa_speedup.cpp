@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common.hpp"
+#include "simd/simd.hpp"
 #include "trace/trace_store.hpp"
 #include "util/parallel.hpp"
 
@@ -48,6 +49,7 @@ int main() {
   obs::BenchReport report("fig4_cpa_speedup");
   const bench::ScaleProfile profile = bench::scale_profile();
   report.note("profile", profile.name);
+  report.note("simd_isa", simd::backend_name());
   report.seed(0x5EED0000);  // rftc_factory campaign seed base
   bench::print_header("CPA engine speedup — streaming (1 thread) vs batched "
                       "(RFTC_THREADS), profile " +

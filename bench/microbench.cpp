@@ -4,8 +4,13 @@
 // docs/OBSERVABILITY.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aes/leakage.hpp"
 #include "aes/round_engine.hpp"
@@ -14,6 +19,8 @@
 #include "analysis/fft.hpp"
 #include "clocking/drp_codec.hpp"
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "simd/simd.hpp"
 #include "rftc/frequency_planner.hpp"
 #include "sched/fixed_clock.hpp"
 #include "trace/acquisition.hpp"
@@ -197,6 +204,110 @@ void BM_PlanFrequencies(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanFrequencies)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
+/// Deterministic 1-NN template-matching workload for the DTW early-abandon
+/// gate: one query plus `count` candidates at paper-scale lengths.
+/// Candidate 0 is a near-duplicate of the query so the best-so-far cutoff
+/// collapses immediately; four candidates are the query with a reversed
+/// interior (same endpoints and extrema, so LB_Kim passes and the DP must
+/// abandon mid-sweep); the rest are independent random walks whose value
+/// ranges differ enough for the O(n+m) lower bound to reject them outright.
+std::vector<std::vector<double>> dtw_gate_candidates(
+    const std::vector<double>& query, std::size_t count) {
+  Xoshiro256StarStar rng(97);
+  std::vector<std::vector<double>> cands(count);
+  cands[0] = query;
+  for (auto& v : cands[0]) v += 1e-3 * rng.gaussian();
+  for (std::size_t c = 1; c < 5 && c < count; ++c) {
+    cands[c] = query;
+    std::reverse(cands[c].begin() + 1 + static_cast<std::ptrdiff_t>(c),
+                 cands[c].end() - 1);
+  }
+  for (std::size_t c = 5; c < count; ++c) {
+    cands[c].resize(query.size());
+    double x = rng.gaussian();
+    for (auto& v : cands[c]) v = x += 0.05 * rng.gaussian();
+  }
+  return cands;
+}
+
+/// Times the 1-NN search over `cands`.  `pruned` threads the best-so-far
+/// distance through DtwParams::max_distance; the baseline leaves the cutoff
+/// at infinity, i.e. the pre-pruning banded DP on every candidate.
+double dtw_gate_search(const std::vector<double>& query,
+                       const std::vector<std::vector<double>>& cands,
+                       bool pruned, double* best_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : cands) {
+    analysis::DtwParams params{.band = 64};
+    if (pruned) params.max_distance = best;
+    const double d = analysis::dtw_distance(query, c, params);
+    if (d < best) best = d;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *best_out = best;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Self-gating DTW pruning benchmark (outside google-benchmark so the
+/// iteration count — and therefore the prune-counter deltas recorded as
+/// exact "count" metrics — is deterministic).  Measures the same banded
+/// 1-NN search with and without early abandoning and fails the bench if
+/// the speedup drops below 10x or pruning changes the search result.
+bool run_dtw_speedup_gate(obs::BenchReport& report) {
+  constexpr std::size_t kLen = 1'536;
+  constexpr std::size_t kCands = 48;
+  constexpr int kRepeats = 3;
+  Xoshiro256StarStar rng(31);
+  std::vector<double> query(kLen);
+  double x = 0.0;
+  for (auto& v : query) v = x += 0.05 * rng.gaussian();
+  const auto cands = dtw_gate_candidates(query, kCands);
+
+  auto& lb = obs::Registry::global().counter("analysis.dtw.lb_kim_rejects");
+  auto& ea = obs::Registry::global().counter("analysis.dtw.early_abandons");
+  const double lb0 = static_cast<double>(lb.value());
+  const double ea0 = static_cast<double>(ea.value());
+
+  double unpruned = std::numeric_limits<double>::infinity();
+  double pruned = std::numeric_limits<double>::infinity();
+  double best_unpruned = 0.0;
+  double best_pruned = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    unpruned = std::min(
+        unpruned, dtw_gate_search(query, cands, false, &best_unpruned));
+    pruned =
+        std::min(pruned, dtw_gate_search(query, cands, true, &best_pruned));
+  }
+  const double speedup = unpruned / pruned;
+  report.metric("dtw_unpruned_seconds", unpruned, "s");
+  report.metric("dtw_pruned_seconds", pruned, "s");
+  report.metric("dtw_speedup_vs_naive", speedup, "x");
+  // Per-repeat reject/abandon tallies are a pure function of the fixed
+  // candidate set, so the deltas are exact-match "count" metrics.
+  report.metric("dtw_lb_kim_rejects",
+                static_cast<double>(lb.value()) - lb0, "count");
+  report.metric("dtw_early_abandons",
+                static_cast<double>(ea.value()) - ea0, "count");
+  std::printf(
+      "DTW 1-NN (%zu cands x len %zu, band 64): unpruned %.3fs, pruned "
+      "%.3fs, speedup %.1fx\n",
+      kCands, kLen, unpruned, pruned, speedup);
+  if (best_pruned != best_unpruned) {
+    std::fprintf(stderr,
+                 "FAIL: pruned 1-NN distance %.17g != unpruned %.17g\n",
+                 best_pruned, best_unpruned);
+    return false;
+  }
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: DTW early-abandon speedup %.2fx below the 10x gate\n",
+                 speedup);
+    return false;
+  }
+  return true;
+}
+
 /// Console output plus per-benchmark metrics captured into the bench
 /// report.  BM_TraceSimulate doubles as the headline throughput: one
 /// iteration is one full encrypt + trace synthesis, i.e. one trace.
@@ -231,11 +342,13 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   rftc::obs::BenchReport report("microbench");
   report.seed(1);  // fixtures use small fixed per-benchmark seeds
+  report.note("simd_isa", rftc::simd::backend_name());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CaptureReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  const bool dtw_ok = run_dtw_speedup_gate(report);
   report.write();
-  return 0;
+  return dtw_ok ? 0 : 1;
 }

@@ -1,8 +1,39 @@
 #include "aes/leakage.hpp"
 
+#include <cstring>
+
 #include "aes/gf256.hpp"
+#include "simd/simd.hpp"
 
 namespace rftc::aes {
+
+namespace {
+
+// 256x256 hoisted model tables, indexed by the single data byte that varies
+// per trace.  kInvRows[c][g] = InvSbox(c ^ g): the last-round row becomes
+// one vectorized XOR+popcount against the ShiftRows partner byte.
+// kHwRows[p][g] = HW(Sbox(p ^ g)): the first-round row is a plain copy.
+struct ModelTables {
+  std::uint8_t inv_rows[256][256];
+  std::uint8_t hw_rows[256][256];
+};
+
+const ModelTables& model_tables() {
+  static const ModelTables t = [] {
+    ModelTables m;
+    for (int x = 0; x < 256; ++x) {
+      for (int g = 0; g < 256; ++g) {
+        m.inv_rows[x][g] = gf::kInvSbox[x ^ g];
+        m.hw_rows[x][g] =
+            static_cast<std::uint8_t>(hamming_weight(gf::kSbox[x ^ g]));
+      }
+    }
+    return m;
+  }();
+  return t;
+}
+
+}  // namespace
 
 int last_round_hd_hypothesis(const Block& ct, int byte_pos,
                              std::uint8_t guess) {
@@ -22,26 +53,30 @@ int first_round_hw_hypothesis(const Block& pt, int byte_pos,
 std::array<std::uint8_t, 256> last_round_hypothesis_row(const Block& ct,
                                                         int byte_pos) {
   std::array<std::uint8_t, 256> row{};
-  const std::uint8_t c_p = ct[static_cast<std::size_t>(byte_pos)];
-  const std::uint8_t c_src =
-      ct[static_cast<std::size_t>(shift_rows_source(byte_pos))];
-  for (int g = 0; g < 256; ++g) {
-    const std::uint8_t pre = gf::kInvSbox[c_p ^ static_cast<std::uint8_t>(g)];
-    row[static_cast<std::size_t>(g)] =
-        static_cast<std::uint8_t>(hamming_distance(pre, c_src));
-  }
+  last_round_hypothesis_row_into(ct, byte_pos, row.data());
   return row;
 }
 
 std::array<std::uint8_t, 256> first_round_hypothesis_row(const Block& pt,
                                                          int byte_pos) {
   std::array<std::uint8_t, 256> row{};
-  const std::uint8_t p = pt[static_cast<std::size_t>(byte_pos)];
-  for (int g = 0; g < 256; ++g) {
-    row[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(
-        hamming_weight(gf::kSbox[p ^ static_cast<std::uint8_t>(g)]));
-  }
+  first_round_hypothesis_row_into(pt, byte_pos, row.data());
   return row;
+}
+
+void last_round_hypothesis_row_into(const Block& ct, int byte_pos,
+                                    std::uint8_t* row) {
+  const ModelTables& t = model_tables();
+  const std::uint8_t c_p = ct[static_cast<std::size_t>(byte_pos)];
+  const std::uint8_t c_src =
+      ct[static_cast<std::size_t>(shift_rows_source(byte_pos))];
+  simd::xor_popcount(t.inv_rows[c_p], c_src, row, 256);
+}
+
+void first_round_hypothesis_row_into(const Block& pt, int byte_pos,
+                                     std::uint8_t* row) {
+  const ModelTables& t = model_tables();
+  std::memcpy(row, t.hw_rows[pt[static_cast<std::size_t>(byte_pos)]], 256);
 }
 
 }  // namespace rftc::aes

@@ -35,6 +35,16 @@ std::array<std::uint8_t, 256> last_round_hypothesis_row(const Block& ct,
 std::array<std::uint8_t, 256> first_round_hypothesis_row(const Block& pt,
                                                          int byte_pos);
 
+/// Allocation-free row variants writing into caller storage (>= 256 bytes).
+/// The S-box/HW lookups are hoisted into 256x256 tables indexed by the one
+/// ciphertext/plaintext byte that varies, so the per-trace work collapses
+/// to a vectorized XOR+popcount (last round) or a straight table-row copy
+/// (first round) over contiguous precomputed model bytes.
+void last_round_hypothesis_row_into(const Block& ct, int byte_pos,
+                                    std::uint8_t* row);
+void first_round_hypothesis_row_into(const Block& pt, int byte_pos,
+                                     std::uint8_t* row);
+
 /// Which intermediate a CPA campaign predicts.
 enum class LeakageModel {
   /// HD of the state register across the final round (hardware AES [13]);

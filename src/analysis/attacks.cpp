@@ -186,8 +186,12 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
             case AttackKind::kCpa:
               break;
             case AttackKind::kDtwCpa: {
-              const std::vector<float> f = dtw_align(dtw_ref, tr, params.dtw);
-              std::copy(f.begin(), f.end(), feat);
+              // Reused per worker thread, like the DP scratch inside the
+              // aligner itself — the campaign loop does no per-trace heap
+              // work for DTW.
+              thread_local std::vector<float> warped;
+              dtw_align_into(dtw_ref, tr, params.dtw, warped);
+              std::copy(warped.begin(), warped.end(), feat);
               break;
             }
             case AttackKind::kPcaCpa: {

@@ -11,6 +11,7 @@
 #include "aes/gf256.hpp"
 #include "aes/leakage.hpp"
 #include "obs/obs.hpp"
+#include "simd/simd.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -55,13 +56,8 @@ void wht_panel(double* p) {
   for (std::size_t half = 1; half < 256; half <<= 1) {
     for (std::size_t base = 0; base < 256; base += 2 * half) {
       for (std::size_t j = 0; j < half; ++j) {
-        double* a = p + (base + j) * kPanel;
-        double* b = p + (base + j + half) * kPanel;
-        for (std::size_t s = 0; s < kPanel; ++s) {
-          const double x = a[s], y = b[s];
-          a[s] = x + y;
-          b[s] = x - y;
-        }
+        simd::butterfly(p + (base + j) * kPanel,
+                        p + (base + j + half) * kPanel, kPanel);
       }
     }
   }
@@ -187,28 +183,23 @@ void CpaEngine::add_streaming(const aes::Block& plaintext,
                               const aes::Block& ciphertext,
                               std::span<const float> trace) {
   ++n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    const double t = static_cast<double>(trace[s]);
-    scratch_[s] = t;
-    sum_t_[s] += t;
-    sum_t2_[s] += t * t;
-  }
+  simd::widen(trace.data(), scratch_.data(), samples_);
+  simd::accumulate_sums(scratch_.data(), sum_t_.data(), sum_t2_.data(),
+                        samples_);
+  alignas(32) std::uint8_t row[256];
   for (std::size_t bi = 0; bi < bytes_.size(); ++bi) {
-    const auto row = model_ == aes::LeakageModel::kLastRoundHd
-                         ? aes::last_round_hypothesis_row(ciphertext,
-                                                          bytes_[bi])
-                         : aes::first_round_hypothesis_row(plaintext,
-                                                           bytes_[bi]);
+    if (model_ == aes::LeakageModel::kLastRoundHd)
+      aes::last_round_hypothesis_row_into(ciphertext, bytes_[bi], row);
+    else
+      aes::first_round_hypothesis_row_into(plaintext, bytes_[bi], row);
+    simd::hyp_sums(row, sum_h_.data() + bi * 256, sum_h2_.data() + bi * 256,
+                   256);
     double* ht_base = sum_ht_.data() + bi * 256 * samples_;
-    for (int g = 0; g < 256; ++g) {
-      const std::int64_t h = row[static_cast<std::size_t>(g)];
-      sum_h_[bi * 256 + static_cast<std::size_t>(g)] += h;
-      sum_h2_[bi * 256 + static_cast<std::size_t>(g)] += h * h;
+    for (std::size_t g = 0; g < 256; ++g) {
+      const std::int64_t h = row[g];
       if (h == 0) continue;
-      const double hd = static_cast<double>(h);
-      double* ht = ht_base + static_cast<std::size_t>(g) * samples_;
-      const double* t = scratch_.data();
-      for (std::size_t s = 0; s < samples_; ++s) ht[s] += hd * t[s];
+      simd::axpy(static_cast<double>(h), scratch_.data(),
+                 ht_base + g * samples_, samples_);
     }
   }
 }
@@ -232,17 +223,16 @@ void CpaEngine::add_batched(const aes::Block& plaintext,
       tile_x_[i * bytes_.size() + bi] = plaintext[static_cast<std::size_t>(p)];
       tile_y_[i * bytes_.size() + bi] = 0;
     }
-    // Scalar sums stay exact int64 and order-independent.
-    const auto row = model_ == aes::LeakageModel::kLastRoundHd
-                         ? aes::last_round_hypothesis_row(ciphertext, p)
-                         : aes::first_round_hypothesis_row(plaintext, p);
-    std::int64_t* sh = sum_h_.data() + bi * 256;
-    std::int64_t* sh2 = sum_h2_.data() + bi * 256;
-    for (std::size_t g = 0; g < 256; ++g) {
-      const std::int64_t h = row[g];
-      sh[g] += h;
-      sh2[g] += h * h;
-    }
+    // Scalar sums stay exact int64 and order-independent.  The S-box/HW
+    // lookup is hoisted into the leakage model tables, so this is one
+    // contiguous XOR+popcount row plus one vectorized integer sum.
+    alignas(32) std::uint8_t row[256];
+    if (model_ == aes::LeakageModel::kLastRoundHd)
+      aes::last_round_hypothesis_row_into(ciphertext, p, row);
+    else
+      aes::first_round_hypothesis_row_into(plaintext, p, row);
+    simd::hyp_sums(row, sum_h_.data() + bi * 256, sum_h2_.data() + bi * 256,
+                   256);
   }
   if (++tile_count_ == batch_) flush();
 }
@@ -262,13 +252,11 @@ void CpaEngine::flush() const {
   // addition sequence for any thread count and any tile boundary.
   par::parallel_for(0, samples_, kSampleGrain, [&](std::size_t s0,
                                                    std::size_t s1) {
+    const std::size_t len = s1 - s0;
     for (std::size_t i = 0; i < nb; ++i) {
       const float* tr = tile_traces_.data() + i * samples_;
-      for (std::size_t s = s0; s < s1; ++s) {
-        const double t = static_cast<double>(tr[s]);
-        sum_t_[s] += t;
-        sum_t2_[s] += t * t;
-      }
+      simd::accumulate_sums_f(tr + s0, sum_t_.data() + s0,
+                              sum_t2_.data() + s0, len);
     }
     for (std::size_t bi = 0; bi < n_bytes; ++bi) {
       for (std::size_t i = 0; i < nb; ++i) {
@@ -277,25 +265,19 @@ void CpaEngine::flush() const {
         if (last_round) {
           const unsigned y = tile_y_[i * n_bytes + bi];
           const double w = static_cast<double>(std::popcount(y));
-          double* wrow = class_w_.data() + bi * samples_;
-          for (std::size_t s = s0; s < s1; ++s)
-            wrow[s] += w * static_cast<double>(tr[s]);
+          simd::axpy_f(w, tr + s0, class_w_.data() + bi * samples_ + s0, len);
           double* dx =
               class_d_.data() + (bi * 256 + x) * 8 * samples_;
           for (int k = 0; k < 8; ++k) {
-            double* dk = dx + static_cast<std::size_t>(k) * samples_;
-            if ((y >> k) & 1) {
-              for (std::size_t s = s0; s < s1; ++s)
-                dk[s] -= static_cast<double>(tr[s]);
-            } else {
-              for (std::size_t s = s0; s < s1; ++s)
-                dk[s] += static_cast<double>(tr[s]);
-            }
+            double* dk = dx + static_cast<std::size_t>(k) * samples_ + s0;
+            if ((y >> k) & 1)
+              simd::sub_f(tr + s0, dk, len);
+            else
+              simd::add_f(tr + s0, dk, len);
           }
         } else {
           double* dx = class_d_.data() + (bi * 256 + x) * samples_;
-          for (std::size_t s = s0; s < s1; ++s)
-            dx[s] += static_cast<double>(tr[s]);
+          simd::add_f(tr + s0, dx + s0, len);
         }
       }
     }
@@ -341,13 +323,8 @@ std::vector<CpaEngine::ByteReport> CpaEngine::report_streaming() const {
           const double sh2 = static_cast<double>(sum_h2_[j]);
           const double* ht =
               sum_ht_.data() + (bi * 256 + g) * samples_;
-          double peak = 0.0;
-          for (std::size_t s = 0; s < samples_; ++s) {
-            const double c = correlation_from_sums(n, sh, sh2, sum_t_[s],
-                                                   sum_t2_[s], ht[s]);
-            peak = std::max(peak, std::fabs(c));
-          }
-          out[bi].peak_abs_corr[g] = peak;
+          out[bi].peak_abs_corr[g] = simd::peak_abs_correlation(
+              n, sh, sh2, sum_t_.data(), sum_t2_.data(), ht, samples_);
         }
       });
   return out;
@@ -397,28 +374,19 @@ std::vector<CpaEngine::ByteReport> CpaEngine::report_batched() const {
             for (std::size_t v = 0; v < 256; ++v) {
               const double m = mk[v];
               if (m == 0.0) continue;
-              const double* src = panel + v * kPanel;
-              double* dst = acc + v * kPanel;
-              for (std::size_t s = 0; s < kPanel; ++s) dst[s] += m * src[s];
+              simd::axpy(m, panel + v * kPanel, acc + v * kPanel, kPanel);
             }
           }
           wht_panel(acc);  // inverse = forward followed by the 2^-8 scale
           const double* wrow =
-              last_round ? class_w_.data() + bi * samples_ : nullptr;
+              last_round ? class_w_.data() + bi * samples_ + s0 : nullptr;
           double* peaks = partial.data() + j * 256;
           for (std::size_t g = 0; g < 256; ++g) {
             const double sh = static_cast<double>(sum_h_[bi * 256 + g]);
             const double sh2 = static_cast<double>(sum_h2_[bi * 256 + g]);
-            const double* row = acc + g * kPanel;
-            double peak = 0.0;
-            for (std::size_t s = 0; s < sb; ++s) {
-              const double ht = (wrow ? wrow[s0 + s] : 0.0) +
-                                row[s] * 0x1.0p-8;
-              const double c = correlation_from_sums(
-                  n, sh, sh2, sum_t_[s0 + s], sum_t2_[s0 + s], ht);
-              peak = std::max(peak, std::fabs(c));
-            }
-            peaks[g] = peak;
+            peaks[g] = simd::peak_abs_correlation_scaled(
+                n, sh, sh2, sum_t_.data() + s0, sum_t2_.data() + s0,
+                acc + g * kPanel, wrow, 0x1.0p-8, sb);
           }
         }
       });

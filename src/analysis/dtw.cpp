@@ -45,33 +45,122 @@ struct Band {
 
 enum Move : std::uint8_t { kDiag = 0, kUp = 1, kLeft = 2, kNone = 3 };
 
+std::size_t effective_band(std::size_t n, std::size_t m,
+                           const DtwParams& params) {
+  return params.band == 0
+             ? std::max(n, m)
+             : std::max(params.band, (n > m ? n - m : m - n));
+}
+
+// Per-thread reusable DP scratch.  rftc::par worker threads each own one
+// instance; assign()/resize() keep the underlying capacity, so steady-state
+// calls do no heap work (the per-call-allocation fix of the campaign hot
+// loop).  DTW never calls itself reentrantly, so a single workspace per
+// thread suffices.
+struct Workspace {
+  std::vector<double> prev, cur;       // rolling DP rows
+  std::vector<std::uint8_t> moves;     // banded align move matrix
+  std::vector<std::size_t> row_lo;     // per-row band start (backtrack)
+  std::vector<double> dense;           // P=1 dense DP values
+  std::vector<std::uint8_t> step;      // P=1 step provenance
+  std::vector<double> sum;             // backtrack accumulators
+  std::vector<std::uint32_t> cnt;
+};
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+obs::Counter& lb_kim_reject_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("analysis.dtw.lb_kim_rejects");
+  return c;
+}
+
+obs::Counter& early_abandon_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("analysis.dtw.early_abandons");
+  return c;
+}
+
+/// O(n + m) lower bound on the banded DTW distance (LB_Kim style).  Every
+/// warp path matches (a[0], b[0]) and (a[n-1], b[m-1]), and must match the
+/// extremal value of one series against SOME value of the other, so the
+/// distance is at least
+///   max( d2(a0,b0) [+ d2(a_last,b_last) when distinct cells],
+///        (max(a) - max(b))^2, (min(a) - min(b))^2 ).
+double lb_kim(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size(), m = b.size();
+  const double d0 = a[0] - b[0];
+  const double dl = a[n - 1] - b[m - 1];
+  double lb = d0 * d0 + (n + m > 2 ? dl * dl : 0.0);
+  const auto [amin, amax] = std::minmax_element(a.begin(), a.end());
+  const auto [bmin, bmax] = std::minmax_element(b.begin(), b.end());
+  const double dmax = *amax - *bmax;
+  const double dmin = *amin - *bmin;
+  lb = std::max(lb, dmax * dmax);
+  lb = std::max(lb, dmin * dmin);
+  return lb;
+}
+
 }  // namespace
 
 double dtw_distance(std::span<const double> a, std::span<const double> b,
                     const DtwParams& params) {
   const std::size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) throw std::invalid_argument("dtw_distance: empty");
-  const std::size_t w =
-      params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));
-  Band band{n, m, w};
+  const double cutoff = params.max_distance;
+  const bool pruned = cutoff < kInf;
+  if (pruned && lb_kim(a, b) > cutoff) {
+    lb_kim_reject_counter().inc();
+    return kDtwAbandoned;
+  }
+  Band band{n, m, effective_band(n, m, params)};
 
   // prev[0] = D(0, 0) = 0 anchors the path start: cell (1, 1) reads it as
   // its diagonal predecessor inside the sweep, so no post-sweep patching of
   // row 1 is needed (the band always contains (1, 1) because
   // w >= |n - m| implies |m - n| <= w * max(n, m)).
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  Workspace& ws = workspace();
+  ws.prev.assign(m + 1, kInf);
+  ws.cur.assign(m + 1, kInf);
+  double* prev = ws.prev.data();
+  double* cur = ws.cur.data();
   prev[0] = 0.0;
   for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t lo = band.lo(i), hi = band.hi(i);
+    // Clearing only the band window keeps the row reset O(band) instead of
+    // O(m).  The window must reach the NEXT row's band end: row i+1 reads
+    // this buffer (as prev) up to hi(i+1), and with rolling buffers any
+    // cell past our own hi would otherwise hold a stale value from row i-2.
+    const std::size_t clear_hi = i < n ? std::max(hi, band.hi(i + 1)) : hi;
+    std::fill(cur + (lo - 1), cur + clear_hi + 1, kInf);
+    const double ai = a[i - 1];
+    double row_min = kInf;
     for (std::size_t j = lo; j <= hi; ++j) {
-      const double d = a[i - 1] - static_cast<double>(b[j - 1]);
+      const double d = ai - b[j - 1];
       const double cost = d * d;
-      const double best =
-          std::min({prev[j - 1], prev[j], cur[j - 1]});
-      if (best < kInf) cur[j] = cost + best;
+      const double best = std::min({prev[j - 1], prev[j], cur[j - 1]});
+      if (best == kInf) continue;
+      const double v = cost + best;
+      // Cell pruning: any path through a cell above the cutoff already
+      // exceeds it (costs are non-negative), so the cell can be treated as
+      // unreachable without affecting any result <= cutoff.
+      if (pruned && v > cutoff) continue;
+      cur[j] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (pruned && row_min == kInf) {
+      // Every surviving path prefix exceeds the cutoff: abandon.
+      early_abandon_counter().inc();
+      return kDtwAbandoned;
     }
     std::swap(prev, cur);
+  }
+  if (pruned && prev[m] == kInf) {
+    early_abandon_counter().inc();
+    return kDtwAbandoned;
   }
   return prev[m];
 }
@@ -81,14 +170,11 @@ namespace {
 /// Slope-constrained alignment (Sakoe–Chiba P = 1 step pattern): the path
 /// is built from steps (1,1), (1,2) and (2,1), so each reference sample
 /// matches between half and two trace samples.
-std::vector<float> dtw_align_p1(std::span<const double> reference,
-                                std::span<const float> trace,
-                                const DtwParams& params) {
+void dtw_align_p1(std::span<const double> reference,
+                  std::span<const float> trace, const DtwParams& params,
+                  std::vector<float>& out) {
   const std::size_t n = reference.size(), m = trace.size();
-  const std::size_t w =
-      params.band == 0 ? std::max(n, m)
-                       : std::max(params.band, (n > m ? n - m : m - n));
-  Band band{n, m, w};
+  Band band{n, m, effective_band(n, m, params)};
 
   auto cost = [&](std::size_t i, std::size_t j) {
     const double d = reference[i - 1] - static_cast<double>(trace[j - 1]);
@@ -102,8 +188,11 @@ std::vector<float> dtw_align_p1(std::span<const double> reference,
   // downsampled attack representations (a few hundred samples), so the
   // dense matrix is cheap and the code stays simple.
   const double inf = kInf;
-  std::vector<double> d((n + 1) * (m + 1), inf);
-  std::vector<std::uint8_t> step((n + 1) * (m + 1), 255);
+  Workspace& ws = workspace();
+  ws.dense.assign((n + 1) * (m + 1), inf);
+  ws.step.assign((n + 1) * (m + 1), 255);
+  std::vector<double>& d = ws.dense;
+  std::vector<std::uint8_t>& step = ws.step;
   auto at = [&](std::size_t i, std::size_t j) -> double& {
     return d[i * (m + 1) + j];
   };
@@ -140,17 +229,19 @@ std::vector<float> dtw_align_p1(std::span<const double> reference,
   }
 
   // Backtrack, accumulating matched trace samples per reference index.
-  std::vector<double> sum(n, 0.0);
-  std::vector<std::uint32_t> cnt(n, 0);
+  ws.sum.assign(n, 0.0);
+  ws.cnt.assign(n, 0);
+  std::vector<double>& sum = ws.sum;
+  std::vector<std::uint32_t>& cnt = ws.cnt;
   std::size_t i = n, j = m;
+  out.resize(n);
   if (at(n, m) >= inf) {
     // End point unreachable under the slope constraint (extreme stretch):
     // return the trace unwarped (resampled if lengths differ) — the
     // alignment honestly failed, as it does on hardware.
-    std::vector<float> out(n);
     for (std::size_t k = 0; k < n; ++k)
       out[k] = trace[std::min(m - 1, k * m / n)];
-    return out;
+    return;
   }
   while (i >= 1 && j >= 1) {
     sum[i - 1] += static_cast<double>(trace[j - 1]);
@@ -182,44 +273,40 @@ std::vector<float> dtw_align_p1(std::span<const double> reference,
     }
   }
 
-  std::vector<float> out(n);
   for (std::size_t k = 0; k < n; ++k)
     out[k] = cnt[k] ? static_cast<float>(sum[k] / cnt[k])
                     : static_cast<float>(reference[k]);
-  return out;
 }
 
-}  // namespace
-
-std::vector<float> dtw_align(std::span<const double> reference,
-                             std::span<const float> trace,
-                             const DtwParams& params) {
+void dtw_align_banded(std::span<const double> reference,
+                      std::span<const float> trace, const DtwParams& params,
+                      std::vector<float>& out) {
   const std::size_t n = reference.size(), m = trace.size();
-  if (n == 0 || m == 0) throw std::invalid_argument("dtw_align: empty");
-  // Tally every alignment so heartbeat readers can see DTW progress (the
-  // banded DP dominates the dtw phase; one counter bump per call is noise).
-  static obs::Counter& alignments =
-      obs::Registry::global().counter("analysis.dtw.alignments");
-  alignments.inc();
-  if (params.slope_constrained) return dtw_align_p1(reference, trace, params);
-  const std::size_t w =
-      params.band == 0 ? std::max(n, m) : std::max(params.band, (n > m ? n - m : m - n));
-  Band band{n, m, w};
+  Band band{n, m, effective_band(n, m, params)};
   const std::size_t bw = band.width();
 
   // Banded DP with full move matrix for backtracking.
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
-  std::vector<std::uint8_t> moves(n * bw, kNone);
-  std::vector<std::size_t> row_lo(n + 1, 0);
+  Workspace& ws = workspace();
+  ws.prev.assign(m + 1, kInf);
+  ws.cur.assign(m + 1, kInf);
+  ws.moves.assign(n * bw, kNone);
+  ws.row_lo.assign(n + 1, 0);
+  double* prev = ws.prev.data();
+  double* cur = ws.cur.data();
+  std::vector<std::uint8_t>& moves = ws.moves;
+  std::vector<std::size_t>& row_lo = ws.row_lo;
   prev[0] = 0.0;
 
   for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t lo = band.lo(i), hi = band.hi(i);
+    // Same stale-cell guard as dtw_distance: clear through the next row's
+    // band end so the rolling prev reads only written-or-cleared cells.
+    const std::size_t clear_hi = i < n ? std::max(hi, band.hi(i + 1)) : hi;
+    std::fill(cur + (lo - 1), cur + clear_hi + 1, kInf);
     row_lo[i] = lo;
+    const double ri = reference[i - 1];
     for (std::size_t j = lo; j <= hi; ++j) {
-      const double d =
-          reference[i - 1] - static_cast<double>(trace[j - 1]);
+      const double d = ri - static_cast<double>(trace[j - 1]);
       const double cost = d * d;
       double best = kInf;
       Move mv = kNone;
@@ -244,8 +331,10 @@ std::vector<float> dtw_align(std::span<const double> reference,
   std::size_t i = n, j = m;
   if (!(band.lo(n) <= m && m <= band.hi(n)) || prev[m] == kInf) j = band.hi(n);
 
-  std::vector<double> sum(n, 0.0);
-  std::vector<std::uint32_t> cnt(n, 0);
+  ws.sum.assign(n, 0.0);
+  ws.cnt.assign(n, 0);
+  std::vector<double>& sum = ws.sum;
+  std::vector<std::uint32_t>& cnt = ws.cnt;
   while (true) {
     sum[i - 1] += static_cast<double>(trace[j - 1]);
     ++cnt[i - 1];
@@ -275,10 +364,35 @@ std::vector<float> dtw_align(std::span<const double> reference,
     }
   }
 
-  std::vector<float> out(n);
+  out.resize(n);
   for (std::size_t k = 0; k < n; ++k)
     out[k] = cnt[k] ? static_cast<float>(sum[k] / cnt[k])
                     : static_cast<float>(reference[k]);
+}
+
+}  // namespace
+
+void dtw_align_into(std::span<const double> reference,
+                    std::span<const float> trace, const DtwParams& params,
+                    std::vector<float>& out) {
+  const std::size_t n = reference.size(), m = trace.size();
+  if (n == 0 || m == 0) throw std::invalid_argument("dtw_align: empty");
+  // Tally every alignment so heartbeat readers can see DTW progress (the
+  // banded DP dominates the dtw phase; one counter bump per call is noise).
+  static obs::Counter& alignments =
+      obs::Registry::global().counter("analysis.dtw.alignments");
+  alignments.inc();
+  if (params.slope_constrained)
+    dtw_align_p1(reference, trace, params, out);
+  else
+    dtw_align_banded(reference, trace, params, out);
+}
+
+std::vector<float> dtw_align(std::span<const double> reference,
+                             std::span<const float> trace,
+                             const DtwParams& params) {
+  std::vector<float> out;
+  dtw_align_into(reference, trace, params, out);
   return out;
 }
 

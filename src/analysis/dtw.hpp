@@ -6,12 +6,31 @@
 // the paper's background section into O(n·w) per trace — the standard
 // engineering choice for attack campaigns on long traces; with the window
 // at n the implementation degenerates to the full DP.
+//
+// For nearest-neighbour style searches (template matching, the planned
+// frequency-set optimizer inner loop), dtw_distance additionally supports
+// early abandoning: pass `max_distance` (typically the best distance found
+// so far) and the call first applies an O(n + m) LB_Kim-style lower bound,
+// then prunes DP cells above the cutoff and abandons as soon as a whole
+// row exceeds it.  An abandoned call returns the `kDtwAbandoned` sentinel;
+// a returned finite value <= max_distance is exactly the unpruned banded
+// distance.  All DP scratch (rolling rows, move matrices, backtrack
+// accumulators) lives in per-thread reusable workspaces, so steady-state
+// calls allocate nothing.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace rftc::analysis {
+
+/// Sentinel returned by dtw_distance when the `max_distance` cutoff proves
+/// the true distance exceeds it (lower-bound reject or early abandon).
+/// Compares greater than every real distance, so best-so-far updates in a
+/// search loop need no special casing.
+inline constexpr double kDtwAbandoned =
+    std::numeric_limits<double>::infinity();
 
 struct DtwParams {
   /// Sakoe–Chiba band half-width in samples.  0 selects the unconstrained
@@ -27,9 +46,18 @@ struct DtwParams {
   /// reference), which is the mechanism behind the paper's observation
   /// that DTW fails once the frequency spread is large (§8).
   bool slope_constrained = true;
+  /// Early-abandon cutoff for dtw_distance: when finite, the call returns
+  /// kDtwAbandoned as soon as the distance provably exceeds this value
+  /// (LB_Kim prefilter, per-cell pruning, row-minimum abandon).  The
+  /// default (infinity) disables pruning entirely.  Results <= the cutoff
+  /// are bit-identical to the unpruned DP.  Ignored by dtw_align, which
+  /// must always produce a complete warp path.
+  double max_distance = std::numeric_limits<double>::infinity();
 };
 
 /// DTW distance between `a` and `b` (squared-difference local cost).
+/// Returns kDtwAbandoned when params.max_distance is finite and the true
+/// distance exceeds it (see DtwParams::max_distance).
 double dtw_distance(std::span<const double> a, std::span<const double> b,
                     const DtwParams& params = {});
 
@@ -39,5 +67,13 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
 std::vector<float> dtw_align(std::span<const double> reference,
                              std::span<const float> trace,
                              const DtwParams& params = {});
+
+/// Allocation-free dtw_align: writes the warped trace into `out` (resized
+/// to reference length; capacity is reused across calls).  Campaign loops
+/// call this once per trace with a long-lived `out`, and the DP scratch is
+/// per-thread and reused, so the hot loop does no per-call heap work.
+void dtw_align_into(std::span<const double> reference,
+                    std::span<const float> trace, const DtwParams& params,
+                    std::vector<float>& out);
 
 }  // namespace rftc::analysis

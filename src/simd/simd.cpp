@@ -1,0 +1,322 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "simd/kernel_table.hpp"
+
+namespace rftc::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the portable reference every other backend must reproduce
+// bit for bit.  Plain elementwise loops — the compiler may auto-vectorize
+// them, which preserves bit-identity because no per-element operation
+// sequence changes (the project never enables -ffast-math or FMA
+// contraction on SSE2 targets).
+// ---------------------------------------------------------------------------
+
+void s_widen(const float* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<double>(x[i]);
+}
+
+void s_accumulate_sums(const double* t, double* s1, double* s2,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = t[i];
+    s1[i] += v;
+    s2[i] += v * v;
+  }
+}
+
+void s_accumulate_sums_f(const float* t, double* s1, double* s2,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(t[i]);
+    s1[i] += v;
+    s2[i] += v * v;
+  }
+}
+
+void s_add_f(const float* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += static_cast<double>(x[i]);
+}
+
+void s_sub_f(const float* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= static_cast<double>(x[i]);
+}
+
+void s_axpy(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void s_axpy_f(double a, const float* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * static_cast<double>(x[i]);
+}
+
+void s_butterfly(double* a, double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    a[i] = x + y;
+    b[i] = x - y;
+  }
+}
+
+void s_welford_update(const double* x, double* cnt, double* mean, double* m2,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = cnt[i] + 1.0;
+    const double delta = x[i] - mean[i];
+    const double m = mean[i] + delta / c;
+    cnt[i] = c;
+    mean[i] = m;
+    m2[i] += delta * (x[i] - m);
+  }
+}
+
+void s_welford_update_f(const float* x, double* cnt, double* mean, double* m2,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    const double c = cnt[i] + 1.0;
+    const double delta = v - mean[i];
+    const double m = mean[i] + delta / c;
+    cnt[i] = c;
+    mean[i] = m;
+    m2[i] += delta * (v - m);
+  }
+}
+
+void s_welch_t(const double* na, const double* ma, const double* m2a,
+               const double* nb, const double* mb, const double* m2b,
+               double* t, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (na[i] < 2.0 || nb[i] < 2.0) {
+      t[i] = 0.0;
+      continue;
+    }
+    const double va = (m2a[i] / (na[i] - 1.0)) / na[i];
+    const double vb = (m2b[i] / (nb[i] - 1.0)) / nb[i];
+    const double denom = std::sqrt(va + vb);
+    t[i] = denom == 0.0 ? 0.0 : (ma[i] - mb[i]) / denom;
+  }
+}
+
+double s_peak_abs_correlation(double n, double sh, double sh2,
+                              const double* st, const double* st2,
+                              const double* ht, std::size_t len) {
+  const double dh = n * sh2 - sh * sh;
+  if (dh <= 0.0) return 0.0;
+  double peak = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double num = n * ht[i] - sh * st[i];
+    const double dt = n * st2[i] - st[i] * st[i];
+    if (dt <= 0.0) continue;  // degenerate sample: correlation defined as 0
+    const double c = num / std::sqrt(dh * dt);
+    peak = std::max(peak, std::fabs(c));
+  }
+  return peak;
+}
+
+double s_peak_abs_correlation_scaled(double n, double sh, double sh2,
+                                     const double* st, const double* st2,
+                                     const double* acc, const double* w,
+                                     double scale, std::size_t len) {
+  const double dh = n * sh2 - sh * sh;
+  if (dh <= 0.0) return 0.0;
+  double peak = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double ht = (w != nullptr ? w[i] : 0.0) + acc[i] * scale;
+    const double num = n * ht - sh * st[i];
+    const double dt = n * st2[i] - st[i] * st[i];
+    if (dt <= 0.0) continue;
+    const double c = num / std::sqrt(dh * dt);
+    peak = std::max(peak, std::fabs(c));
+  }
+  return peak;
+}
+
+void s_xor_popcount(const std::uint8_t* pre, std::uint8_t y, std::uint8_t* out,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(
+        __builtin_popcount(static_cast<unsigned>(pre[i] ^ y)));
+}
+
+void s_hyp_sums(const std::uint8_t* row, std::int64_t* sh, std::int64_t* sh2,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t h = row[i];
+    sh[i] += h;
+    sh2[i] += h * h;
+  }
+}
+
+std::atomic<const detail::KernelTable*> g_table{nullptr};
+std::atomic<int> g_backend{-1};
+
+void publish_isa_gauge(Backend b) {
+  obs::Registry::global().gauge("rftc.simd.isa").set(
+      b == Backend::kAvx2 ? 1.0 : 0.0);
+}
+
+Backend resolve_from_env() {
+  const char* env = std::getenv("RFTC_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2_supported()) return Backend::kAvx2;
+      std::fprintf(stderr,
+                   "rftc::simd: RFTC_SIMD=avx2 requested but the CPU lacks "
+                   "AVX2; falling back to scalar\n");
+      return Backend::kScalar;
+    }
+    std::fprintf(stderr,
+                 "rftc::simd: unknown RFTC_SIMD=%s (want avx2|scalar); "
+                 "using the CPUID default\n",
+                 env);
+  }
+  return avx2_supported() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+void install(Backend b) {
+  g_table.store(b == Backend::kAvx2 ? &detail::avx2_table()
+                                    : &detail::scalar_table(),
+                std::memory_order_release);
+  g_backend.store(static_cast<int>(b), std::memory_order_release);
+  publish_isa_gauge(b);
+}
+
+const detail::KernelTable& table() {
+  const detail::KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  install(resolve_from_env());
+  return *g_table.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable& scalar_table() {
+  static const KernelTable t = {
+      s_widen,
+      s_accumulate_sums,
+      s_accumulate_sums_f,
+      s_add_f,
+      s_sub_f,
+      s_axpy,
+      s_axpy_f,
+      s_butterfly,
+      s_welford_update,
+      s_welford_update_f,
+      s_welch_t,
+      s_peak_abs_correlation,
+      s_peak_abs_correlation_scaled,
+      s_xor_popcount,
+      s_hyp_sums,
+  };
+  return t;
+}
+
+}  // namespace detail
+
+bool avx2_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend backend() {
+  table();  // force resolution
+  return static_cast<Backend>(g_backend.load(std::memory_order_acquire));
+}
+
+const char* backend_name() {
+  return backend() == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+void set_backend(Backend b) {
+  if (b == Backend::kAvx2 && !avx2_supported())
+    throw std::invalid_argument("simd::set_backend: AVX2 not supported here");
+  install(b);
+}
+
+// Public kernel entry points: one indirect call per array, amortized over
+// the whole range.
+
+void widen(const float* x, double* y, std::size_t n) { table().widen(x, y, n); }
+
+void accumulate_sums(const double* t, double* s1, double* s2, std::size_t n) {
+  table().accumulate_sums(t, s1, s2, n);
+}
+
+void accumulate_sums_f(const float* t, double* s1, double* s2, std::size_t n) {
+  table().accumulate_sums_f(t, s1, s2, n);
+}
+
+void add_f(const float* x, double* y, std::size_t n) { table().add_f(x, y, n); }
+
+void sub_f(const float* x, double* y, std::size_t n) { table().sub_f(x, y, n); }
+
+void axpy(double a, const double* x, double* y, std::size_t n) {
+  table().axpy(a, x, y, n);
+}
+
+void axpy_f(double a, const float* x, double* y, std::size_t n) {
+  table().axpy_f(a, x, y, n);
+}
+
+void butterfly(double* a, double* b, std::size_t n) {
+  table().butterfly(a, b, n);
+}
+
+void welford_update(const double* x, double* cnt, double* mean, double* m2,
+                    std::size_t n) {
+  table().welford_update(x, cnt, mean, m2, n);
+}
+
+void welford_update_f(const float* x, double* cnt, double* mean, double* m2,
+                      std::size_t n) {
+  table().welford_update_f(x, cnt, mean, m2, n);
+}
+
+void welch_t(const double* na, const double* ma, const double* m2a,
+             const double* nb, const double* mb, const double* m2b, double* t,
+             std::size_t n) {
+  table().welch_t(na, ma, m2a, nb, mb, m2b, t, n);
+}
+
+double peak_abs_correlation(double n, double sh, double sh2, const double* st,
+                            const double* st2, const double* ht,
+                            std::size_t len) {
+  return table().peak_abs_correlation(n, sh, sh2, st, st2, ht, len);
+}
+
+double peak_abs_correlation_scaled(double n, double sh, double sh2,
+                                   const double* st, const double* st2,
+                                   const double* acc, const double* w,
+                                   double scale, std::size_t len) {
+  return table().peak_abs_correlation_scaled(n, sh, sh2, st, st2, acc, w,
+                                             scale, len);
+}
+
+void xor_popcount(const std::uint8_t* pre, std::uint8_t y, std::uint8_t* out,
+                  std::size_t n) {
+  table().xor_popcount(pre, y, out, n);
+}
+
+void hyp_sums(const std::uint8_t* row, std::int64_t* sh, std::int64_t* sh2,
+              std::size_t n) {
+  table().hyp_sums(row, sh, sh2, n);
+}
+
+}  // namespace rftc::simd

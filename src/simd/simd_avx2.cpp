@@ -1,0 +1,348 @@
+// AVX2 backend.  This is the only translation unit compiled with -mavx2
+// (and deliberately NOT -mfma): every kernel uses explicit mul-then-add so
+// the floating-point operation sequence per element is identical to the
+// scalar backend — see the bit-identity contract in simd.hpp.
+#include "simd/kernel_table.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace rftc::simd::detail {
+
+namespace {
+
+inline __m256d load4f_as_pd(const float* x) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(x));
+}
+
+void v_widen(const float* x, double* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(y + i, load4f_as_pd(x + i));
+  for (; i < n; ++i) y[i] = static_cast<double>(x[i]);
+}
+
+void v_accumulate_sums(const double* t, double* s1, double* s2,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(t + i);
+    _mm256_storeu_pd(s1 + i, _mm256_add_pd(_mm256_loadu_pd(s1 + i), v));
+    _mm256_storeu_pd(
+        s2 + i,
+        _mm256_add_pd(_mm256_loadu_pd(s2 + i), _mm256_mul_pd(v, v)));
+  }
+  for (; i < n; ++i) {
+    const double v = t[i];
+    s1[i] += v;
+    s2[i] += v * v;
+  }
+}
+
+void v_accumulate_sums_f(const float* t, double* s1, double* s2,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = load4f_as_pd(t + i);
+    _mm256_storeu_pd(s1 + i, _mm256_add_pd(_mm256_loadu_pd(s1 + i), v));
+    _mm256_storeu_pd(
+        s2 + i,
+        _mm256_add_pd(_mm256_loadu_pd(s2 + i), _mm256_mul_pd(v, v)));
+  }
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(t[i]);
+    s1[i] += v;
+    s2[i] += v * v;
+  }
+}
+
+void v_add_f(const float* x, double* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), load4f_as_pd(x + i)));
+  for (; i < n; ++i) y[i] += static_cast<double>(x[i]);
+}
+
+void v_sub_f(const float* x, double* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(
+        y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i), load4f_as_pd(x + i)));
+  for (; i < n; ++i) y[i] -= static_cast<double>(x[i]);
+}
+
+void v_axpy(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(y + i,
+                     _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                   _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void v_axpy_f(double a, const float* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(y + i,
+                     _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                   _mm256_mul_pd(va, load4f_as_pd(x + i))));
+  for (; i < n; ++i) y[i] += a * static_cast<double>(x[i]);
+}
+
+void v_butterfly(double* a, double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(a + i);
+    const __m256d y = _mm256_loadu_pd(b + i);
+    _mm256_storeu_pd(a + i, _mm256_add_pd(x, y));
+    _mm256_storeu_pd(b + i, _mm256_sub_pd(x, y));
+  }
+  for (; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    a[i] = x + y;
+    b[i] = x - y;
+  }
+}
+
+inline void welford_step4(__m256d x, double* cnt, double* mean, double* m2) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d c = _mm256_add_pd(_mm256_loadu_pd(cnt), one);
+  const __m256d mo = _mm256_loadu_pd(mean);
+  const __m256d delta = _mm256_sub_pd(x, mo);
+  const __m256d m = _mm256_add_pd(mo, _mm256_div_pd(delta, c));
+  _mm256_storeu_pd(cnt, c);
+  _mm256_storeu_pd(mean, m);
+  _mm256_storeu_pd(
+      m2, _mm256_add_pd(_mm256_loadu_pd(m2),
+                        _mm256_mul_pd(delta, _mm256_sub_pd(x, m))));
+}
+
+void v_welford_update(const double* x, double* cnt, double* mean, double* m2,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    welford_step4(_mm256_loadu_pd(x + i), cnt + i, mean + i, m2 + i);
+  for (; i < n; ++i) {
+    const double c = cnt[i] + 1.0;
+    const double delta = x[i] - mean[i];
+    const double m = mean[i] + delta / c;
+    cnt[i] = c;
+    mean[i] = m;
+    m2[i] += delta * (x[i] - m);
+  }
+}
+
+void v_welford_update_f(const float* x, double* cnt, double* mean, double* m2,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    welford_step4(load4f_as_pd(x + i), cnt + i, mean + i, m2 + i);
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    const double c = cnt[i] + 1.0;
+    const double delta = v - mean[i];
+    const double m = mean[i] + delta / c;
+    cnt[i] = c;
+    mean[i] = m;
+    m2[i] += delta * (v - m);
+  }
+}
+
+void v_welch_t(const double* na, const double* ma, const double* m2a,
+               const double* nb, const double* mb, const double* m2b,
+               double* t, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vna = _mm256_loadu_pd(na + i);
+    const __m256d vnb = _mm256_loadu_pd(nb + i);
+    // Lanes with a count < 2 still run the arithmetic (possibly dividing by
+    // zero — quiet in IEEE) and are blended to 0 at the end.
+    const __m256d va = _mm256_div_pd(
+        _mm256_div_pd(_mm256_loadu_pd(m2a + i), _mm256_sub_pd(vna, one)),
+        vna);
+    const __m256d vb = _mm256_div_pd(
+        _mm256_div_pd(_mm256_loadu_pd(m2b + i), _mm256_sub_pd(vnb, one)),
+        vnb);
+    const __m256d denom = _mm256_sqrt_pd(_mm256_add_pd(va, vb));
+    const __m256d tv = _mm256_div_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(ma + i), _mm256_loadu_pd(mb + i)),
+        denom);
+    __m256d ok = _mm256_and_pd(_mm256_cmp_pd(vna, two, _CMP_GE_OQ),
+                               _mm256_cmp_pd(vnb, two, _CMP_GE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(denom, zero, _CMP_NEQ_OQ));
+    _mm256_storeu_pd(t + i, _mm256_blendv_pd(zero, tv, ok));
+  }
+  for (; i < n; ++i) {
+    if (na[i] < 2.0 || nb[i] < 2.0) {
+      t[i] = 0.0;
+      continue;
+    }
+    const double va = (m2a[i] / (na[i] - 1.0)) / na[i];
+    const double vb = (m2b[i] / (nb[i] - 1.0)) / nb[i];
+    const double denom = std::sqrt(va + vb);
+    t[i] = denom == 0.0 ? 0.0 : (ma[i] - mb[i]) / denom;
+  }
+}
+
+// Shared correlation-sweep core: ht is either read directly or materialised
+// as w + acc * scale.  max() is the only cross-lane combine, so the
+// reduction is exact and order-independent.
+template <bool kScaled>
+double sweep_peak(double n, double sh, double sh2, const double* st,
+                  const double* st2, const double* ht_or_acc, const double* w,
+                  double scale, std::size_t len) {
+  const double dh = n * sh2 - sh * sh;
+  if (dh <= 0.0) return 0.0;
+  const __m256d vn = _mm256_set1_pd(n);
+  const __m256d vsh = _mm256_set1_pd(sh);
+  const __m256d vdh = _mm256_set1_pd(dh);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d vpeak = zero;
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    __m256d ht;
+    if constexpr (kScaled) {
+      const __m256d vw = w != nullptr ? _mm256_loadu_pd(w + i) : zero;
+      ht = _mm256_add_pd(
+          vw, _mm256_mul_pd(_mm256_loadu_pd(ht_or_acc + i), vscale));
+    } else {
+      ht = _mm256_loadu_pd(ht_or_acc + i);
+    }
+    const __m256d vst = _mm256_loadu_pd(st + i);
+    const __m256d num =
+        _mm256_sub_pd(_mm256_mul_pd(vn, ht), _mm256_mul_pd(vsh, vst));
+    const __m256d dt = _mm256_sub_pd(_mm256_mul_pd(vn, _mm256_loadu_pd(st2 + i)),
+                                     _mm256_mul_pd(vst, vst));
+    // Degenerate lanes (dt <= 0) may produce NaN/inf here; they are blended
+    // to 0 before entering the max, matching the scalar `continue`.
+    const __m256d c =
+        _mm256_div_pd(num, _mm256_sqrt_pd(_mm256_mul_pd(vdh, dt)));
+    const __m256d ok = _mm256_cmp_pd(dt, zero, _CMP_GT_OQ);
+    vpeak = _mm256_max_pd(
+        vpeak, _mm256_blendv_pd(zero, _mm256_and_pd(c, absmask), ok));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, vpeak);
+  double peak = std::max(std::max(lanes[0], lanes[1]),
+                         std::max(lanes[2], lanes[3]));
+  for (; i < len; ++i) {
+    const double ht =
+        kScaled ? (w != nullptr ? w[i] : 0.0) + ht_or_acc[i] * scale
+                : ht_or_acc[i];
+    const double num = n * ht - sh * st[i];
+    const double dt = n * st2[i] - st[i] * st[i];
+    if (dt <= 0.0) continue;
+    const double c = num / std::sqrt(dh * dt);
+    peak = std::max(peak, std::fabs(c));
+  }
+  return peak;
+}
+
+double v_peak_abs_correlation(double n, double sh, double sh2,
+                              const double* st, const double* st2,
+                              const double* ht, std::size_t len) {
+  return sweep_peak<false>(n, sh, sh2, st, st2, ht, nullptr, 0.0, len);
+}
+
+double v_peak_abs_correlation_scaled(double n, double sh, double sh2,
+                                     const double* st, const double* st2,
+                                     const double* acc, const double* w,
+                                     double scale, std::size_t len) {
+  return sweep_peak<true>(n, sh, sh2, st, st2, acc, w, scale, len);
+}
+
+void v_xor_popcount(const std::uint8_t* pre, std::uint8_t y, std::uint8_t* out,
+                    std::size_t n) {
+  // Classic vpshufb nibble-LUT popcount, 32 bytes per iteration.
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i vy = _mm256_set1_epi8(static_cast<char>(y));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pre + i)), vy);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i pc = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                       _mm256_shuffle_epi8(lut, hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), pc);
+  }
+  for (; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(
+        __builtin_popcount(static_cast<unsigned>(pre[i] ^ y)));
+}
+
+void v_hyp_sums(const std::uint8_t* row, std::int64_t* sh, std::int64_t* sh2,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint32_t packed;
+    std::memcpy(&packed, row + i, 4);
+    const __m256i h = _mm256_cvtepu8_epi64(
+        _mm_cvtsi32_si128(static_cast<int>(packed)));
+    // Values are <= 8 with zeroed high halves, so the 32x32->64 multiply
+    // yields the exact square.
+    const __m256i h2 = _mm256_mul_epu32(h, h);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(sh + i),
+        _mm256_add_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sh + i)), h));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(sh2 + i),
+        _mm256_add_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sh2 + i)),
+            h2));
+  }
+  for (; i < n; ++i) {
+    const std::int64_t h = row[i];
+    sh[i] += h;
+    sh2[i] += h * h;
+  }
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable t = {
+      v_widen,
+      v_accumulate_sums,
+      v_accumulate_sums_f,
+      v_add_f,
+      v_sub_f,
+      v_axpy,
+      v_axpy_f,
+      v_butterfly,
+      v_welford_update,
+      v_welford_update_f,
+      v_welch_t,
+      v_peak_abs_correlation,
+      v_peak_abs_correlation_scaled,
+      v_xor_popcount,
+      v_hyp_sums,
+  };
+  return t;
+}
+
+}  // namespace rftc::simd::detail
+
+#else  // non-x86: avx2_supported() is false, this table is never selected.
+
+namespace rftc::simd::detail {
+const KernelTable& avx2_table() { return scalar_table(); }
+}  // namespace rftc::simd::detail
+
+#endif

@@ -1,7 +1,10 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "simd/simd.hpp"
 
 namespace rftc {
 
@@ -53,53 +56,59 @@ double welch_t(const RunningMoments& a, const RunningMoments& b) {
 }
 
 WelchTTest::WelchTTest(std::size_t samples)
-    : fixed_(samples), random_(samples) {}
+    : f_n_(samples, 0.0),
+      f_mean_(samples, 0.0),
+      f_m2_(samples, 0.0),
+      r_n_(samples, 0.0),
+      r_mean_(samples, 0.0),
+      r_m2_(samples, 0.0) {}
 
 void WelchTTest::add_fixed(std::span<const double> trace) {
-  assert(trace.size() == fixed_.size());
-  for (std::size_t i = 0; i < trace.size(); ++i) fixed_[i].add(trace[i]);
+  assert(trace.size() == f_n_.size());
+  simd::welford_update(trace.data(), f_n_.data(), f_mean_.data(), f_m2_.data(),
+                       trace.size());
 }
 
 void WelchTTest::add_random(std::span<const double> trace) {
-  assert(trace.size() == random_.size());
-  for (std::size_t i = 0; i < trace.size(); ++i) random_[i].add(trace[i]);
+  assert(trace.size() == r_n_.size());
+  simd::welford_update(trace.data(), r_n_.data(), r_mean_.data(), r_m2_.data(),
+                       trace.size());
 }
 
 void WelchTTest::add_fixed_range(std::span<const float> trace, std::size_t s0,
                                  std::size_t s1) {
-  assert(trace.size() == fixed_.size() && s1 <= trace.size());
-  for (std::size_t i = s0; i < s1; ++i)
-    fixed_[i].add(static_cast<double>(trace[i]));
+  assert(trace.size() == f_n_.size() && s1 <= trace.size());
+  if (s0 >= s1) return;
+  simd::welford_update_f(trace.data() + s0, f_n_.data() + s0,
+                         f_mean_.data() + s0, f_m2_.data() + s0, s1 - s0);
 }
 
 void WelchTTest::add_random_range(std::span<const float> trace, std::size_t s0,
                                   std::size_t s1) {
-  assert(trace.size() == random_.size() && s1 <= trace.size());
-  for (std::size_t i = s0; i < s1; ++i)
-    random_[i].add(static_cast<double>(trace[i]));
+  assert(trace.size() == r_n_.size() && s1 <= trace.size());
+  if (s0 >= s1) return;
+  simd::welford_update_f(trace.data() + s0, r_n_.data() + s0,
+                         r_mean_.data() + s0, r_m2_.data() + s0, s1 - s0);
 }
 
 std::size_t WelchTTest::fixed_count() const {
-  return fixed_.empty() ? 0 : fixed_.front().count();
+  return f_n_.empty() ? 0 : static_cast<std::size_t>(f_n_.front());
 }
 
 std::size_t WelchTTest::random_count() const {
-  return random_.empty() ? 0 : random_.front().count();
+  return r_n_.empty() ? 0 : static_cast<std::size_t>(r_n_.front());
 }
 
 std::vector<double> WelchTTest::t_values() const {
-  std::vector<double> out(fixed_.size());
-  for (std::size_t i = 0; i < fixed_.size(); ++i)
-    out[i] = welch_t(fixed_[i], random_[i]);
+  std::vector<double> out(f_n_.size());
+  simd::welch_t(f_n_.data(), f_mean_.data(), f_m2_.data(), r_n_.data(),
+                r_mean_.data(), r_m2_.data(), out.data(), out.size());
   return out;
 }
 
 double WelchTTest::max_abs_t() const {
   double m = 0.0;
-  for (std::size_t i = 0; i < fixed_.size(); ++i) {
-    const double t = std::fabs(welch_t(fixed_[i], random_[i]));
-    if (t > m) m = t;
-  }
+  for (const double t : t_values()) m = std::max(m, std::fabs(t));
   return m;
 }
 

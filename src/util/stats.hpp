@@ -40,6 +40,14 @@ double welch_t(const RunningMoments& a, const RunningMoments& b);
 
 /// Streaming per-sample Welch t-test over two trace populations
 /// (fixed-input vs random-input), the TVLA methodology of [6].
+///
+/// Internally the per-sample Welford moments are stored structure-of-arrays
+/// (count/mean/m2 as parallel double arrays) so accumulation and the final
+/// t sweep run through the rftc::simd kernels.  Per-lane counts are doubles,
+/// exact up to 2^53 traces.  The arithmetic per sample is identical to
+/// RunningMoments::add / welch_t(RunningMoments), and the simd kernels are
+/// bit-identical across backends, so results match the former
+/// array-of-structs implementation exactly.
 class WelchTTest {
  public:
   explicit WelchTTest(std::size_t samples);
@@ -57,7 +65,7 @@ class WelchTTest {
   void add_random_range(std::span<const float> trace, std::size_t s0,
                         std::size_t s1);
 
-  std::size_t samples() const { return fixed_.size(); }
+  std::size_t samples() const { return f_n_.size(); }
   std::size_t fixed_count() const;
   std::size_t random_count() const;
 
@@ -67,8 +75,9 @@ class WelchTTest {
   double max_abs_t() const;
 
  private:
-  std::vector<RunningMoments> fixed_;
-  std::vector<RunningMoments> random_;
+  // Fixed-class and random-class Welford accumulators, one lane per sample.
+  std::vector<double> f_n_, f_mean_, f_m2_;
+  std::vector<double> r_n_, r_mean_, r_m2_;
 };
 
 /// Streaming Pearson correlation accumulator between a scalar hypothesis and

@@ -1,0 +1,434 @@
+// rftc::simd backend equivalence: the scalar fallback and the AVX2 kernels
+// must be bit-identical on every input (simd.hpp's contract), and the
+// analysis accumulators built on them (CPA engines, WelchTTest) must
+// produce bit-identical results for any RFTC_THREADS x RFTC_SIMD combo and
+// merge associatively across batch boundaries.
+#include "simd/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "aes/leakage.hpp"
+#include "analysis/cpa.hpp"
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rftc {
+namespace {
+
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::backend()) {}
+  ~BackendGuard() { simd::set_backend(saved_); }
+
+ private:
+  simd::Backend saved_;
+};
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(par::thread_count()) {}
+  ~ThreadCountGuard() { par::set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<simd::Backend> available_backends() {
+  std::vector<simd::Backend> b{simd::Backend::kScalar};
+  if (simd::avx2_supported()) b.push_back(simd::Backend::kAvx2);
+  return b;
+}
+
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << what;
+}
+
+TEST(SimdBackend, ReportsAConsistentSelection) {
+  BackendGuard guard;
+  const simd::Backend b = simd::backend();
+  if (b == simd::Backend::kAvx2) {
+    EXPECT_TRUE(simd::avx2_supported());
+    EXPECT_STREQ(simd::backend_name(), "avx2");
+  } else {
+    EXPECT_STREQ(simd::backend_name(), "scalar");
+  }
+  // The selection is published as a gauge for bench provenance.
+  EXPECT_EQ(obs::Registry::global().gauge("rftc.simd.isa").value(),
+            b == simd::Backend::kAvx2 ? 1.0 : 0.0);
+}
+
+TEST(SimdBackend, SetBackendSwitchesAndPublishes) {
+  BackendGuard guard;
+  simd::set_backend(simd::Backend::kScalar);
+  EXPECT_EQ(simd::backend(), simd::Backend::kScalar);
+  EXPECT_STREQ(simd::backend_name(), "scalar");
+  EXPECT_EQ(obs::Registry::global().gauge("rftc.simd.isa").value(), 0.0);
+  if (!simd::avx2_supported()) {
+    EXPECT_THROW(simd::set_backend(simd::Backend::kAvx2),
+                 std::invalid_argument);
+    return;
+  }
+  simd::set_backend(simd::Backend::kAvx2);
+  EXPECT_EQ(simd::backend(), simd::Backend::kAvx2);
+  EXPECT_EQ(obs::Registry::global().gauge("rftc.simd.isa").value(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Raw kernel differentials: every kernel, both backends, awkward lengths
+// (hitting the vector body and the scalar tail), bit-for-bit.
+// ---------------------------------------------------------------------------
+
+struct KernelInputs {
+  std::vector<float> xf;
+  std::vector<double> xd, acc1, acc2, acc3, st, st2;
+  std::vector<std::uint8_t> bytes;
+};
+
+KernelInputs make_inputs(std::size_t n, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  KernelInputs in;
+  in.xf.resize(n);
+  in.xd.resize(n);
+  in.acc1.resize(n);
+  in.acc2.resize(n);
+  in.acc3.resize(n);
+  in.st.resize(n);
+  in.st2.resize(n);
+  in.bytes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in.xf[i] = static_cast<float>(rng.gaussian());
+    in.xd[i] = rng.gaussian();
+    in.acc1[i] = rng.gaussian();
+    in.acc2[i] = rng.gaussian();
+    in.acc3[i] = std::fabs(rng.gaussian()) + 0.5;
+    in.st[i] = rng.gaussian();
+    in.st2[i] = in.st[i] * in.st[i] + std::fabs(rng.gaussian());
+    in.bytes[i] = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  return in;
+}
+
+TEST(SimdKernels, AllKernelsBitIdenticalAcrossBackends) {
+  if (!simd::avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this host; single-backend build";
+  BackendGuard guard;
+  // Odd sizes exercise the scalar tails; 0 and 1 the degenerate paths.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{7}, std::size_t{33},
+                              std::size_t{256}, std::size_t{1001}}) {
+    const KernelInputs in = make_inputs(n, 1000 + n);
+    struct Out {
+      std::vector<double> d1, d2, d3, d4;
+      std::vector<std::uint8_t> b1;
+      std::vector<std::int64_t> i1, i2;
+      double scalar1 = 0.0, scalar2 = 0.0;
+    };
+    auto run = [&] {
+      Out o;
+      o.d1.assign(n, 0.25);
+      o.d2.assign(n, -0.5);
+      o.d3.assign(n, 1.5);
+      o.d4.assign(n, 0.0);
+      o.b1.assign(n, 0);
+      o.i1.assign(n, 3);
+      o.i2.assign(n, 5);
+      simd::widen(in.xf.data(), o.d4.data(), n);
+      simd::accumulate_sums(in.xd.data(), o.d1.data(), o.d2.data(), n);
+      simd::accumulate_sums_f(in.xf.data(), o.d1.data(), o.d2.data(), n);
+      simd::add_f(in.xf.data(), o.d1.data(), n);
+      simd::sub_f(in.xf.data(), o.d2.data(), n);
+      simd::axpy(1.75, in.xd.data(), o.d1.data(), n);
+      simd::axpy_f(-0.375, in.xf.data(), o.d2.data(), n);
+      simd::butterfly(o.d1.data(), o.d2.data(), n);
+      // Welford on three parallel accumulators (count/mean/m2).
+      std::vector<double> cnt(in.acc3), mean(in.acc1), m2(in.acc2);
+      for (double& v : m2) v = std::fabs(v);
+      simd::welford_update(in.xd.data(), cnt.data(), mean.data(), m2.data(),
+                           n);
+      simd::welford_update_f(in.xf.data(), cnt.data(), mean.data(), m2.data(),
+                             n);
+      o.d3.assign(n, 0.0);
+      simd::welch_t(cnt.data(), mean.data(), m2.data(), in.acc3.data(),
+                    in.acc1.data(), in.st2.data(), o.d3.data(), n);
+      o.d3.insert(o.d3.end(), cnt.begin(), cnt.end());
+      o.d3.insert(o.d3.end(), mean.begin(), mean.end());
+      o.d3.insert(o.d3.end(), m2.begin(), m2.end());
+      o.scalar1 = simd::peak_abs_correlation(
+          static_cast<double>(n) + 2.0, 3.0, 11.0, in.st.data(),
+          in.st2.data(), in.xd.data(), n);
+      o.scalar2 = simd::peak_abs_correlation_scaled(
+          static_cast<double>(n) + 2.0, 3.0, 11.0, in.st.data(),
+          in.st2.data(), in.xd.data(), in.acc1.data(), 0x1.0p-8, n);
+      o.scalar2 += simd::peak_abs_correlation_scaled(
+          static_cast<double>(n) + 2.0, 3.0, 11.0, in.st.data(),
+          in.st2.data(), in.xd.data(), nullptr, 0x1.0p-8, n);
+      simd::xor_popcount(in.bytes.data(), 0xa5, o.b1.data(), n);
+      simd::hyp_sums(in.bytes.data(), o.i1.data(), o.i2.data(), n);
+      return o;
+    };
+    simd::set_backend(simd::Backend::kScalar);
+    const Out s = run();
+    simd::set_backend(simd::Backend::kAvx2);
+    const Out v = run();
+    expect_bits_equal(s.d1, v.d1, "d1");
+    expect_bits_equal(s.d2, v.d2, "d2");
+    expect_bits_equal(s.d3, v.d3, "welch/welford");
+    expect_bits_equal(s.d4, v.d4, "widen");
+    EXPECT_EQ(s.b1, v.b1) << "xor_popcount n=" << n;
+    EXPECT_EQ(s.i1, v.i1) << "hyp_sums sh n=" << n;
+    EXPECT_EQ(s.i2, v.i2) << "hyp_sums sh2 n=" << n;
+    EXPECT_EQ(std::memcmp(&s.scalar1, &v.scalar1, sizeof(double)), 0)
+        << "peak_abs_correlation n=" << n;
+    EXPECT_EQ(std::memcmp(&s.scalar2, &v.scalar2, sizeof(double)), 0)
+        << "peak_abs_correlation_scaled n=" << n;
+  }
+}
+
+TEST(SimdKernels, XorPopcountAndHypSumsMatchNaive) {
+  BackendGuard guard;
+  for (const simd::Backend b : available_backends()) {
+    simd::set_backend(b);
+    std::vector<std::uint8_t> pre(300), out(300);
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      pre[i] = static_cast<std::uint8_t>((i * 37 + 11) & 0xff);
+    simd::xor_popcount(pre.data(), 0x3c, out.data(), pre.size());
+    std::vector<std::int64_t> sh(300, 0), sh2(300, 0);
+    simd::hyp_sums(out.data(), sh.data(), sh2.data(), out.size());
+    for (std::size_t i = 0; i < pre.size(); ++i) {
+      const int want = __builtin_popcount(
+          static_cast<unsigned>(pre[i] ^ 0x3c));
+      EXPECT_EQ(out[i], want) << i;
+      EXPECT_EQ(sh[i], want) << i;
+      EXPECT_EQ(sh2[i], want * want) << i;
+    }
+  }
+}
+
+TEST(SimdKernels, WelchTDegenerateLanesAreZero) {
+  BackendGuard guard;
+  for (const simd::Backend b : available_backends()) {
+    simd::set_backend(b);
+    // Lane 0: both counts < 2.  Lane 1: zero variance both sides (denom 0).
+    // Lane 2: a real t.  Lanes 3..5 replicate across the vector width.
+    const std::vector<double> na = {1, 5, 5, 1, 5, 5};
+    const std::vector<double> ma = {9, 2, 2, 9, 2, 2};
+    const std::vector<double> m2a = {0, 0, 4, 0, 0, 4};
+    const std::vector<double> nb = {1, 7, 7, 1, 7, 7};
+    const std::vector<double> mb = {1, 2, 1, 1, 2, 1};
+    const std::vector<double> m2b = {0, 0, 6, 0, 0, 6};
+    std::vector<double> t(6, -1.0);
+    simd::welch_t(na.data(), ma.data(), m2a.data(), nb.data(), mb.data(),
+                  m2b.data(), t.data(), 6);
+    EXPECT_EQ(t[0], 0.0);
+    EXPECT_EQ(t[1], 0.0);
+    EXPECT_GT(t[2], 0.0);
+    EXPECT_EQ(t[3], t[0]);
+    EXPECT_EQ(t[4], t[1]);
+    EXPECT_EQ(t[5], t[2]);
+    // Cross-check lane 2 against the RunningMoments reference arithmetic.
+    const double va = (4.0 / 4.0) / 5.0, vb = (6.0 / 6.0) / 7.0;
+    EXPECT_EQ(t[2], (2.0 - 1.0) / std::sqrt(va + vb));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: analysis accumulators across RFTC_THREADS x RFTC_SIMD.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kThreadSweep[] = {1, 8};
+
+/// ADC-quantized synthetic traces (multiples of the 400/256 mV quantum, as
+/// every simulator output is) plus random plaintext/ciphertext blocks.
+struct Campaign {
+  std::vector<std::vector<float>> traces;
+  std::vector<aes::Block> pts, cts;
+};
+
+Campaign make_campaign(std::size_t n_traces, std::size_t samples,
+                       std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  constexpr float kQuantum = 400.0f / 256.0f;
+  Campaign c;
+  for (std::size_t i = 0; i < n_traces; ++i) {
+    std::vector<float> tr(samples);
+    for (auto& v : tr)
+      v = kQuantum * static_cast<float>(static_cast<int>(rng.uniform(96)));
+    c.traces.push_back(std::move(tr));
+    aes::Block pt{}, ct{};
+    for (auto& x : pt) x = static_cast<std::uint8_t>(rng.uniform(256));
+    for (auto& x : ct) x = static_cast<std::uint8_t>(rng.uniform(256));
+    c.pts.push_back(pt);
+    c.cts.push_back(ct);
+  }
+  return c;
+}
+
+std::vector<double> cpa_signature(const Campaign& c, analysis::CpaMode mode,
+                                  aes::LeakageModel model,
+                                  std::size_t batch) {
+  analysis::CpaEngine eng(c.traces[0].size(), {0, 5, 15}, model, mode);
+  if (mode == analysis::CpaMode::kBatched) eng.set_batch_size(batch);
+  for (std::size_t i = 0; i < c.traces.size(); ++i)
+    eng.add(c.pts[i], c.cts[i], c.traces[i]);
+  std::vector<double> sig;
+  for (const auto& rep : eng.report())
+    sig.insert(sig.end(), rep.peak_abs_corr.begin(), rep.peak_abs_corr.end());
+  return sig;
+}
+
+TEST(SimdGolden, CpaReportsBitIdenticalAcrossBackendsAndThreads) {
+  ThreadCountGuard tguard;
+  BackendGuard bguard;
+  const Campaign c = make_campaign(150, 96, 0xc0ffee);
+  for (const aes::LeakageModel model :
+       {aes::LeakageModel::kLastRoundHd, aes::LeakageModel::kFirstRoundHw}) {
+    std::vector<double> ref_stream, ref_batch;
+    for (const std::size_t threads : kThreadSweep) {
+      for (const simd::Backend b : available_backends()) {
+        par::set_thread_count(threads);
+        simd::set_backend(b);
+        const auto stream =
+            cpa_signature(c, analysis::CpaMode::kStreaming, model, 64);
+        const auto batch =
+            cpa_signature(c, analysis::CpaMode::kBatched, model, 64);
+        if (ref_stream.empty()) {
+          ref_stream = stream;
+          ref_batch = batch;
+          continue;
+        }
+        expect_bits_equal(ref_stream, stream, "streaming report");
+        expect_bits_equal(ref_batch, batch, "batched report");
+      }
+    }
+    // Quantized traces additionally make batched == streaming exactly.
+    expect_bits_equal(ref_stream, ref_batch, "streaming vs batched");
+  }
+}
+
+TEST(SimdGolden, CpaBatchedMergesAssociativelyAcrossTileSizes) {
+  // Tile boundaries are merge points for the class-sum accumulators; the
+  // report must not depend on where they fall, under either backend.
+  ThreadCountGuard tguard;
+  BackendGuard bguard;
+  const Campaign c = make_campaign(130, 64, 0xbeef);
+  for (const simd::Backend b : available_backends()) {
+    par::set_thread_count(8);
+    simd::set_backend(b);
+    std::vector<double> ref;
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{500}}) {
+      const auto sig = cpa_signature(c, analysis::CpaMode::kBatched,
+                                     aes::LeakageModel::kLastRoundHd, batch);
+      if (ref.empty()) {
+        ref = sig;
+        continue;
+      }
+      expect_bits_equal(ref, sig, "batch-size sweep");
+    }
+  }
+}
+
+std::vector<double> welch_signature(const Campaign& c, std::size_t grain) {
+  const std::size_t samples = c.traces[0].size();
+  WelchTTest tt(samples);
+  for (std::size_t i = 0; i < c.traces.size(); ++i) {
+    // Alternate classes; shard the sample range at the given grain like the
+    // parallel TVLA path does (per-sample update order is unaffected).
+    for (std::size_t s0 = 0; s0 < samples; s0 += grain) {
+      const std::size_t s1 = std::min(samples, s0 + grain);
+      if (i % 2 == 0)
+        tt.add_fixed_range(c.traces[i], s0, s1);
+      else
+        tt.add_random_range(c.traces[i], s0, s1);
+    }
+  }
+  std::vector<double> sig = tt.t_values();
+  sig.push_back(tt.max_abs_t());
+  sig.push_back(static_cast<double>(tt.fixed_count()));
+  sig.push_back(static_cast<double>(tt.random_count()));
+  return sig;
+}
+
+TEST(SimdGolden, WelchTBitIdenticalAcrossBackendsAndShardings) {
+  ThreadCountGuard tguard;
+  BackendGuard bguard;
+  const Campaign c = make_campaign(200, 96, 0xdead);
+  std::vector<double> ref;
+  for (const std::size_t threads : kThreadSweep) {
+    for (const simd::Backend b : available_backends()) {
+      for (const std::size_t grain :
+           {std::size_t{5}, std::size_t{32}, std::size_t{96}}) {
+        par::set_thread_count(threads);
+        simd::set_backend(b);
+        const auto sig = welch_signature(c, grain);
+        if (ref.empty()) {
+          ref = sig;
+          continue;
+        }
+        expect_bits_equal(ref, sig, "welch signature");
+      }
+    }
+  }
+}
+
+TEST(SimdGolden, WelchTMatchesRunningMomentsReference) {
+  // The SoA WelchTTest must reproduce the scalar RunningMoments/welch_t
+  // arithmetic exactly, on every backend.
+  BackendGuard guard;
+  const Campaign c = make_campaign(64, 40, 0xfeed);
+  for (const simd::Backend b : available_backends()) {
+    simd::set_backend(b);
+    WelchTTest tt(40);
+    std::vector<RunningMoments> fixed(40), random(40);
+    for (std::size_t i = 0; i < c.traces.size(); ++i) {
+      std::vector<double> d(c.traces[i].begin(), c.traces[i].end());
+      if (i % 2 == 0) {
+        tt.add_fixed(d);
+        for (std::size_t s = 0; s < d.size(); ++s) fixed[s].add(d[s]);
+      } else {
+        tt.add_random(d);
+        for (std::size_t s = 0; s < d.size(); ++s) random[s].add(d[s]);
+      }
+    }
+    const std::vector<double> got = tt.t_values();
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      const double want = welch_t(fixed[s], random[s]);
+      EXPECT_EQ(std::memcmp(&got[s], &want, sizeof(double)), 0) << "s=" << s;
+    }
+  }
+}
+
+TEST(SimdGolden, LeakageRowsMatchScalarHypotheses) {
+  BackendGuard guard;
+  Xoshiro256StarStar rng(21);
+  for (const simd::Backend b : available_backends()) {
+    simd::set_backend(b);
+    for (int iter = 0; iter < 16; ++iter) {
+      aes::Block blk{};
+      for (auto& x : blk) x = static_cast<std::uint8_t>(rng.uniform(256));
+      const int pos = static_cast<int>(rng.uniform(16));
+      const auto last = aes::last_round_hypothesis_row(blk, pos);
+      const auto first = aes::first_round_hypothesis_row(blk, pos);
+      for (int g = 0; g < 256; ++g) {
+        EXPECT_EQ(last[static_cast<std::size_t>(g)],
+                  aes::last_round_hd_hypothesis(
+                      blk, pos, static_cast<std::uint8_t>(g)));
+        EXPECT_EQ(first[static_cast<std::size_t>(g)],
+                  aes::first_round_hw_hypothesis(
+                      blk, pos, static_cast<std::uint8_t>(g)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rftc
