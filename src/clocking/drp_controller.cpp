@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fault/injector.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::clk {
@@ -82,6 +83,12 @@ ReconfigReport DrpController::apply(MmcmModel& mmcm,
   write_count.inc(rep.drp_transactions);
   if (rep.lock_failed) {
     failed_sequences.inc();
+    obs::log::debug(
+        "clk", "DRP sequence failed to lock",
+        {obs::log::kv("writes", static_cast<double>(rep.drp_transactions)),
+         obs::log::kv("dropped", static_cast<double>(rep.dropped_writes)),
+         obs::log::kv("corrupted",
+                      static_cast<double>(rep.corrupted_writes))});
   } else {
     apply_duration.observe(static_cast<double>(rep.locked - rep.started));
   }

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/sampler.hpp"
@@ -111,7 +112,8 @@ std::string BenchReport::write() const {
   const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    log::error("obs", "BenchReport: cannot write report",
+               {log::kv("path", path)});
     return "";
   }
   const std::string body = to_json();

@@ -200,6 +200,19 @@ void Registry::write_text(std::FILE* out) const {
   }
 }
 
+void Registry::visit_unlocked(void (*fn)(void* ctx, const char* name,
+                                         const Counter* counter,
+                                         const Gauge* gauge,
+                                         const Histogram* histogram),
+                              void* ctx) const {
+  for (const auto& [name, c] : counters_)
+    fn(ctx, name.c_str(), c.get(), nullptr, nullptr);
+  for (const auto& [name, g] : gauges_)
+    fn(ctx, name.c_str(), nullptr, g.get(), nullptr);
+  for (const auto& [name, h] : histograms_)
+    fn(ctx, name.c_str(), nullptr, nullptr, h.get());
+}
+
 void Registry::reset_values() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

@@ -110,6 +110,17 @@ class Registry {
   /// Human-readable table (RFTC_OBS_METRICS=stderr).
   void write_text(std::FILE* out) const;
 
+  /// Crash-path walk: visits every registered metric WITHOUT taking the
+  /// registry mutex, passing exactly one non-null pointer per call.
+  /// Best-effort by design — safe whenever no registration races the walk
+  /// (metric references are stable and the maps only grow), which is the
+  /// contract the async-signal post-mortem writer relies on.  Everyone
+  /// else should use to_json()/write_text().
+  void visit_unlocked(void (*fn)(void* ctx, const char* name,
+                                 const Counter* counter, const Gauge* gauge,
+                                 const Histogram* histogram),
+                      void* ctx) const;
+
   /// Zeroes every registered metric (references stay valid).  For tests and
   /// for benches that want per-phase deltas.
   void reset_values();

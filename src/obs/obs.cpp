@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/log.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/sampler.hpp"
 
@@ -33,8 +35,8 @@ SinkConfig& sinks() {
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "rftc::obs: cannot open %s for writing\n",
-                 path.c_str());
+    log::error("obs", "cannot open artifact for writing",
+               {log::kv("path", path)});
     return false;
   }
   std::fwrite(content.data(), 1, content.size(), f);
@@ -45,6 +47,8 @@ bool write_file(const std::string& path, const std::string& content) {
 std::once_flag g_init_once;
 
 void init_impl() {
+  log::init_from_env();  // RFTC_LOG / RFTC_LOG_FILE / RFTC_LOG_RING
+  install_postmortem_from_env();
   SinkConfig& c = sinks();
   if (const char* p = std::getenv("RFTC_OBS_TRACE")) c.trace_path = p;
   if (const char* p = std::getenv("RFTC_OBS_TRACE_JSONL")) c.jsonl_path = p;
@@ -59,10 +63,9 @@ void init_impl() {
         sampler.configure(path, interval) && sampler.start()) {
       c.heartbeat = true;
     } else {
-      std::fprintf(stderr,
-                   "rftc::obs: invalid RFTC_OBS_HEARTBEAT spec \"%s\" "
-                   "(want <path>[:interval_ms])\n",
-                   spec);
+      log::warn("obs",
+                "invalid RFTC_OBS_HEARTBEAT spec (want <path>[:interval_ms])",
+                {log::kv("spec", std::string_view(spec))});
     }
   }
   if (c.any()) std::atexit([] { flush(); });
@@ -87,21 +90,11 @@ void flush() {
   init_from_env();
   const SinkConfig& c = sinks();
   // Losing flight-recorder events must be visible: surface the drop count
-  // as a gauge (exported with the metrics below) and warn once on stderr.
-  const std::uint64_t dropped = Tracer::global().dropped();
+  // as a gauge (exported with the metrics below).  The tracer itself warns
+  // once, at record time, when the first drop happens.
   Registry::global()
       .gauge("obs.trace.dropped_events")
-      .set(static_cast<double>(dropped));
-  if (dropped > 0) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "rftc::obs: %llu trace events dropped (ring full; raise "
-                   "RFTC_OBS_TRACE_CAPACITY)\n",
-                   static_cast<unsigned long long>(dropped));
-    }
-  }
+      .set(static_cast<double>(Tracer::global().dropped()));
   if (c.heartbeat) {
     // One last snapshot so the heartbeat's final line reflects the state
     // the other sinks are about to export.

@@ -14,6 +14,14 @@
 //                                   line to <path> every interval_ms
 //                                   (default 1000), fsync'd per tick
 //   RFTC_OBS_PERF=0                 disable perf_event_open profiling
+//   RFTC_OBS_POSTMORTEM=<path>      arm the crash-safe post-mortem writer
+//                                   (obs/postmortem.hpp): dump <path> on
+//                                   SIGSEGV/SIGABRT/SIGBUS/SIGFPE,
+//                                   std::terminate, or recovery exhaustion
+//   RFTC_LOG=<spec>                 structured-logger levels (obs/log.hpp),
+//                                   e.g. RFTC_LOG=info,clk=debug
+//   RFTC_LOG_FILE=<path>            JSONL log sink
+//   RFTC_LOG_RING=<n>               flight-recorder records per thread
 //
 // Relative sink paths (trace/metrics/heartbeat) land under RFTC_BENCH_DIR
 // like every other artifact; absolute paths are used as-is.

@@ -1,6 +1,7 @@
 #include "obs/phase_timer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -29,7 +30,30 @@ TimerState& state() {
 /// Top of the calling thread's scope stack (nullptr outside any scope).
 thread_local PhaseScope* t_top = nullptr;
 
+/// Phase most recently entered by any thread (crash-reporting fallback).
+std::atomic<const char*> g_process_phase{nullptr};
+
 }  // namespace
+
+const char* current_phase() {
+  return t_top != nullptr ? t_top->phase_ : nullptr;
+}
+
+int current_phase_stack(const char** out, int max) {
+  if (out == nullptr || max <= 0) return 0;
+  int depth = 0;
+  for (const PhaseScope* s = t_top; s != nullptr; s = s->parent_) ++depth;
+  const int n = depth < max ? depth : max;
+  // Fill back-to-front so the innermost scopes survive a truncation.
+  int idx = n;
+  for (const PhaseScope* s = t_top; s != nullptr && idx > 0; s = s->parent_)
+    out[--idx] = s->phase_;
+  return n;
+}
+
+const char* process_phase() {
+  return g_process_phase.load(std::memory_order_relaxed);
+}
 
 PhaseTimer& PhaseTimer::global() {
   static PhaseTimer* t = new PhaseTimer;
@@ -94,6 +118,7 @@ PhaseScope::PhaseScope(const char* phase)
   interval_start_ns_ = now;
   interval_start_perf_ = sample;
   t_top = this;
+  g_process_phase.store(phase_, std::memory_order_relaxed);
 }
 
 PhaseScope::~PhaseScope() {
@@ -113,6 +138,7 @@ PhaseScope::~PhaseScope() {
   PhaseTimer::global().add(phase_, self_ns_ / 1e9, total);
   t_top = parent_;
   if (parent_ != nullptr) {
+    g_process_phase.store(parent_->phase_, std::memory_order_relaxed);
     // Resume the parent's self-interval where this scope left off.
     parent_->interval_start_ns_ = now;
     parent_->interval_start_perf_ = sample;

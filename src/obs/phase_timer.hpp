@@ -71,6 +71,22 @@ class PhaseTimer {
   PhaseTimer() = default;
 };
 
+/// Innermost open PhaseScope name on the calling thread, nullptr outside
+/// any scope.  Async-signal-safe: one thread_local pointer read, so the
+/// post-mortem writer can name the phase that was active when a signal
+/// arrived.
+const char* current_phase();
+
+/// Copies the calling thread's open scope stack into `out`, outermost
+/// first (the innermost `max` scopes when deeper than `max`); returns the
+/// count.  Async-signal-safe: walks the thread_local scope chain only.
+int current_phase_stack(const char** out, int max);
+
+/// Name of the phase most recently entered by ANY thread (nullptr before
+/// the first scope).  Best-effort, racy by design — the crash-reporting
+/// fallback when the crashing thread itself has no open scope.
+const char* process_phase();
+
 /// RAII self-time scope; see the attribution contract above.  `phase` must
 /// outlive the scope (pass the kPhase* constants or another string
 /// literal).
@@ -82,6 +98,9 @@ class PhaseScope {
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
+  friend const char* current_phase();
+  friend int current_phase_stack(const char** out, int max);
+
   const char* phase_;
   PhaseScope* parent_;
   /// Start of the current self-interval (ns since steady epoch).

@@ -1,0 +1,397 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace_event.hpp"
+
+namespace rftc::obs {
+
+namespace {
+
+// All crash-path storage is static and pre-reserved: the handlers must not
+// allocate, lock, or call stdio.
+constexpr std::size_t kPathCap = 4096;
+constexpr std::size_t kProvenanceCap = 4096;
+constexpr std::size_t kBundleCap = 256 * 1024;
+constexpr std::size_t kHeartbeatCap = 16384;
+constexpr std::size_t kTailMax = 64;
+constexpr int kPhaseStackMax = 16;
+
+char g_path[kPathCap];
+char g_provenance[kProvenanceCap];
+char g_bundle[kBundleCap];
+char g_heartbeat[kHeartbeatCap];
+log::Record g_tail[kTailMax];
+const char* g_phase_stack[kPhaseStackMax];
+alignas(16) char g_altstack[64 * 1024];
+
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_writing{false};
+std::atomic<bool> g_exhausted_notified{false};
+
+constexpr int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+constexpr int kSignalCount = 4;
+struct sigaction g_prev_actions[kSignalCount];
+std::terminate_handler g_prev_terminate = nullptr;
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+  }
+  return "signal";
+}
+
+/// Bounded append-only JSON builder over the static bundle buffer.  On
+/// overflow it simply stops appending — a truncated bundle is better than
+/// a corrupted process image, and kBundleCap is sized far above any
+/// realistic registry + tail.
+struct PmBuf {
+  char* data;
+  std::size_t len = 0;
+  std::size_t cap;
+
+  void put(char c) {
+    if (len < cap) data[len++] = c;
+  }
+  void str(const char* s) {
+    while (*s != '\0') put(*s++);
+  }
+  void u64(std::uint64_t v) {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      put('-');
+      u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  /// JSON string literal, quotes included, escaping quotes, backslashes
+  /// and control bytes.
+  void quoted(const char* s) {
+    put('"');
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(static_cast<char>(c));
+      } else if (c == '\n') {
+        str("\\n");
+      } else if (c == '\t') {
+        str("\\t");
+      } else if (c < 0x20) {
+        str("\\u00");
+        const char* hex = "0123456789abcdef";
+        put(hex[c >> 4]);
+        put(hex[c & 0xf]);
+      } else {
+        put(static_cast<char>(c));
+      }
+    }
+    put('"');
+  }
+  /// Double without snprintf: "null" for non-finite, exact integers as
+  /// integers, otherwise 6 fractional digits (scientific above the exact-
+  /// integer range).  Enough fidelity for a crash dump.
+  void dbl(double v) {
+    if (!(v - v == 0.0)) {  // NaN and both infinities
+      str("null");
+      return;
+    }
+    if (v < 0.0) {
+      put('-');
+      v = -v;
+    }
+    int exp10 = 0;
+    while (v >= 9.007199254740992e15) {  // keep the cast below exact
+      v /= 10.0;
+      ++exp10;
+    }
+    const std::uint64_t ip = static_cast<std::uint64_t>(v);
+    u64(ip);
+    double frac = v - static_cast<double>(ip);
+    if (frac > 0.0 && exp10 == 0) {
+      put('.');
+      for (int i = 0; i < 6; ++i) {
+        frac *= 10.0;
+        int d = static_cast<int>(frac);
+        if (d > 9) d = 9;
+        put(static_cast<char>('0' + d));
+        frac -= d;
+      }
+    }
+    if (exp10 != 0) {
+      str("e+");
+      u64(static_cast<std::uint64_t>(exp10));
+    }
+  }
+};
+
+bool raw_write_file(const char* path, const char* data, std::size_t len) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Section-tracking context for the unlocked registry walk: visit order is
+/// all counters, then all gauges, then all histograms, so section
+/// transitions close one object and open the next.
+struct MetricsCtx {
+  PmBuf* b;
+  int section = 0;  // 0 counters, 1 gauges, 2 histograms
+  bool first = true;
+};
+
+void metrics_cb(void* ctx_in, const char* name, const Counter* counter,
+                const Gauge* gauge, const Histogram* histogram) {
+  MetricsCtx& ctx = *static_cast<MetricsCtx*>(ctx_in);
+  const int want = counter != nullptr ? 0 : gauge != nullptr ? 1 : 2;
+  while (ctx.section < want) {
+    ctx.b->str(++ctx.section == 1 ? "},\"gauges\":{" : "},\"histograms\":{");
+    ctx.first = true;
+  }
+  if (!ctx.first) ctx.b->put(',');
+  ctx.first = false;
+  ctx.b->quoted(name);
+  ctx.b->put(':');
+  if (counter != nullptr) {
+    ctx.b->u64(counter->value());
+  } else if (gauge != nullptr) {
+    ctx.b->dbl(gauge->value());
+  } else {
+    const Histogram::Snapshot s = histogram->snapshot();
+    ctx.b->str("{\"count\":");
+    ctx.b->u64(s.count);
+    ctx.b->str(",\"sum\":");
+    ctx.b->dbl(s.sum);
+    ctx.b->str(",\"min\":");
+    ctx.b->dbl(s.min);
+    ctx.b->str(",\"max\":");
+    ctx.b->dbl(s.max);
+    ctx.b->str(",\"p50\":");
+    ctx.b->dbl(s.p50);
+    ctx.b->str(",\"p95\":");
+    ctx.b->dbl(s.p95);
+    ctx.b->str(",\"p99\":");
+    ctx.b->dbl(s.p99);
+    ctx.b->put('}');
+  }
+}
+
+void restore_signal_handlers() {
+  for (int i = 0; i < kSignalCount; ++i)
+    ::sigaction(kSignals[i], &g_prev_actions[i], nullptr);
+}
+
+void handle_signal(int sig, siginfo_t*, void*) {
+  const int saved_errno = errno;
+  write_postmortem(signal_name(sig), sig, nullptr);
+  errno = saved_errno;
+  // Hand the signal back to the default disposition so the exit status
+  // (and any core dump policy) is exactly what it would have been.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+[[noreturn]] void on_terminate() {
+  write_postmortem("terminate", 0, nullptr);
+  // abort() must not re-enter the SIGABRT handler and overwrite the
+  // bundle's "terminate" reason.
+  restore_signal_handlers();
+  std::abort();
+}
+
+std::once_flag g_env_once;
+
+}  // namespace
+
+bool write_postmortem(const char* reason, int signo, const char* detail) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (g_writing.exchange(true, std::memory_order_acq_rel))
+    return false;  // a nested crash mid-dump: keep the first dump's file
+
+  PmBuf b{g_bundle, 0, kBundleCap};
+  b.str("{\"postmortem_schema\":");
+  b.u64(kPostmortemSchema);
+  b.str(",\"reason\":");
+  b.quoted(reason != nullptr ? reason : "unknown");
+  b.str(",\"signal\":");
+  b.i64(signo);
+  if (detail != nullptr) {
+    b.str(",\"detail\":");
+    b.quoted(detail);
+  }
+  b.str(",\"ts_ns\":");
+  b.u64(Tracer::global().now_ns());
+
+  // Active phase: the dying thread's innermost scope, falling back to the
+  // last phase any thread entered.
+  const char* phase = current_phase();
+  if (phase == nullptr) phase = process_phase();
+  b.str(",\"active_phase\":");
+  if (phase != nullptr)
+    b.quoted(phase);
+  else
+    b.str("null");
+  b.str(",\"phase_stack\":[");
+  const int depth = current_phase_stack(g_phase_stack, kPhaseStackMax);
+  for (int i = 0; i < depth; ++i) {
+    if (i > 0) b.put(',');
+    b.quoted(g_phase_stack[i]);
+  }
+  b.put(']');
+
+  b.str(",\"provenance\":");
+  b.str(g_provenance[0] != '\0' ? g_provenance : "{}");
+
+  b.str(",\"tracer\":{\"recorded\":");
+  b.u64(Tracer::global().recorded());
+  b.str(",\"dropped\":");
+  b.u64(Tracer::global().dropped());
+  b.put('}');
+
+  if (last_heartbeat_line(g_heartbeat, kHeartbeatCap) > 0) {
+    b.str(",\"heartbeat\":");
+    b.str(g_heartbeat);  // already one self-contained JSON object
+  }
+
+  b.str(",\"metrics\":{\"counters\":{");
+  MetricsCtx ctx{&b};
+  Registry::global().visit_unlocked(metrics_cb, &ctx);
+  while (ctx.section < 2)
+    b.str(++ctx.section == 1 ? "},\"gauges\":{" : "},\"histograms\":{");
+  b.str("}}");
+
+  b.str(",\"flight_recorder\":[");
+  const std::size_t tail = log::flight_recorder_tail_unsafe(g_tail, kTailMax);
+  for (std::size_t i = 0; i < tail; ++i) {
+    const log::Record& rec = g_tail[i];
+    if (i > 0) b.put(',');
+    b.str("{\"seq\":");
+    b.u64(rec.seq);
+    b.str(",\"ts_ns\":");
+    b.u64(rec.ts_ns);
+    b.str(",\"tid\":");
+    b.u64(rec.tid);
+    b.str(",\"level\":");
+    b.quoted(log::level_name(rec.level));
+    b.str(",\"subsystem\":");
+    b.quoted(rec.subsystem);
+    b.str(",\"msg\":");
+    b.quoted(rec.text);
+    b.put('}');
+  }
+  b.str("]}\n");
+
+  const bool ok = raw_write_file(g_path, b.data, b.len);
+  g_writing.store(false, std::memory_order_release);
+  return ok;
+}
+
+bool arm_postmortem(const std::string& path_spec) {
+  const std::string path = resolve_artifact_path(path_spec);
+  if (path.empty() || path.size() >= kPathCap) return false;
+  std::memcpy(g_path, path.c_str(), path.size() + 1);
+
+  const std::string prov = Provenance::collect().to_json();
+  if (prov.size() < kProvenanceCap)
+    std::memcpy(g_provenance, prov.c_str(), prov.size() + 1);
+  else
+    g_provenance[0] = '\0';
+
+  // Pre-touch every lazy singleton the dump path reads, so the handlers
+  // never construct (= allocate) anything.
+  Tracer::global().now_ns();
+  Registry::global();
+  log::init_from_env();
+
+  if (!g_armed.exchange(true, std::memory_order_acq_rel)) {
+    stack_t ss{};
+    ss.ss_sp = g_altstack;
+    ss.ss_size = sizeof g_altstack;
+    ::sigaltstack(&ss, nullptr);
+
+    struct sigaction sa{};
+    sa.sa_sigaction = handle_signal;
+    sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    ::sigemptyset(&sa.sa_mask);
+    for (int i = 0; i < kSignalCount; ++i)
+      ::sigaction(kSignals[i], &sa, &g_prev_actions[i]);
+    g_prev_terminate = std::set_terminate(on_terminate);
+  }
+  return true;
+}
+
+void disarm_postmortem() {
+  if (!g_armed.exchange(false, std::memory_order_acq_rel)) return;
+  restore_signal_handlers();
+  std::set_terminate(g_prev_terminate);
+  g_path[0] = '\0';
+}
+
+bool postmortem_armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::string postmortem_path() {
+  return g_armed.load(std::memory_order_acquire) ? std::string(g_path)
+                                                 : std::string();
+}
+
+void install_postmortem_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* path = std::getenv("RFTC_OBS_POSTMORTEM")) {
+      if (path[0] != '\0' && !arm_postmortem(path))
+        log::warn("obs", "invalid RFTC_OBS_POSTMORTEM path",
+                  {log::kv("path", std::string_view(path))});
+    }
+  });
+}
+
+void notify_fault_recovery_exhausted(const char* what) {
+  if (!g_exhausted_notified.exchange(true, std::memory_order_acq_rel)) {
+    log::error("fault", "recovery retries exhausted, running degraded",
+               {log::kv("what", std::string_view(
+                                    what != nullptr ? what : "unknown"))});
+    write_postmortem("fault-recovery-exhausted", 0, what);
+  } else {
+    log::debug("fault", "recovery exhausted (repeat)",
+               {log::kv("what", std::string_view(
+                                    what != nullptr ? what : "unknown"))});
+  }
+}
+
+}  // namespace rftc::obs

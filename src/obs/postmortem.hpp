@@ -1,0 +1,81 @@
+// Crash-safe post-mortem bundles: when a campaign worker dies — SIGSEGV/
+// SIGABRT/SIGBUS/SIGFPE, an unhandled exception (std::terminate), or the
+// fault-recovery machinery running out of retries — the process' last
+// observable state is dumped as one JSON document before it goes down, so a
+// distributed campaign supervisor can diagnose a dead worker instead of
+// just noticing the missing heartbeat.
+//
+// Enable with RFTC_OBS_POSTMORTEM=<path> (a relative path lands under
+// RFTC_BENCH_DIR like every other artifact; obs::init_from_env() arms it),
+// or programmatically via arm_postmortem().  `rftc-report postmortem
+// <bundle>` renders the result.
+//
+// Bundle schema ("postmortem_schema": 1):
+//   {"postmortem_schema":1,"reason":"SIGSEGV","signal":11,"detail":...,
+//    "ts_ns":...,                       // tracer timeline at dump time
+//    "active_phase":"dtw",              // innermost open PhaseScope (null
+//                                       //   when the dying thread had none
+//                                       //   and no thread ever opened one)
+//    "phase_stack":["capture","dtw"],   // dying thread's scopes, outermost
+//                                       //   first
+//    "provenance":{...},                // run-manifest provenance block
+//    "tracer":{"recorded":N,"dropped":N},
+//    "heartbeat":{...},                 // last completed heartbeat line
+//                                       //   (omitted before the first tick)
+//    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}},
+//    "flight_recorder":[{"seq":..,"ts_ns":..,"tid":..,"level":"warn",
+//                        "subsystem":"clk","msg":"..."}, ...]}  // oldest
+//                                       //   first, most recent records
+//
+// Async-signal-safety contract: everything on the dump path — the JSON
+// formatter, the flight-recorder walk, the metric-registry walk, the
+// heartbeat seqlock read, the phase-stack walk — uses pre-reserved static
+// buffers, atomic loads and raw open/write/close only.  No allocation, no
+// locks, no stdio.  Allocating work (path resolution, provenance
+// serialization, singleton construction) happens once, at arm time.
+#pragma once
+
+#include <string>
+
+namespace rftc::obs {
+
+/// Schema version of a bundle (the "postmortem_schema" field).
+inline constexpr int kPostmortemSchema = 1;
+
+/// Arms the crash path: resolves `path_spec` against artifact_dir(),
+/// pre-serializes provenance, installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE
+/// handlers (on an alternate stack) plus a std::terminate hook, and
+/// pre-touches every singleton the dump needs.  Idempotent; re-arming
+/// replaces the target path.  False when the path does not fit the
+/// pre-reserved buffer.
+bool arm_postmortem(const std::string& path_spec);
+
+/// Restores the previous signal dispositions and terminate handler.
+void disarm_postmortem();
+
+bool postmortem_armed();
+
+/// Resolved bundle path ("" when disarmed).
+std::string postmortem_path();
+
+/// Reads RFTC_OBS_POSTMORTEM once and arms when set (wired from
+/// obs::init_from_env()).
+void install_postmortem_from_env();
+
+/// Writes the bundle NOW (async-signal-safe; this is the function the
+/// signal handlers call).  `reason` is a static string ("SIGSEGV",
+/// "terminate", "fault-recovery-exhausted", ...); `signo` is 0 when not
+/// signal-triggered; `detail` (may be null) lands in the "detail" field.
+/// Returns false when disarmed, already mid-write, or the file cannot be
+/// written.  Overwrites any earlier bundle at the path.
+bool write_postmortem(const char* reason, int signo, const char* detail);
+
+/// Hook for the rftc::fault recovery path: called when the controller's
+/// watchdog/retry budget is exhausted and the run falls back degraded.
+/// Logs one error record (rate-limited to the first occurrence) and, when
+/// armed, writes one bundle per process with reason
+/// "fault-recovery-exhausted".  `what` must outlive the call (static
+/// string preferred).
+void notify_fault_recovery_exhausted(const char* what);
+
+}  // namespace rftc::obs

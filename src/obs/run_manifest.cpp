@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 
 #ifndef RFTC_GIT_SHA
 #define RFTC_GIT_SHA "unknown"
@@ -138,7 +139,8 @@ std::string RunManifest::write() const {
   std::filesystem::create_directories(artifact_dir() + "/runs", ec);
   std::FILE* f = std::fopen(p.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "RunManifest: cannot write %s\n", p.c_str());
+    log::error("obs", "RunManifest: cannot write manifest",
+               {log::kv("path", p)});
     return "";
   }
   for (const std::string& line : lines()) {

@@ -3,13 +3,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <thread>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
 #include "obs/run_manifest.hpp"
@@ -59,6 +62,26 @@ struct SamplerState {
 SamplerState& state() {
   static SamplerState* s = new SamplerState;
   return *s;
+}
+
+// Seqlock publication of the latest heartbeat line for the crash path:
+// odd version = writer mid-copy, even = stable.  Static storage only, so
+// a signal handler can read it with loads, memcpy and a fence.
+constexpr std::size_t kLastLineCap = 16384;
+char g_last_line[kLastLineCap];
+std::atomic<std::uint32_t> g_last_line_version{0};
+std::atomic<std::size_t> g_last_line_len{0};
+
+void publish_last_line(const std::string& line) {
+  const std::uint32_t v = g_last_line_version.load(std::memory_order_relaxed);
+  g_last_line_version.store(v + 1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::size_t n = std::min(line.size(), kLastLineCap - 1);
+  std::memcpy(g_last_line, line.data(), n);
+  g_last_line[n] = '\0';
+  g_last_line_len.store(n, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  g_last_line_version.store(v + 2, std::memory_order_release);
 }
 
 /// One snapshot line (without the trailing newline).  Caller holds s.mu.
@@ -136,8 +159,8 @@ bool tick_locked(SamplerState& s) {
   if (s.file == nullptr) {
     s.file = std::fopen(s.path.c_str(), "a");
     if (s.file == nullptr) {
-      std::fprintf(stderr, "rftc::obs: cannot open heartbeat sink %s\n",
-                   s.path.c_str());
+      log::error("obs", "cannot open heartbeat sink",
+                 {log::kv("path", s.path)});
       s.path.clear();  // do not retry every tick
       return false;
     }
@@ -147,6 +170,7 @@ bool tick_locked(SamplerState& s) {
                                     s.start_time)
           .count();
   const std::string line = build_line(s, elapsed);
+  publish_last_line(line);
   if (std::fwrite(line.data(), 1, line.size(), s.file) != line.size() ||
       std::fputc('\n', s.file) == EOF)
     return false;
@@ -298,6 +322,23 @@ double num_or(const json::Value* v, double fallback = 0.0) {
 }
 
 }  // namespace
+
+std::size_t last_heartbeat_line(char* buf, std::size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t v1 =
+        g_last_line_version.load(std::memory_order_acquire);
+    if (v1 == 0) return 0;         // no tick yet
+    if ((v1 & 1u) != 0) continue;  // writer mid-copy
+    const std::size_t len =
+        std::min(g_last_line_len.load(std::memory_order_relaxed), cap - 1);
+    std::memcpy(buf, g_last_line, len);
+    buf[len] = '\0';
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (g_last_line_version.load(std::memory_order_relaxed) == v1) return len;
+  }
+  return 0;
+}
 
 bool parse_heartbeat_line(std::string_view line, HeartbeatSnapshot& out) {
   json::Value doc;

@@ -75,6 +75,13 @@ struct HeartbeatSnapshot {
 /// this build does not understand.
 bool parse_heartbeat_line(std::string_view line, HeartbeatSnapshot& out);
 
+/// Async-signal-safe copy of the most recent heartbeat line any tick built
+/// (seqlock-published into a static buffer, so the post-mortem writer can
+/// embed the last snapshot without touching the sampler mutex).  Copies at
+/// most cap-1 bytes plus a NUL into `buf`; returns the length, 0 when no
+/// tick has completed yet or a concurrent tick kept tearing the read.
+std::size_t last_heartbeat_line(char* buf, std::size_t cap);
+
 /// Fixed-width column header matching format_heartbeat_row().
 std::string heartbeat_header_row();
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 
 namespace rftc::obs {
@@ -54,6 +55,16 @@ void Tracer::record(TraceEvent ev) {
   ThreadBuffer& b = local_buffer();
   ev.tid = b.tid;
   const std::uint64_t w = b.written.load(std::memory_order_relaxed);
+  recorded_total_.fetch_add(1, std::memory_order_relaxed);
+  if (w >= b.ring.size()) {
+    // The slot still holds a live event: overwriting it is a drop.  Warn
+    // exactly once per process so silent ring overwrites are visible even
+    // to runs that never export the obs.trace.dropped_events gauge.
+    if (dropped_total_.fetch_add(1, std::memory_order_relaxed) == 0)
+      log::warn("obs", "trace events dropped (ring full)",
+                {log::kv("ring_capacity", static_cast<double>(b.ring.size())),
+                 log::kv("hint", "raise RFTC_OBS_TRACE_CAPACITY")});
+  }
   b.ring[static_cast<std::size_t>(w % b.ring.size())] = ev;
   b.written.store(w + 1, std::memory_order_release);
 }
@@ -90,24 +101,6 @@ std::vector<TraceEvent> Tracer::snapshot() const {
                      return a.ts_ns < b.ts_ns;
                    });
   return out;
-}
-
-std::uint64_t Tracer::recorded() const {
-  std::lock_guard lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& b : buffers_)
-    total += b->written.load(std::memory_order_relaxed);
-  return total;
-}
-
-std::uint64_t Tracer::dropped() const {
-  std::lock_guard lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& b : buffers_) {
-    const std::uint64_t written = b->written.load(std::memory_order_relaxed);
-    if (written > b->ring.size()) total += written - b->ring.size();
-  }
-  return total;
 }
 
 namespace {

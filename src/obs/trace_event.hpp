@@ -67,8 +67,15 @@ class Tracer {
   /// All buffered events from every thread, merged and sorted by timestamp.
   std::vector<TraceEvent> snapshot() const;
 
-  std::uint64_t recorded() const;  // total record() calls
-  std::uint64_t dropped() const;   // events overwritten in some ring
+  /// Total record() calls / events overwritten in some ring.  Monotonic
+  /// process-lifetime tallies (NOT reset by clear()), read lock-free so the
+  /// crash-path post-mortem writer and heartbeat sampler can sample them.
+  std::uint64_t recorded() const {
+    return recorded_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_total_.load(std::memory_order_relaxed);
+  }
 
   /// Chrome trace_event "JSON Array Format".
   std::string chrome_json() const;
@@ -98,6 +105,8 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::size_t> capacity_;
+  std::atomic<std::uint64_t> recorded_total_{0};
+  std::atomic<std::uint64_t> dropped_total_{0};
   std::uint32_t next_tid_ = 1;
   std::uint64_t epoch_ns_ = 0;
 };

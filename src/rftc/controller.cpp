@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 
 namespace rftc::core {
 
@@ -150,6 +152,10 @@ void RftcController::start_reconfig(int mmcm_index) {
         stats_.recovery_latency_ps_.observe(static_cast<double>(latency));
         g.recovery_latency_ps.observe(static_cast<double>(latency));
         recovery_started_at_ = -1;
+        obs::log::debug(
+            "fault", "reconfig recovered",
+            {obs::log::kv("mmcm", static_cast<double>(mmcm_index)),
+             obs::log::kv("latency_us", to_us(latency))});
       }
       span.arg("duration_us", to_us(duration));
       break;
@@ -162,6 +168,11 @@ void RftcController::start_reconfig(int mmcm_index) {
         rep.lock_failed ? rep.writes_done + deadline : rep.locked;
     stats_.lock_failures_.inc();
     g.lock_failures.inc();
+    obs::log::debug("fault",
+                    rep.lock_failed ? "reconfig lock failed"
+                                    : "reconfig readback mismatch",
+                    {obs::log::kv("mmcm", static_cast<double>(mmcm_index)),
+                     obs::log::kv("attempt", static_cast<double>(attempt))});
     if (recovery_started_at_ < 0) recovery_started_at_ = attempt_start;
     ++attempt;
     if (attempt > params_.recovery.max_retries) {
@@ -170,6 +181,7 @@ void RftcController::start_reconfig(int mmcm_index) {
       reconfig_healthy_ = false;
       reconfig_done_at_ = detected;
       span.arg("gave_up_after", attempt);
+      obs::notify_fault_recovery_exhausted("mmcm reconfig retries");
       break;
     }
     stats_.recovery_retries_.inc();
@@ -193,6 +205,9 @@ void RftcController::maybe_swap() {
     // retry cycle — the ping-pong resumes at the next healthy lock.
     stats_.fallbacks_.inc();
     GlobalMetrics::get().fallbacks.inc();
+    obs::log::debug(
+        "fault", "holding last-locked MMCM (fallback)",
+        {obs::log::kv("mmcm", static_cast<double>(reconfiguring_))});
     start_reconfig(reconfiguring_);
     return;
   }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "simd/kernel_table.hpp"
 
@@ -172,15 +173,14 @@ Backend resolve_from_env() {
     if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
     if (std::strcmp(env, "avx2") == 0) {
       if (avx2_supported()) return Backend::kAvx2;
-      std::fprintf(stderr,
-                   "rftc::simd: RFTC_SIMD=avx2 requested but the CPU lacks "
-                   "AVX2; falling back to scalar\n");
+      obs::log::warn(
+          "simd", "RFTC_SIMD=avx2 requested but the CPU lacks AVX2",
+          {obs::log::kv("fallback", std::string_view("scalar"))});
       return Backend::kScalar;
     }
-    std::fprintf(stderr,
-                 "rftc::simd: unknown RFTC_SIMD=%s (want avx2|scalar); "
-                 "using the CPUID default\n",
-                 env);
+    obs::log::warn("simd", "unknown RFTC_SIMD value (want avx2|scalar)",
+                   {obs::log::kv("value", std::string_view(env)),
+                    obs::log::kv("fallback", std::string_view("cpuid"))});
   }
   return avx2_supported() ? Backend::kAvx2 : Backend::kScalar;
 }

@@ -1,0 +1,88 @@
+// crash_harness — deliberately dies in a named way so CI can assert the
+// post-mortem pipeline end to end: arm via RFTC_OBS_POSTMORTEM, crash, then
+// parse the bundle and render it with `rftc-report postmortem`.
+//
+// Usage: crash_harness <mode>
+//   segv       raise SIGSEGV inside PhaseScope("capture")
+//   abort      raise SIGABRT inside PhaseScope("capture")
+//   fpe        raise SIGFPE inside PhaseScope("capture")
+//   terminate  throw an unhandled exception (std::terminate path)
+//   exhausted  drive RftcController with lock_loss_rate=1.0 until the
+//              recovery budget runs dry (bundle written, exits 0)
+//   ok         exercise the same setup without dying (exits 0, no bundle
+//              expected beyond an explicit none)
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/postmortem.hpp"
+#include "rftc/controller.hpp"
+#include "rftc/frequency_planner.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crash_harness segv|abort|fpe|terminate|exhausted|ok\n");
+  return 2;
+}
+
+/// Runs the controller with every reconfiguration losing lock so the
+/// retry budget is exhausted and obs::notify_fault_recovery_exhausted()
+/// fires through the genuine rftc::fault recovery path.
+int run_exhausted() {
+  rftc::core::PlannerParams pp;
+  pp.m_outputs = 3;
+  pp.p_configs = 8;
+  pp.seed = 5;
+  rftc::core::ControllerParams cp;
+  cp.faults.lock_loss_rate = 1.0;
+  cp.faults.seed = 0x10CC;
+  cp.recovery.max_retries = 2;
+  rftc::core::RftcController c(rftc::core::plan_frequencies(pp), cp);
+  // Enough encryptions to cross several swap windows, so the fallback
+  // (hold-last-locked-MMCM) path actually runs, not just the retry loop.
+  for (int e = 0; e < 300; ++e) (void)c.next(10);
+  const bool fell_back = c.stats().fallbacks() > 0;
+  std::fprintf(stderr, "crash_harness: exhausted mode ran, fallbacks=%llu\n",
+               static_cast<unsigned long long>(c.stats().fallbacks()));
+  return fell_back ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const char* mode = argv[1];
+
+  rftc::obs::init_from_env();
+  rftc::obs::log::info("obs", "crash_harness starting",
+                       {rftc::obs::log::kv("mode", std::string_view(mode))});
+  rftc::obs::Registry::global().counter("harness.iterations").inc(42);
+  rftc::obs::log::debug("obs", "flight recorder marker",
+                        {rftc::obs::log::kv("value", 1.0)});
+
+  if (std::strcmp(mode, "exhausted") == 0) return run_exhausted();
+  if (std::strcmp(mode, "ok") == 0) return 0;
+
+  rftc::obs::PhaseScope phase(rftc::obs::kPhaseCapture);
+  if (std::strcmp(mode, "segv") == 0) {
+    ::raise(SIGSEGV);
+  } else if (std::strcmp(mode, "abort") == 0) {
+    ::raise(SIGABRT);
+  } else if (std::strcmp(mode, "fpe") == 0) {
+    ::raise(SIGFPE);
+  } else if (std::strcmp(mode, "terminate") == 0) {
+    throw std::runtime_error("crash_harness: deliberate unhandled exception");
+  } else {
+    return usage();
+  }
+  // A raised signal whose handler re-raises with SIG_DFL never returns.
+  std::fprintf(stderr, "crash_harness: %s unexpectedly survived\n", mode);
+  return 4;
+}

@@ -34,8 +34,15 @@
 //       (like tail -f), polling every M ms (default 500).  Stops when no
 //       new line arrives for S seconds (default: run until interrupted).
 //
+//   rftc-report postmortem <postmortem.json>
+//       Renders a crash bundle (obs/postmortem.hpp): reason, active phase,
+//       provenance, tracer/drop tallies, last heartbeat, metric registry,
+//       and the flight-recorder tail.  Exits 1 when the file is not a
+//       post-mortem bundle this build understands.
+//
 // Exit codes: 0 = no drift beyond tolerance / snapshots rendered,
-// 1 = regression or no valid heartbeat line, 2 = usage or I/O error.
+// 1 = regression, no valid heartbeat line, or not a bundle,
+// 2 = usage or I/O error.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +53,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/json.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/report_diff.hpp"
 #include "obs/sampler.hpp"
 
@@ -63,7 +72,8 @@ int usage() {
                "           [--ignore key] [--allow-missing]\n"
                "       rftc-report tail <heartbeat.jsonl> [-n N]\n"
                "       rftc-report watch <heartbeat.jsonl>"
-               " [--interval-ms M] [--timeout-s S]\n");
+               " [--interval-ms M] [--timeout-s S]\n"
+               "       rftc-report postmortem <postmortem.json>\n");
   return 2;
 }
 
@@ -270,6 +280,126 @@ int cmd_watch(int argc, char** argv) {
   return 0;
 }
 
+namespace json = rftc::obs::json;
+
+double pm_num(const json::Value* v, double fallback = 0.0) {
+  return v != nullptr && v->is_number() ? v->num : fallback;
+}
+
+int cmd_postmortem(const char* path) {
+  std::string text;
+  if (!read_file(path, text)) return 2;
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rftc-report: %s: %s\n", path, e.what());
+    return 1;
+  }
+  const json::Value* schema = doc.find("postmortem_schema");
+  if (schema == nullptr || !schema->is_number() ||
+      static_cast<int>(schema->num) != rftc::obs::kPostmortemSchema) {
+    std::fprintf(stderr, "rftc-report: %s: not a post-mortem bundle\n", path);
+    return 1;
+  }
+
+  const json::Value* reason = doc.find("reason");
+  const int signo = static_cast<int>(pm_num(doc.find("signal")));
+  std::printf("post-mortem bundle: %s\n", path);
+  std::printf("reason:        %s",
+              reason != nullptr && reason->is_string() ? reason->str.c_str()
+                                                       : "?");
+  if (signo != 0) std::printf(" (signal %d)", signo);
+  if (const json::Value* detail = doc.find("detail");
+      detail != nullptr && detail->is_string())
+    std::printf("  [%s]", detail->str.c_str());
+  std::printf("\n");
+  std::printf("at:            %.3fs into the run\n",
+              pm_num(doc.find("ts_ns")) / 1e9);
+
+  const json::Value* phase = doc.find("active_phase");
+  std::printf("active phase:  %s\n",
+              phase != nullptr && phase->is_string() ? phase->str.c_str()
+                                                     : "(none)");
+  if (const json::Value* stack = doc.find("phase_stack");
+      stack != nullptr && stack->is_array() && !stack->array.empty()) {
+    std::printf("phase stack:  ");
+    for (const json::Value& frame : stack->array)
+      if (frame.is_string()) std::printf(" > %s", frame.str.c_str());
+    std::printf("\n");
+  }
+
+  if (const json::Value* prov = doc.find("provenance");
+      prov != nullptr && prov->is_object() && !prov->object.empty()) {
+    std::printf("\nprovenance:\n");
+    for (const auto& [k, v] : prov->object) {
+      if (v.is_string())
+        std::printf("  %-14s %s\n", k.c_str(), v.str.c_str());
+      else if (v.is_number())
+        std::printf("  %-14s %.6g\n", k.c_str(), v.num);
+    }
+  }
+
+  if (const json::Value* tracer = doc.find("tracer");
+      tracer != nullptr && tracer->is_object()) {
+    std::printf("\ntracer:        %.0f events recorded, %.0f dropped\n",
+                pm_num(tracer->find("recorded")),
+                pm_num(tracer->find("dropped")));
+  }
+
+  if (const json::Value* hb = doc.find("heartbeat");
+      hb != nullptr && hb->is_object()) {
+    std::printf("\nlast heartbeat: seq %.0f at %.1fs",
+                pm_num(hb->find("seq")), pm_num(hb->find("elapsed_seconds")));
+    if (const json::Value* progress = hb->find("progress");
+        progress != nullptr && progress->is_object())
+      std::printf(", %.0f/%.0f traces captured",
+                  pm_num(progress->find("captured")),
+                  pm_num(progress->find("total")));
+    std::printf("\n");
+  }
+
+  if (const json::Value* metrics = doc.find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    std::printf("\nmetrics:\n");
+    if (const json::Value* counters = metrics->find("counters");
+        counters != nullptr && counters->is_object())
+      for (const auto& [k, v] : counters->object)
+        std::printf("  counter   %-38s %.0f\n", k.c_str(), v.num);
+    if (const json::Value* gauges = metrics->find("gauges");
+        gauges != nullptr && gauges->is_object())
+      for (const auto& [k, v] : gauges->object)
+        std::printf("  gauge     %-38s %.6g\n", k.c_str(), v.num);
+    if (const json::Value* histograms = metrics->find("histograms");
+        histograms != nullptr && histograms->is_object())
+      for (const auto& [k, v] : histograms->object)
+        std::printf("  histogram %-38s count %.0f p50 %.6g p99 %.6g\n",
+                    k.c_str(), pm_num(v.find("count")), pm_num(v.find("p50")),
+                    pm_num(v.find("p99")));
+  }
+
+  if (const json::Value* recorder = doc.find("flight_recorder");
+      recorder != nullptr && recorder->is_array()) {
+    std::printf("\nflight recorder (%zu records, oldest first):\n",
+                recorder->array.size());
+    for (const json::Value& rec : recorder->array) {
+      if (!rec.is_object()) continue;
+      const json::Value* level = rec.find("level");
+      const json::Value* subsystem = rec.find("subsystem");
+      const json::Value* msg = rec.find("msg");
+      std::printf(
+          "  [%9.3fs] tid %-3.0f %-5s %-7s %s\n",
+          pm_num(rec.find("ts_ns")) / 1e9, pm_num(rec.find("tid")),
+          level != nullptr && level->is_string() ? level->str.c_str() : "?",
+          subsystem != nullptr && subsystem->is_string()
+              ? subsystem->str.c_str()
+              : "?",
+          msg != nullptr && msg->is_string() ? msg->str.c_str() : "");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,5 +412,7 @@ int main(int argc, char** argv) {
     return cmd_tail(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "watch") == 0)
     return cmd_watch(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "postmortem") == 0 && argc == 3)
+    return cmd_postmortem(argv[2]);
   return usage();
 }
