@@ -12,6 +12,7 @@
 #include "aes/leakage.hpp"
 #include "obs/obs.hpp"
 #include "simd/simd.hpp"
+#include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -109,12 +110,7 @@ CpaMode CpaEngine::default_mode() {
 }
 
 std::size_t CpaEngine::default_batch_size() {
-  if (const char* env = std::getenv("RFTC_CPA_BATCH")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
-  return 64;
+  return env::read_count("RFTC_CPA_BATCH", 64);
 }
 
 CpaEngine::CpaEngine(std::size_t samples, std::vector<int> byte_positions,
@@ -159,6 +155,31 @@ void CpaEngine::set_batch_size(std::size_t batch) {
   tile_traces_.resize(batch_ * samples_);
   tile_x_.resize(batch_ * bytes_.size());
   tile_y_.resize(batch_ * bytes_.size());
+}
+
+void CpaEngine::merge(const CpaEngine& other) {
+  if (other.samples_ != samples_ || other.bytes_ != bytes_ ||
+      other.model_ != model_ || other.mode_ != mode_)
+    throw std::invalid_argument("CpaEngine::merge: engine geometry mismatch");
+  // Drain both tiles so every buffered trace is in the class sums before the
+  // elementwise fold.  flush() only mutates the mutable accumulation state,
+  // so calling it through the const reference is fine.
+  flush();
+  other.flush();
+  const auto fold = [](auto& into, const auto& from) {
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+  };
+  n_ += other.n_;
+  fold(sum_t_, other.sum_t_);
+  fold(sum_t2_, other.sum_t2_);
+  fold(sum_h_, other.sum_h_);
+  fold(sum_h2_, other.sum_h2_);
+  if (mode_ == CpaMode::kStreaming) {
+    fold(sum_ht_, other.sum_ht_);
+  } else {
+    fold(class_w_, other.class_w_);
+    fold(class_d_, other.class_d_);
+  }
 }
 
 void CpaEngine::add(const aes::Block& ciphertext,

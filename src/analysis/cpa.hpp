@@ -78,6 +78,17 @@ class CpaEngine {
   /// Results are independent of the batch size — this is a tuning knob.
   void set_batch_size(std::size_t batch);
 
+  /// Folds another engine's accumulated state into this one.  Both engines
+  /// must have identical geometry (samples, byte positions, leakage model,
+  /// mode); any buffered tiles are flushed first, then every sum —
+  /// per-sample trace sums, integer hypothesis sums and the mode's cross
+  /// sums — is combined elementwise.  The integer sums are exact, and on
+  /// ADC-quantized traces the double sums are too, so merging is
+  /// associative and bit-identical to a single engine fed shard A's traces
+  /// then shard B's (the sharded-campaign contract; see docs/TESTING.md and
+  /// tests/test_pbt_merge.cpp).  Throws std::invalid_argument on mismatch.
+  void merge(const CpaEngine& other);
+
   struct ByteReport {
     int byte_pos = 0;
     /// max_s |corr(g, s)| for every guess.

@@ -3,48 +3,23 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/env.hpp"
+
 namespace rftc::fault {
 
-namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return end != v ? parsed : fallback;
-}
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v, &end, 0);
-  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 0);
-  return end != v ? static_cast<std::uint64_t>(parsed) : fallback;
-}
-
-}  // namespace
 
 FaultSpec FaultSpec::from_env() {
   FaultSpec spec;
-  spec.drp_corrupt_rate = env_double("RFTC_FAULT_DRP_CORRUPT", 0.0);
-  spec.drp_drop_rate = env_double("RFTC_FAULT_DRP_DROP", 0.0);
-  spec.lock_loss_rate = env_double("RFTC_FAULT_LOCK_LOSS", 0.0);
-  spec.mux_glitch_rate = env_double("RFTC_FAULT_MUX_GLITCH", 0.0);
-  spec.critical_path_ps = env_int("RFTC_FAULT_CRITICAL_PATH_PS", 0);
-  spec.margin_ps = env_int("RFTC_FAULT_MARGIN_PS", 0);
-  spec.jitter_ps = env_int("RFTC_FAULT_JITTER_PS", 0);
+  spec.drp_corrupt_rate = env::read_real("RFTC_FAULT_DRP_CORRUPT", 0.0);
+  spec.drp_drop_rate = env::read_real("RFTC_FAULT_DRP_DROP", 0.0);
+  spec.lock_loss_rate = env::read_real("RFTC_FAULT_LOCK_LOSS", 0.0);
+  spec.mux_glitch_rate = env::read_real("RFTC_FAULT_MUX_GLITCH", 0.0);
+  spec.critical_path_ps = env::read_i64("RFTC_FAULT_CRITICAL_PATH_PS", 0);
+  spec.margin_ps = env::read_i64("RFTC_FAULT_MARGIN_PS", 0);
+  spec.jitter_ps = env::read_i64("RFTC_FAULT_JITTER_PS", 0);
   spec.flips_per_violation =
-      static_cast<int>(env_int("RFTC_FAULT_FLIPS", 1));
-  spec.seed = env_u64("RFTC_FAULT_SEED", spec.seed);
+      static_cast<int>(env::read_i64("RFTC_FAULT_FLIPS", 1));
+  spec.seed = env::read_u64("RFTC_FAULT_SEED", spec.seed);
   return spec;
 }
 

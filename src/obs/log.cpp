@@ -10,6 +10,7 @@
 #include "obs/json.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/trace_event.hpp"
+#include "util/env.hpp"
 
 namespace rftc::obs::log {
 
@@ -97,10 +98,8 @@ void init_impl() {
     c.spec = parse_spec(spec);
     publish_min_level(c.spec);
   }
-  if (const char* ring = std::getenv("RFTC_LOG_RING")) {
-    const long v = std::atol(ring);
-    if (v > 0) set_ring_capacity(static_cast<std::size_t>(v));
-  }
+  if (std::getenv("RFTC_LOG_RING") != nullptr)
+    set_ring_capacity(env::read_count("RFTC_LOG_RING", ring_capacity()));
   if (const char* path = std::getenv("RFTC_LOG_FILE")) {
     if (path[0] != '\0') set_file_sink_impl(path);
   }

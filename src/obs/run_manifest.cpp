@@ -7,6 +7,7 @@
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
+#include "util/env.hpp"
 
 #ifndef RFTC_GIT_SHA
 #define RFTC_GIT_SHA "unknown"
@@ -16,19 +17,6 @@
 #endif
 
 namespace rftc::obs {
-
-namespace {
-
-std::size_t env_count(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || v[0] == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v || parsed == 0) return fallback;
-  return static_cast<std::size_t>(parsed);
-}
-
-}  // namespace
 
 std::string artifact_dir() {
   const char* dir = std::getenv("RFTC_BENCH_DIR");
@@ -59,8 +47,8 @@ Provenance Provenance::collect() {
                    ? "streaming"
                    : "batched";
   const std::size_t hw = std::thread::hardware_concurrency();
-  p.threads = env_count("RFTC_THREADS", hw > 0 ? hw : 1);
-  p.batch = env_count("RFTC_CPA_BATCH", 64);
+  p.threads = env::read_count("RFTC_THREADS", hw > 0 ? hw : 1);
+  p.batch = env::read_count("RFTC_CPA_BATCH", 64);
   return p;
 }
 

@@ -7,6 +7,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "util/env.hpp"
 
 namespace rftc::obs {
 
@@ -24,10 +25,8 @@ constexpr std::size_t kDefaultRingCapacity = 1 << 16;  // events per thread
 }  // namespace
 
 Tracer::Tracer() : capacity_(kDefaultRingCapacity), epoch_ns_(steady_now_ns()) {
-  if (const char* env = std::getenv("RFTC_OBS_TRACE_CAPACITY")) {
-    const long v = std::atol(env);
-    if (v > 0) capacity_.store(static_cast<std::size_t>(v));
-  }
+  capacity_.store(
+      env::read_count("RFTC_OBS_TRACE_CAPACITY", kDefaultRingCapacity));
 }
 
 Tracer& Tracer::global() {

@@ -1,0 +1,212 @@
+// Domain generators for rftc::pbt.
+//
+// Header-only so the pbt library itself stays dependency-free: including a
+// generator pulls in exactly the subsystem headers that generator needs, and
+// the test binary already links every library.
+//
+// Each generator draws a uniformly distributed *valid* value — realizable
+// MMCM configurations, in-range ADC traces, consistent chunk geometries —
+// so properties test invariants, not input validation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aes/aes128.hpp"
+#include "clocking/drp_codec.hpp"
+#include "clocking/mmcm_config.hpp"
+#include "fault/fault_spec.hpp"
+#include "pbt/pbt.hpp"
+#include "trace/power_model.hpp"
+
+namespace rftc::pbt::gen {
+
+// ---------------------------------------------------------------- scalars --
+
+inline std::int64_t int_in(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  rng.uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+inline std::size_t size_in(Rng& rng, std::size_t lo, std::size_t hi) {
+  return lo + static_cast<std::size_t>(rng.uniform(hi - lo + 1));
+}
+
+inline double real_in(Rng& rng, double lo, double hi) {
+  return lo + rng.uniform01() * (hi - lo);
+}
+
+// ---------------------------------------------------------------- vectors --
+
+inline std::vector<double> real_vector(Rng& rng, std::size_t min_len,
+                                       std::size_t max_len, double lo,
+                                       double hi) {
+  std::vector<double> v(size_in(rng, min_len, max_len));
+  for (double& x : v) x = real_in(rng, lo, hi);
+  return v;
+}
+
+/// The ADC quantum of the default power model: 400 mV full scale over 8
+/// bits = 1.5625 mV = 25·2⁻⁴, an exact dyadic rational.  Traces built from
+/// it accumulate exactly in double — the foundation of the merge
+/// bit-identity contract.
+inline double adc_quantum_mv() {
+  const trace::PowerModelParams params;
+  return params.adc_full_scale_mv / (1 << params.adc_bits);
+}
+
+/// A trace exactly as the capture pipeline would produce it: every sample an
+/// ADC code times the quantum.
+inline std::vector<float> quantized_trace(Rng& rng, std::size_t samples,
+                                          unsigned max_code = 255) {
+  const double q = adc_quantum_mv();
+  std::vector<float> t(samples);
+  for (float& x : t)
+    x = static_cast<float>(q * static_cast<double>(rng.uniform(max_code + 1)));
+  return t;
+}
+
+inline aes::Block block(Rng& rng) {
+  aes::Block b{};
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  return b;
+}
+
+// ------------------------------------------------------------ trace sets --
+
+/// A synthetic captured population: ciphertexts + quantized traces, the
+/// inputs the CPA/Welch accumulators consume.
+struct TraceBatch {
+  std::size_t samples = 0;
+  std::vector<aes::Block> ct;
+  std::vector<std::vector<float>> traces;
+  std::size_t size() const { return traces.size(); }
+};
+
+inline TraceBatch trace_batch(Rng& rng, std::size_t min_traces,
+                              std::size_t max_traces, std::size_t min_samples,
+                              std::size_t max_samples) {
+  TraceBatch batch;
+  batch.samples = size_in(rng, min_samples, max_samples);
+  const std::size_t n = size_in(rng, min_traces, max_traces);
+  batch.ct.reserve(n);
+  batch.traces.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.ct.push_back(block(rng));
+    batch.traces.push_back(quantized_trace(rng, batch.samples));
+  }
+  return batch;
+}
+
+/// A partition of [0, n) into 1..max_parts contiguous shards (sizes sum to
+/// n; empty shards allowed so boundary cases get exercised).
+inline std::vector<std::size_t> shard_split(Rng& rng, std::size_t n,
+                                            std::size_t max_parts) {
+  const std::size_t parts = size_in(rng, 1, max_parts);
+  std::vector<std::size_t> cuts;
+  cuts.reserve(parts + 1);
+  cuts.push_back(0);
+  for (std::size_t i = 1; i < parts; ++i)
+    cuts.push_back(static_cast<std::size_t>(rng.uniform(n + 1)));
+  cuts.push_back(n);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::size_t> sizes;
+  sizes.reserve(parts);
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    sizes.push_back(cuts[i] - cuts[i - 1]);
+  return sizes;
+}
+
+// ------------------------------------------------------- chunk geometries --
+
+/// Geometry of a .rtst store: trace/sample counts plus an arbitrary chunk
+/// size (deliberately including chunk_traces > n_traces and chunk sizes
+/// that leave a ragged tail).
+struct ChunkGeometry {
+  std::size_t n_traces = 0;
+  std::size_t n_samples = 0;
+  std::size_t chunk_traces = 0;
+};
+
+inline ChunkGeometry chunk_geometry(Rng& rng, std::size_t max_traces = 160,
+                                    std::size_t max_samples = 48) {
+  ChunkGeometry g;
+  g.n_traces = size_in(rng, 1, max_traces);
+  g.n_samples = size_in(rng, 1, max_samples);
+  g.chunk_traces = size_in(rng, 1, g.n_traces + 8);
+  return g;
+}
+
+// ----------------------------------------------------------- MMCM configs --
+
+/// A uniformly drawn configuration that is realizable by construction:
+/// VCO pinned inside [600, 1200] MHz for fin = 24 MHz, dividers in range,
+/// fractional division only on output 0.  (Moved here from the ad-hoc fuzz
+/// loop that predated the pbt framework.)
+inline clk::MmcmConfig realizable_mmcm_config(Rng& rng) {
+  const clk::MmcmLimits limits;
+  clk::MmcmConfig cfg;
+  cfg.fin_mhz = 24.0;
+  cfg.divclk = 1 + static_cast<int>(rng.uniform(2));
+  // f_vco = 24 * (mult/8) / divclk in [600, 1200] =>
+  // mult_8ths in [200*divclk, 400*divclk], clamped to the attribute limit.
+  const int lo = 200 * cfg.divclk;
+  const int hi = std::min(400 * cfg.divclk, limits.mult_max_8ths);
+  cfg.mult_8ths = static_cast<int>(int_in(rng, lo, hi));
+  for (int k = 0; k < clk::kMmcmOutputs; ++k) {
+    if (k == 0) {
+      // CLKOUT0_DIVIDE_F: any eighths value in [1.000, 128.000].
+      cfg.out_div_8ths[0] = static_cast<int>(int_in(rng, 8, 128 * 8));
+    } else {
+      cfg.out_div_8ths[static_cast<std::size_t>(k)] =
+          8 * static_cast<int>(int_in(rng, 1, 128));
+    }
+    cfg.out_enabled[static_cast<std::size_t>(k)] = (rng.next() & 1) != 0;
+  }
+  cfg.out_enabled[0] = true;
+  return cfg;
+}
+
+/// Applies a write stream to a fresh 128-register image with the codec's
+/// read-modify-write semantics.
+inline std::array<std::uint16_t, 128> register_image(
+    const std::vector<clk::DrpWrite>& writes) {
+  std::array<std::uint16_t, 128> regs{};
+  for (const clk::DrpWrite& w : writes)
+    regs[w.addr] = static_cast<std::uint16_t>((regs[w.addr] & ~w.mask) |
+                                              (w.data & w.mask));
+  return regs;
+}
+
+/// The registers decode_config reads back.
+inline std::vector<std::uint8_t> decoder_read_addresses() {
+  std::vector<std::uint8_t> addrs;
+  for (int k = 0; k < clk::kMmcmOutputs; ++k) {
+    addrs.push_back(clk::drp_addr::clkout_reg1(k));
+    addrs.push_back(clk::drp_addr::clkout_reg2(k));
+  }
+  addrs.push_back(clk::drp_addr::kClkFbReg1);
+  addrs.push_back(clk::drp_addr::kClkFbReg2);
+  addrs.push_back(clk::drp_addr::kDivClk);
+  return addrs;
+}
+
+// ----------------------------------------------------------- fault streams --
+
+/// A random fault environment: every family armed with a rate drawn up to
+/// `max_rate`, salted from the case RNG so each case sees an independent
+/// fault stream.  Timing-closure faults are left to the caller (they need a
+/// matching frequency plan to be meaningful).
+inline fault::FaultSpec fault_spec(Rng& rng, double max_rate = 0.5) {
+  fault::FaultSpec spec;
+  spec.drp_corrupt_rate = real_in(rng, 0.0, max_rate);
+  spec.drp_drop_rate = real_in(rng, 0.0, max_rate);
+  spec.lock_loss_rate = real_in(rng, 0.0, max_rate);
+  spec.mux_glitch_rate = real_in(rng, 0.0, max_rate);
+  spec.seed = rng.next();
+  return spec;
+}
+
+}  // namespace rftc::pbt::gen

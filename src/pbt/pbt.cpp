@@ -1,0 +1,96 @@
+#include "pbt/pbt.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace rftc::pbt {
+
+Config Config::from_env(std::uint64_t default_seed,
+                        std::size_t default_cases) {
+  Config cfg;
+  cfg.cases = env::read_count("RFTC_PBT_CASES", default_cases);
+  cfg.seed = env::read_u64("RFTC_PBT_SEED", default_seed);
+  return cfg;
+}
+
+std::uint64_t case_seed(std::uint64_t base, std::size_t index) {
+  // The scramble matters: raw `base + i` seeds would hand Xoshiro a run of
+  // near-identical states.  SplitMix64 is the canonical seed expander for
+  // it (and what the acquisition layer already uses).
+  return SplitMix64(base + index).next();
+}
+
+namespace detail {
+
+void print_falsified(const std::string& name, std::size_t case_index,
+                     std::size_t cases, std::uint64_t repro_seed,
+                     const std::string& message,
+                     const std::string& counterexample,
+                     std::size_t shrink_steps) {
+  // stderr, not the logger: this must show up verbatim in ctest output so
+  // the reproducer line can be copy-pasted.
+  std::fprintf(stderr,
+               "[rftc::pbt] property '%s' FALSIFIED at case %zu/%zu\n"
+               "[rftc::pbt]   failure: %s\n"
+               "[rftc::pbt]   counterexample (after %zu shrink steps): %s\n"
+               "[rftc::pbt]   reproduce: RFTC_PBT_SEED=0x%" PRIx64
+               " RFTC_PBT_CASES=1\n",
+               name.c_str(), case_index, cases, message.c_str(), shrink_steps,
+               counterexample.c_str(), repro_seed);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Intermediate offsets between the floor (tried first) and value-1 (tried
+/// last), in ascending order: the halfway point, then a bisection ladder
+/// approaching the value from below (value - distance/4, - distance/8, ...).
+/// Greedy first-improvement over this ladder converges like binary search —
+/// O(log² distance) property evaluations to reach the minimal failing value
+/// — where a plain walk-down-by-one would exhaust the shrink budget.
+std::vector<std::uint64_t> descent(std::uint64_t distance) {
+  std::vector<std::uint64_t> deltas;
+  if (distance >= 2) deltas.push_back(distance / 2);
+  for (std::uint64_t gap = distance / 4; gap > 1; gap /= 2)
+    deltas.push_back(distance - gap);
+  return deltas;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> shrink_int(std::int64_t value, std::int64_t floor) {
+  std::vector<std::int64_t> out;
+  if (value <= floor) return out;
+  const std::uint64_t distance =
+      static_cast<std::uint64_t>(value) - static_cast<std::uint64_t>(floor);
+  out.push_back(floor);
+  for (const std::uint64_t d : descent(distance))
+    out.push_back(floor + static_cast<std::int64_t>(d));
+  out.push_back(value - 1);
+  return out;
+}
+
+std::vector<std::uint64_t> shrink_uint(std::uint64_t value,
+                                       std::uint64_t floor) {
+  std::vector<std::uint64_t> out;
+  if (value <= floor) return out;
+  out.push_back(floor);
+  for (const std::uint64_t d : descent(value - floor))
+    out.push_back(floor + d);
+  out.push_back(value - 1);
+  return out;
+}
+
+std::vector<double> shrink_real(double value, double floor) {
+  std::vector<double> out;
+  if (!(value > floor)) return out;
+  out.push_back(floor);
+  out.push_back(floor + (value - floor) / 2.0);
+  out.push_back(floor + (value - floor) / 16.0);
+  return out;
+}
+
+}  // namespace rftc::pbt

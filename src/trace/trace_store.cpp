@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "util/crc32.hpp"
+#include "util/env.hpp"
 
 namespace rftc::trace {
 
@@ -85,11 +86,7 @@ void encode_header(unsigned char (&h)[kHeaderBytes], std::size_t n_samples,
 }  // namespace
 
 std::size_t default_chunk_traces() {
-  if (const char* env = std::getenv("RFTC_TRACE_CHUNK")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return 1024;
+  return env::read_count("RFTC_TRACE_CHUNK", 1024);
 }
 
 // ---------------------------------------------------------------- writer --

@@ -8,19 +8,16 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "util/env.hpp"
 
 namespace rftc::par {
 
 namespace {
 
 std::size_t env_thread_count() {
-  if (const char* env = std::getenv("RFTC_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return env::read_count("RFTC_THREADS",
+                         hw == 0 ? 1 : static_cast<std::size_t>(hw));
 }
 
 /// Set while a thread is executing shards, so nested parallel_for calls run

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "simd/simd.hpp"
 
@@ -55,40 +56,81 @@ double welch_t(const RunningMoments& a, const RunningMoments& b) {
   return (a.mean() - b.mean()) / denom;
 }
 
+double welch_t_from_sums(double nf, double sf, double sf2, double nr,
+                         double sr, double sr2) {
+  if (nf < 2.0 || nr < 2.0) return 0.0;
+  const double mf = sf / nf;
+  const double mr = sr / nr;
+  // Sample variance from raw sums; cancellation can push the numerator a
+  // hair below zero for constant lanes, so clamp.
+  const double vf = std::max(0.0, (sf2 - sf * mf) / (nf - 1.0));
+  const double vr = std::max(0.0, (sr2 - sr * mr) / (nr - 1.0));
+  const double denom = std::sqrt(vf / nf + vr / nr);
+  if (denom == 0.0) return 0.0;
+  return (mf - mr) / denom;
+}
+
 WelchTTest::WelchTTest(std::size_t samples)
     : f_n_(samples, 0.0),
-      f_mean_(samples, 0.0),
-      f_m2_(samples, 0.0),
+      f_sum_(samples, 0.0),
+      f_sum2_(samples, 0.0),
       r_n_(samples, 0.0),
-      r_mean_(samples, 0.0),
-      r_m2_(samples, 0.0) {}
+      r_sum_(samples, 0.0),
+      r_sum2_(samples, 0.0) {}
+
+namespace {
+
+void bump_counts(double* n, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) n[i] += 1.0;
+}
+
+}  // namespace
 
 void WelchTTest::add_fixed(std::span<const double> trace) {
   assert(trace.size() == f_n_.size());
-  simd::welford_update(trace.data(), f_n_.data(), f_mean_.data(), f_m2_.data(),
-                       trace.size());
+  simd::accumulate_sums(trace.data(), f_sum_.data(), f_sum2_.data(),
+                        trace.size());
+  bump_counts(f_n_.data(), trace.size());
 }
 
 void WelchTTest::add_random(std::span<const double> trace) {
   assert(trace.size() == r_n_.size());
-  simd::welford_update(trace.data(), r_n_.data(), r_mean_.data(), r_m2_.data(),
-                       trace.size());
+  simd::accumulate_sums(trace.data(), r_sum_.data(), r_sum2_.data(),
+                        trace.size());
+  bump_counts(r_n_.data(), trace.size());
 }
 
 void WelchTTest::add_fixed_range(std::span<const float> trace, std::size_t s0,
                                  std::size_t s1) {
   assert(trace.size() == f_n_.size() && s1 <= trace.size());
   if (s0 >= s1) return;
-  simd::welford_update_f(trace.data() + s0, f_n_.data() + s0,
-                         f_mean_.data() + s0, f_m2_.data() + s0, s1 - s0);
+  simd::accumulate_sums_f(trace.data() + s0, f_sum_.data() + s0,
+                          f_sum2_.data() + s0, s1 - s0);
+  bump_counts(f_n_.data() + s0, s1 - s0);
 }
 
 void WelchTTest::add_random_range(std::span<const float> trace, std::size_t s0,
                                   std::size_t s1) {
   assert(trace.size() == r_n_.size() && s1 <= trace.size());
   if (s0 >= s1) return;
-  simd::welford_update_f(trace.data() + s0, r_n_.data() + s0,
-                         r_mean_.data() + s0, r_m2_.data() + s0, s1 - s0);
+  simd::accumulate_sums_f(trace.data() + s0, r_sum_.data() + s0,
+                          r_sum2_.data() + s0, s1 - s0);
+  bump_counts(r_n_.data() + s0, s1 - s0);
+}
+
+void WelchTTest::merge(const WelchTTest& other) {
+  if (other.f_n_.size() != f_n_.size())
+    throw std::invalid_argument("WelchTTest::merge: sample count mismatch");
+  const auto fold = [](std::vector<double>& into,
+                       const std::vector<double>& from) {
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+  };
+  fold(f_n_, other.f_n_);
+  fold(f_sum_, other.f_sum_);
+  fold(f_sum2_, other.f_sum2_);
+  fold(r_n_, other.r_n_);
+  fold(r_sum_, other.r_sum_);
+  fold(r_sum2_, other.r_sum2_);
 }
 
 std::size_t WelchTTest::fixed_count() const {
@@ -101,8 +143,9 @@ std::size_t WelchTTest::random_count() const {
 
 std::vector<double> WelchTTest::t_values() const {
   std::vector<double> out(f_n_.size());
-  simd::welch_t(f_n_.data(), f_mean_.data(), f_m2_.data(), r_n_.data(),
-                r_mean_.data(), r_m2_.data(), out.data(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = welch_t_from_sums(f_n_[i], f_sum_[i], f_sum2_[i], r_n_[i],
+                               r_sum_[i], r_sum2_[i]);
   return out;
 }
 

@@ -38,22 +38,39 @@ double pearson(std::span<const double> x, std::span<const double> y);
 /// variances are zero.
 double welch_t(const RunningMoments& a, const RunningMoments& b);
 
+/// Welch's t statistic from raw per-population moment sums
+/// (n, Σx, Σx²).  Returns 0 when either population has fewer than 2
+/// samples or the pooled standard error is zero; rounding-induced
+/// negative variances are clamped to 0.
+double welch_t_from_sums(double nf, double sf, double sf2, double nr,
+                         double sr, double sr2);
+
 /// Streaming per-sample Welch t-test over two trace populations
 /// (fixed-input vs random-input), the TVLA methodology of [6].
 ///
-/// Internally the per-sample Welford moments are stored structure-of-arrays
-/// (count/mean/m2 as parallel double arrays) so accumulation and the final
-/// t sweep run through the rftc::simd kernels.  Per-lane counts are doubles,
-/// exact up to 2^53 traces.  The arithmetic per sample is identical to
-/// RunningMoments::add / welch_t(RunningMoments), and the simd kernels are
-/// bit-identical across backends, so results match the former
-/// array-of-structs implementation exactly.
+/// Internally the state is raw per-sample moment sums — count / Σx / Σx²
+/// stored structure-of-arrays as parallel double arrays — accumulated by the
+/// rftc::simd kernels, with the t sweep computed from the sums at the end.
+/// Per-lane counts are doubles, exact up to 2^53 traces.  Raw sums (rather
+/// than Welford mean/m2 recurrences) are what make merge() exact: combining
+/// two accumulators is elementwise double addition, which is associative and
+/// bit-identical to single-pass accumulation whenever the individual sums
+/// are exact — true for ADC-quantized traces, whose values are small dyadic
+/// rationals (see trace/power_model.hpp).  This is the contract the sharded
+/// campaign engine builds on; docs/TESTING.md spells it out and
+/// tests/test_pbt_merge.cpp enforces it.
 class WelchTTest {
  public:
   explicit WelchTTest(std::size_t samples);
 
   void add_fixed(std::span<const double> trace);
   void add_random(std::span<const double> trace);
+
+  /// Folds another accumulator (same samples()) into this one by elementwise
+  /// addition of the raw sums.  With exact per-shard sums the result is
+  /// bit-identical to a single accumulator fed both shards' traces, in any
+  /// association order.  Throws std::invalid_argument on shape mismatch.
+  void merge(const WelchTTest& other);
 
   /// Range variants for the sample-sharded parallel TVLA path: accumulate
   /// samples [s0, s1) of a raw float trace into the matching per-sample
@@ -75,9 +92,9 @@ class WelchTTest {
   double max_abs_t() const;
 
  private:
-  // Fixed-class and random-class Welford accumulators, one lane per sample.
-  std::vector<double> f_n_, f_mean_, f_m2_;
-  std::vector<double> r_n_, r_mean_, r_m2_;
+  // Fixed-class and random-class raw moment sums, one lane per sample.
+  std::vector<double> f_n_, f_sum_, f_sum2_;
+  std::vector<double> r_n_, r_sum_, r_sum2_;
 };
 
 /// Streaming Pearson correlation accumulator between a scalar hypothesis and

@@ -1,0 +1,204 @@
+// The pbt framework itself: deterministic case seeding, the replay
+// contract (RFTC_PBT_SEED=<printed> RFTC_PBT_CASES=1 regenerates the
+// failing input as case 0), greedy shrinking, and the shrinker building
+// blocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbt/generators.hpp"
+#include "pbt/pbt.hpp"
+
+namespace rftc {
+namespace {
+
+using pbt::Config;
+using pbt::Rng;
+
+TEST(PbtFramework, CaseSeedIsSplitMixOfBasePlusIndex) {
+  // The replay contract depends on exactly this derivation: the printed
+  // reproducer seed is base+i, and a run with that base generates the same
+  // stream at case 0.
+  for (const std::uint64_t base : {0ull, 1ull, 0xDEADBEEFull}) {
+    for (const std::size_t i : {std::size_t{0}, std::size_t{3},
+                                std::size_t{199}}) {
+      EXPECT_EQ(pbt::case_seed(base, i), SplitMix64(base + i).next());
+      EXPECT_EQ(pbt::case_seed(base, i), pbt::case_seed(base + i, 0));
+    }
+  }
+}
+
+TEST(PbtFramework, PassingPropertyRunsAllCases) {
+  std::size_t runs = 0;
+  Config cfg;
+  cfg.cases = 37;
+  const bool ok = pbt::check<std::uint64_t>(
+      "always_passes", [](Rng& rng) { return rng.next(); },
+      [&](const std::uint64_t&) -> std::optional<std::string> {
+        ++runs;
+        return std::nullopt;
+      },
+      cfg);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(runs, 37u);
+}
+
+TEST(PbtFramework, FailingPropertyShrinksToMinimalCounterexample) {
+  // Property: x < 500.  Generated values land well above 500, and the
+  // shrinker must walk the counterexample down to exactly 500 — the
+  // smallest failing input.
+  Config cfg;
+  cfg.cases = 10;
+  std::uint64_t final_counterexample = 0;
+  const bool ok = pbt::check<std::uint64_t>(
+      "x_below_500",
+      [](Rng& rng) { return 100000 + rng.uniform(100000); },
+      [](const std::uint64_t& x) -> std::optional<std::string> {
+        if (x < 500) return std::nullopt;
+        return "x >= 500";
+      },
+      cfg,
+      [](const std::uint64_t& x) { return pbt::shrink_uint(x, 0); },
+      [&](const std::uint64_t& x) {
+        final_counterexample = x;
+        return std::to_string(x);
+      });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(final_counterexample, 500u);
+}
+
+TEST(PbtFramework, ReplaySeedRegeneratesTheFailingInput) {
+  // Fail on a specific case index, capture what the generator produced
+  // there, then replay with cases=1 and the base seed the framework would
+  // print (base + failing index): case 0 must regenerate the same input.
+  const std::uint64_t base = 0xB00ull;
+  constexpr std::size_t kFailIndex = 7;
+  Config cfg;
+  cfg.cases = 20;
+  cfg.seed = base;
+
+  std::size_t index = 0;
+  std::uint64_t failing_input = 0;
+  pbt::check<std::uint64_t>(
+      "fails_at_case_7", [](Rng& rng) { return rng.next(); },
+      [&](const std::uint64_t& x) -> std::optional<std::string> {
+        if (index++ == kFailIndex) {
+          failing_input = x;
+          return "forced";
+        }
+        return std::nullopt;
+      },
+      cfg);
+
+  Config replay;
+  replay.cases = 1;
+  replay.seed = base + kFailIndex;  // what the reproducer line prints
+  std::uint64_t replayed_input = 1;
+  pbt::check<std::uint64_t>(
+      "replay", [](Rng& rng) { return rng.next(); },
+      [&](const std::uint64_t& x) -> std::optional<std::string> {
+        replayed_input = x;
+        return std::nullopt;
+      },
+      replay);
+  EXPECT_EQ(replayed_input, failing_input);
+}
+
+TEST(PbtFramework, ShrinkBudgetBoundsPathologicalShrinkers) {
+  // A shrinker that always "improves" must terminate at the attempt budget
+  // rather than hang.
+  Config cfg;
+  cfg.cases = 1;
+  cfg.max_shrink_attempts = 50;
+  std::size_t attempts = 0;
+  const bool ok = pbt::check<std::uint64_t>(
+      "always_fails", [](Rng&) { return std::uint64_t{1}; },
+      [&](const std::uint64_t&) -> std::optional<std::string> {
+        ++attempts;
+        return "always";
+      },
+      cfg,
+      [](const std::uint64_t& x) {
+        return std::vector<std::uint64_t>{x + 1};  // never actually smaller
+      });
+  EXPECT_FALSE(ok);
+  EXPECT_LE(attempts, 52u);  // initial check + bounded shrink evaluations
+}
+
+TEST(PbtShrinkers, IntCandidatesMoveTowardFloor) {
+  const auto candidates = pbt::shrink_int(1000, 10);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(), 10);  // floor tried first
+  for (const std::int64_t c : candidates) {
+    EXPECT_GE(c, 10);
+    EXPECT_LT(c, 1000);
+  }
+  EXPECT_TRUE(pbt::shrink_int(10, 10).empty());
+  EXPECT_TRUE(pbt::shrink_int(5, 10).empty());
+}
+
+TEST(PbtShrinkers, UintAndRealCandidatesStayInRange) {
+  for (const std::uint64_t c : pbt::shrink_uint(77, 3)) {
+    EXPECT_GE(c, 3u);
+    EXPECT_LT(c, 77u);
+  }
+  for (const double c : pbt::shrink_real(8.0, 0.5)) {
+    EXPECT_GE(c, 0.5);
+    EXPECT_LT(c, 8.0);
+  }
+  EXPECT_TRUE(pbt::shrink_real(0.5, 0.5).empty());
+}
+
+TEST(PbtShrinkers, VectorCandidatesAreStrictlySimpler) {
+  const std::vector<int> v{5, 6, 7, 8};
+  const auto candidates = pbt::shrink_vector<int>(v);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) EXPECT_LT(c.size(), v.size());
+}
+
+TEST(PbtGenerators, ScalarsRespectBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = pbt::gen::int_in(rng, -5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    const double r = pbt::gen::real_in(rng, 0.25, 0.75);
+    EXPECT_GE(r, 0.25);
+    EXPECT_LT(r, 0.75);
+    const std::size_t s = pbt::gen::size_in(rng, 2, 9);
+    EXPECT_GE(s, 2u);
+    EXPECT_LE(s, 9u);
+  }
+}
+
+TEST(PbtGenerators, QuantizedTracesAreExactAdcMultiples) {
+  Rng rng(2);
+  const double q = pbt::gen::adc_quantum_mv();
+  EXPECT_DOUBLE_EQ(q, 400.0 / 256.0);
+  const std::vector<float> t = pbt::gen::quantized_trace(rng, 64);
+  for (const float x : t) {
+    const double codes = static_cast<double>(x) / q;
+    EXPECT_DOUBLE_EQ(codes, std::round(codes)) << "sample not on the grid";
+  }
+}
+
+TEST(PbtGenerators, ShardSplitPartitionsTheRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = pbt::gen::size_in(rng, 0, 50);
+    const auto sizes = pbt::gen::shard_split(rng, n, 5);
+    ASSERT_FALSE(sizes.empty());
+    EXPECT_LE(sizes.size(), 5u);
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    EXPECT_EQ(total, n);
+  }
+}
+
+}  // namespace
+}  // namespace rftc

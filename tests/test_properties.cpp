@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <array>
 #include <memory>
 #include <unordered_set>
 
@@ -12,7 +11,6 @@
 #include "baselines/phase_shift.hpp"
 #include "baselines/rcdd.hpp"
 #include "baselines/rdi.hpp"
-#include "clocking/drp_codec.hpp"
 #include "clocking/drp_controller.hpp"
 #include "rftc/device.hpp"
 #include "sched/fixed_clock.hpp"
@@ -231,149 +229,10 @@ TEST(TraceModelProperty, EnergyScalesWithRoundCountInWindow) {
 }
 
 
-// ---------------------------------------------------------------------------
-// XAPP888 codec fuzz: every realizable configuration survives the register
-// image round trip bit-exactly, and corrupted images never silently decode
-// to an electrically illegal configuration (docs/ROBUSTNESS.md).
-// ---------------------------------------------------------------------------
-
-namespace codec_fuzz {
-
-/// A uniformly drawn configuration that is realizable by construction:
-/// VCO pinned inside [600, 1200] MHz for fin = 24 MHz, dividers in range,
-/// fractional division only on output 0.
-clk::MmcmConfig random_realizable_config(Xoshiro256StarStar& rng) {
-  const clk::MmcmLimits limits;
-  clk::MmcmConfig cfg;
-  cfg.fin_mhz = 24.0;
-  cfg.divclk = 1 + static_cast<int>(rng.uniform(2));
-  // f_vco = 24 * (mult/8) / divclk in [600, 1200] =>
-  // mult_8ths in [200*divclk, 400*divclk], clamped to the attribute limit.
-  const int lo = 200 * cfg.divclk;
-  const int hi = std::min(400 * cfg.divclk, limits.mult_max_8ths);
-  cfg.mult_8ths =
-      lo + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(hi - lo + 1)));
-  for (int k = 0; k < clk::kMmcmOutputs; ++k) {
-    if (k == 0) {
-      // CLKOUT0_DIVIDE_F: any eighths value in [1.000, 128.000].
-      cfg.out_div_8ths[0] = 8 + static_cast<int>(rng.uniform(128 * 8 - 8 + 1));
-    } else {
-      cfg.out_div_8ths[static_cast<std::size_t>(k)] =
-          8 * (1 + static_cast<int>(rng.uniform(128)));
-    }
-    cfg.out_enabled[static_cast<std::size_t>(k)] = (rng.next() & 1) != 0;
-  }
-  cfg.out_enabled[0] = true;
-  return cfg;
-}
-
-/// Applies a write stream to a fresh 128-register image with the codec's
-/// read-modify-write semantics.
-std::array<std::uint16_t, 128> register_image(
-    const std::vector<clk::DrpWrite>& writes) {
-  std::array<std::uint16_t, 128> regs{};
-  for (const clk::DrpWrite& w : writes)
-    regs[w.addr] =
-        static_cast<std::uint16_t>((regs[w.addr] & ~w.mask) | (w.data & w.mask));
-  return regs;
-}
-
-/// The registers decode_config reads back.
-std::vector<std::uint8_t> decoder_read_addresses() {
-  std::vector<std::uint8_t> addrs;
-  for (int k = 0; k < clk::kMmcmOutputs; ++k) {
-    addrs.push_back(clk::drp_addr::clkout_reg1(k));
-    addrs.push_back(clk::drp_addr::clkout_reg2(k));
-  }
-  addrs.push_back(clk::drp_addr::kClkFbReg1);
-  addrs.push_back(clk::drp_addr::kClkFbReg2);
-  addrs.push_back(clk::drp_addr::kDivClk);
-  return addrs;
-}
-
-}  // namespace codec_fuzz
-
-TEST(DrpCodecFuzz, RealizableConfigsRoundTripBitExact) {
-  Xoshiro256StarStar rng(0xC0DEC);
-  const clk::MmcmLimits limits;
-  for (int trial = 0; trial < 10000; ++trial) {
-    const clk::MmcmConfig cfg = codec_fuzz::random_realizable_config(rng);
-    ASSERT_FALSE(cfg.validate(limits).has_value())
-        << "generator produced an unrealizable config at trial " << trial;
-
-    const std::vector<clk::DrpWrite> writes = clk::encode_config(cfg, limits);
-    clk::MmcmConfig back =
-        clk::decode_config(codec_fuzz::register_image(writes), cfg.fin_mhz);
-    ASSERT_EQ(back.mult_8ths, cfg.mult_8ths) << "trial " << trial;
-    ASSERT_EQ(back.divclk, cfg.divclk) << "trial " << trial;
-    for (int k = 0; k < clk::kMmcmOutputs; ++k)
-      ASSERT_EQ(back.out_div_8ths[static_cast<std::size_t>(k)],
-                cfg.out_div_8ths[static_cast<std::size_t>(k)])
-          << "trial " << trial << " output " << k;
-
-    // Re-encode and compare write streams bit-exactly.  BUFG presence is
-    // design-time state the register file does not carry, so restore it
-    // before re-encoding.
-    back.out_enabled = cfg.out_enabled;
-    const std::vector<clk::DrpWrite> again = clk::encode_config(back, limits);
-    ASSERT_EQ(again.size(), writes.size()) << "trial " << trial;
-    for (std::size_t i = 0; i < writes.size(); ++i) {
-      ASSERT_EQ(again[i].addr, writes[i].addr) << "trial " << trial;
-      ASSERT_EQ(again[i].data, writes[i].data) << "trial " << trial;
-      ASSERT_EQ(again[i].mask, writes[i].mask) << "trial " << trial;
-    }
-  }
-}
-
-TEST(DrpCodecFuzz, BitFlippedImagesNeverValidateOutOfRange) {
-  // decode_config is total — a corrupted image decodes to *something* —
-  // so validate() is the oracle that must catch every electrically
-  // illegal result.  If validate passes, the decoded configuration really
-  // is in range; a corrupted image must never silently yield an
-  // out-of-range VCO.
-  Xoshiro256StarStar rng(0xF11BED);
-  const clk::MmcmLimits limits;
-  const std::vector<std::uint8_t> addrs = codec_fuzz::decoder_read_addresses();
-  int rejected = 0;
-  const int kTrials = 4000;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    const clk::MmcmConfig cfg = codec_fuzz::random_realizable_config(rng);
-    std::array<std::uint16_t, 128> regs =
-        codec_fuzz::register_image(clk::encode_config(cfg, limits));
-    // Flip 1-3 random bits across the registers the decoder reads.
-    const int flips = 1 + static_cast<int>(rng.uniform(3));
-    for (int f = 0; f < flips; ++f) {
-      const std::uint8_t addr = addrs[rng.uniform(addrs.size())];
-      regs[addr] ^= static_cast<std::uint16_t>(1u << rng.uniform(16));
-    }
-    const clk::MmcmConfig decoded = clk::decode_config(regs, cfg.fin_mhz);
-    const auto error = decoded.validate(limits);
-    if (error.has_value()) {
-      ++rejected;
-      continue;
-    }
-    // Survivors must be genuinely legal, not silently out of range.
-    EXPECT_GE(decoded.vco_mhz(), limits.vco_min_mhz) << "trial " << trial;
-    EXPECT_LE(decoded.vco_mhz(), limits.vco_max_mhz) << "trial " << trial;
-    EXPECT_GE(decoded.mult_8ths, limits.mult_min_8ths) << "trial " << trial;
-    EXPECT_LE(decoded.mult_8ths, limits.mult_max_8ths) << "trial " << trial;
-    EXPECT_GE(decoded.divclk, limits.divclk_min) << "trial " << trial;
-    EXPECT_LE(decoded.divclk, limits.divclk_max) << "trial " << trial;
-    for (int k = 0; k < clk::kMmcmOutputs; ++k) {
-      EXPECT_GE(decoded.out_div_8ths[static_cast<std::size_t>(k)],
-                limits.out_div_min_8ths)
-          << "trial " << trial;
-      EXPECT_LE(decoded.out_div_8ths[static_cast<std::size_t>(k)],
-                limits.out_div_max_8ths)
-          << "trial " << trial;
-    }
-  }
-  // The oracle must actually fire.  Most single-bit flips land in
-  // phase/delay fields that decode back to a legal divider, but feedback
-  // and DIVCLK field damage moves the VCO far out of band, so a solid
-  // fraction of trials must be rejected.
-  EXPECT_GT(rejected, kTrials / 20);
-}
+// The XAPP888 codec fuzz loop that used to live here (round-trip bit
+// exactness and the bit-flip validate() oracle) is now generator-driven
+// under the pbt framework, with shrinking and a replayable reproducer
+// seed: see tests/test_pbt_clocking.cpp and src/pbt/generators.hpp.
 
 }  // namespace
 }  // namespace rftc

@@ -380,28 +380,36 @@ TEST(SimdGolden, WelchTBitIdenticalAcrossBackendsAndShardings) {
   }
 }
 
-TEST(SimdGolden, WelchTMatchesRunningMomentsReference) {
-  // The SoA WelchTTest must reproduce the scalar RunningMoments/welch_t
-  // arithmetic exactly, on every backend.
+TEST(SimdGolden, WelchTMatchesScalarSumsReference) {
+  // The SoA WelchTTest must reproduce a naive scalar raw-sums accumulation
+  // exactly, on every backend — the accumulate_sums kernels may not reorder
+  // per-lane additions.
   BackendGuard guard;
   const Campaign c = make_campaign(64, 40, 0xfeed);
   for (const simd::Backend b : available_backends()) {
     simd::set_backend(b);
     WelchTTest tt(40);
-    std::vector<RunningMoments> fixed(40), random(40);
+    std::vector<double> fn(40, 0.0), fs(40, 0.0), fs2(40, 0.0);
+    std::vector<double> rn(40, 0.0), rs(40, 0.0), rs2(40, 0.0);
     for (std::size_t i = 0; i < c.traces.size(); ++i) {
       std::vector<double> d(c.traces[i].begin(), c.traces[i].end());
-      if (i % 2 == 0) {
+      auto* n = i % 2 == 0 ? &fn : &rn;
+      auto* s1 = i % 2 == 0 ? &fs : &rs;
+      auto* s2 = i % 2 == 0 ? &fs2 : &rs2;
+      if (i % 2 == 0)
         tt.add_fixed(d);
-        for (std::size_t s = 0; s < d.size(); ++s) fixed[s].add(d[s]);
-      } else {
+      else
         tt.add_random(d);
-        for (std::size_t s = 0; s < d.size(); ++s) random[s].add(d[s]);
+      for (std::size_t s = 0; s < d.size(); ++s) {
+        (*n)[s] += 1.0;
+        (*s1)[s] += d[s];
+        (*s2)[s] += d[s] * d[s];
       }
     }
     const std::vector<double> got = tt.t_values();
     for (std::size_t s = 0; s < got.size(); ++s) {
-      const double want = welch_t(fixed[s], random[s]);
+      const double want =
+          welch_t_from_sums(fn[s], fs[s], fs2[s], rn[s], rs[s], rs2[s]);
       EXPECT_EQ(std::memcmp(&got[s], &want, sizeof(double)), 0) << "s=" << s;
     }
   }
