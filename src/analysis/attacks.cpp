@@ -15,20 +15,12 @@
 
 namespace rftc::analysis {
 
-namespace {
-
-struct CheckpointEval {
-  bool recovered = false;
-  double mean_rank = 0.0;
-  double peak_corr = 0.0;
-};
-
 /// One engine.report() pass serves success, mean rank and the peak
 /// correlation (the old code paid two full report passes per checkpoint via
 /// key_recovered() + mean_rank()).
-CheckpointEval evaluate_checkpoint(const CpaEngine& engine,
-                                   const aes::Block& correct_key) {
-  CheckpointEval ev;
+AttackCheckpoint evaluate_attack_checkpoint(const CpaEngine& engine,
+                                            const aes::Block& correct_key) {
+  AttackCheckpoint ev;
   const std::vector<CpaEngine::ByteReport> reports = engine.report();
   if (reports.empty()) return ev;
   ev.recovered = true;
@@ -45,6 +37,30 @@ CheckpointEval evaluate_checkpoint(const CpaEngine& engine,
   ev.mean_rank = rank_sum / static_cast<double>(reports.size());
   return ev;
 }
+
+std::vector<int> normalized_byte_positions(const AttackParams& params) {
+  std::vector<int> bytes = params.byte_positions;
+  if (bytes.empty()) {
+    bytes.resize(16);
+    std::iota(bytes.begin(), bytes.end(), 0);
+  }
+  return bytes;
+}
+
+std::vector<std::size_t> normalized_checkpoints(const AttackParams& params,
+                                                std::size_t total) {
+  std::vector<std::size_t> checkpoints = params.checkpoints;
+  if (checkpoints.empty()) checkpoints = {total};
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(
+      std::remove_if(checkpoints.begin(), checkpoints.end(),
+                     [&](std::size_t c) { return c == 0 || c > total; }),
+      checkpoints.end());
+  if (checkpoints.empty()) checkpoints = {total};
+  return checkpoints;
+}
+
+namespace {
 
 /// Phase the preprocessing transform of an attack kind bills to (nullptr
 /// for plain CPA, which has no transform).
@@ -91,20 +107,9 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
   static obs::Counter& traces_attacked =
       obs::Registry::global().counter("analysis.traces_attacked");
 
-  std::vector<int> bytes = params.byte_positions;
-  if (bytes.empty()) {
-    bytes.resize(16);
-    std::iota(bytes.begin(), bytes.end(), 0);
-  }
-
-  std::vector<std::size_t> checkpoints = params.checkpoints;
-  if (checkpoints.empty()) checkpoints = {src.total};
-  std::sort(checkpoints.begin(), checkpoints.end());
-  checkpoints.erase(
-      std::remove_if(checkpoints.begin(), checkpoints.end(),
-                     [&](std::size_t c) { return c == 0 || c > src.total; }),
-      checkpoints.end());
-  if (checkpoints.empty()) checkpoints = {src.total};
+  const std::vector<int> bytes = normalized_byte_positions(params);
+  const std::vector<std::size_t> checkpoints =
+      normalized_checkpoints(params, src.total);
 
   // Preprocessing setup.
   std::vector<double> dtw_ref;
@@ -248,7 +253,8 @@ AttackOutcome run_attack_impl(const SegmentSource& src,
       i = block_end;
       while (next_cp < checkpoints.size() && i == checkpoints[next_cp]) {
         obs::PhaseScope report_phase(obs::kPhaseReport);
-        const CheckpointEval ev = evaluate_checkpoint(engine, correct_key);
+        const AttackCheckpoint ev =
+            evaluate_attack_checkpoint(engine, correct_key);
         out.checkpoints.push_back(checkpoints[next_cp]);
         out.success.push_back(ev.recovered);
         out.mean_rank.push_back(ev.mean_rank);
@@ -361,6 +367,47 @@ AttackOutcome run_attack(const trace::TraceStore& store,
         }
       };
   return run_attack_impl(src, correct_key, params);
+}
+
+CpaEngine accumulate_attack_range(const trace::TraceStore& store,
+                                  const AttackParams& params, std::size_t t0,
+                                  std::size_t t1) {
+  if (params.kind != AttackKind::kCpa)
+    throw std::invalid_argument(
+        "accumulate_attack_range: only plain CPA shards merge bit-exactly");
+  if (store.size() == 0)
+    throw std::invalid_argument("accumulate_attack_range: empty store");
+  const std::size_t factor = std::max<std::size_t>(1, params.downsample);
+  if (store.samples() / factor == 0)
+    throw std::invalid_argument(
+        "accumulate_attack_range: downsample factor too large");
+
+  CpaEngine engine(store.samples() / factor, normalized_byte_positions(params),
+                   params.leakage, params.engine_mode);
+  static obs::Counter& traces_attacked =
+      obs::Registry::global().counter("analysis.traces_attacked");
+  store.for_range(
+      t0, t1,
+      [&](const trace::TraceChunk& c, std::size_t k0, std::size_t k1) {
+        // Materialize just the shard's slice of the chunk, downsampled with
+        // the exact chunk_to_set arithmetic (box averaging is per trace, so
+        // the slice matches the full-chunk conversion bit for bit).
+        trace::TraceSet raw(c.samples());
+        raw.reserve(k1 - k0);
+        {
+          obs::PhaseScope io(obs::kPhaseStoreIo);
+          for (std::size_t k = k0; k < k1; ++k)
+            raw.add(std::vector<float>(c.trace(k).begin(), c.trace(k).end()),
+                    c.plaintext(k), c.ciphertext(k));
+        }
+        const trace::TraceSet seg =
+            factor > 1 ? raw.downsampled(factor) : std::move(raw);
+        obs::PhaseScope kernel_phase(obs::kPhaseCpaKernel);
+        for (std::size_t i = 0; i < seg.size(); ++i)
+          engine.add(seg.plaintext(i), seg.ciphertext(i), seg.trace(i));
+        traces_attacked.inc(seg.size());
+      });
+  return engine;
 }
 
 }  // namespace rftc::analysis

@@ -98,4 +98,44 @@ AttackOutcome run_attack(const trace::TraceStore& store,
                          const aes::Block& correct_key,
                          const AttackParams& params);
 
+/// One checkpoint evaluation distilled from a single engine.report() pass.
+struct AttackCheckpoint {
+  bool recovered = false;
+  double mean_rank = 0.0;
+  double peak_corr = 0.0;
+};
+
+/// Scores `engine` against `correct_key` exactly as the run_attack
+/// checkpoint loop does (one report pass serves success, mean rank and peak
+/// correlation).  Public so the distributed coordinator evaluates merged
+/// shard prefixes through the identical code path.
+AttackCheckpoint evaluate_attack_checkpoint(const CpaEngine& engine,
+                                            const aes::Block& correct_key);
+
+/// The byte-position list run_attack actually attacks: params.byte_positions,
+/// or all 16 when empty.
+std::vector<int> normalized_byte_positions(const AttackParams& params);
+
+/// The checkpoint schedule run_attack actually evaluates for a campaign of
+/// `total` traces: params.checkpoints sorted with 0 and >total dropped
+/// (duplicates kept — they evaluate twice), falling back to {total} when the
+/// list is empty before or after filtering.  The distributed coordinator
+/// shares this so its shard cuts land on exactly the single-process
+/// checkpoints.
+std::vector<std::size_t> normalized_checkpoints(const AttackParams& params,
+                                                std::size_t total);
+
+/// Sharded-campaign primitive: builds a fresh CpaEngine with run_attack's
+/// geometry (downsampled samples, normalized byte positions, params.leakage
+/// and params.engine_mode) and feeds it store traces [t0, t1) in index
+/// order, `t1` clamped to the store size.  Only plain CPA is supported:
+/// raw ADC traces keep every engine sum exact, so CpaEngine::merge over any
+/// partition of the trace range is bit-identical to the single-process
+/// engine — the contract the rftc::dist workers build on.  Preprocessed
+/// kinds (PCA/DTW/FFT/SW features are not exactly representable) throw
+/// std::invalid_argument rather than merging approximately.
+CpaEngine accumulate_attack_range(const trace::TraceStore& store,
+                                  const AttackParams& params, std::size_t t0,
+                                  std::size_t t1);
+
 }  // namespace rftc::analysis

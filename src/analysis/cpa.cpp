@@ -15,6 +15,7 @@
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
+#include "util/wire.hpp"
 
 namespace rftc::analysis {
 
@@ -180,6 +181,84 @@ void CpaEngine::merge(const CpaEngine& other) {
     fold(class_w_, other.class_w_);
     fold(class_d_, other.class_d_);
   }
+}
+
+namespace {
+constexpr char kCpaMagic[9] = "RFTCCPA1";
+}  // namespace
+
+std::vector<unsigned char> CpaEngine::serialize() const {
+  flush();  // the blob must not depend on tile boundaries
+  const std::size_t cross = mode_ == CpaMode::kStreaming
+                                ? sum_ht_.size()
+                                : class_w_.size() + class_d_.size();
+  std::vector<unsigned char> out;
+  out.reserve(8 + 2 * sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t) +
+              bytes_.size() * sizeof(std::uint32_t) +
+              (sum_t_.size() + sum_t2_.size() + sum_h_.size() + sum_h2_.size() +
+               cross) *
+                  sizeof(double) +
+              sizeof(std::uint32_t));
+  wire::put_magic(out, kCpaMagic);
+  wire::put_u32(out, mode_ == CpaMode::kStreaming ? 0u : 1u);
+  wire::put_u32(out, model_ == aes::LeakageModel::kLastRoundHd ? 0u : 1u);
+  wire::put_u64(out, samples_);
+  wire::put_u64(out, bytes_.size());
+  wire::put_u64(out, n_);
+  for (const int b : bytes_) wire::put_u32(out, static_cast<std::uint32_t>(b));
+  wire::put_array(out, sum_t_.data(), sum_t_.size());
+  wire::put_array(out, sum_t2_.data(), sum_t2_.size());
+  wire::put_array(out, sum_h_.data(), sum_h_.size());
+  wire::put_array(out, sum_h2_.data(), sum_h2_.size());
+  if (mode_ == CpaMode::kStreaming) {
+    wire::put_array(out, sum_ht_.data(), sum_ht_.size());
+  } else {
+    wire::put_array(out, class_w_.data(), class_w_.size());
+    wire::put_array(out, class_d_.data(), class_d_.size());
+  }
+  wire::seal(out);
+  return out;
+}
+
+CpaEngine CpaEngine::deserialize(std::span<const unsigned char> blob) {
+  wire::Reader r(blob, "CpaEngine::deserialize");
+  r.check_crc();
+  r.expect_magic(kCpaMagic);
+  const std::uint32_t mode_tag = r.u32();
+  const std::uint32_t model_tag = r.u32();
+  if (mode_tag > 1 || model_tag > 1)
+    throw std::runtime_error("CpaEngine::deserialize: unknown mode/model tag");
+  const std::uint64_t samples = r.u64();
+  const std::uint64_t n_bytes = r.u64();
+  const std::uint64_t n = r.u64();
+  // The blob carries at least one double per (byte, sample); bound both
+  // before any allocation so a corrupt header cannot trigger a huge alloc.
+  if (samples == 0 || n_bytes == 0 || n_bytes > 16 ||
+      samples > blob.size() / sizeof(double))
+    throw std::runtime_error("CpaEngine::deserialize: implausible geometry");
+  std::vector<int> bytes(static_cast<std::size_t>(n_bytes));
+  for (int& b : bytes) b = static_cast<int>(r.u32());
+  for (const int b : bytes)
+    if (b < 0 || b > 15)
+      throw std::runtime_error(
+          "CpaEngine::deserialize: byte position out of range");
+  CpaEngine eng(static_cast<std::size_t>(samples), std::move(bytes),
+                model_tag == 0 ? aes::LeakageModel::kLastRoundHd
+                               : aes::LeakageModel::kFirstRoundHw,
+                mode_tag == 0 ? CpaMode::kStreaming : CpaMode::kBatched);
+  eng.n_ = static_cast<std::size_t>(n);
+  r.array(eng.sum_t_.data(), eng.sum_t_.size());
+  r.array(eng.sum_t2_.data(), eng.sum_t2_.size());
+  r.array(eng.sum_h_.data(), eng.sum_h_.size());
+  r.array(eng.sum_h2_.data(), eng.sum_h2_.size());
+  if (eng.mode_ == CpaMode::kStreaming) {
+    r.array(eng.sum_ht_.data(), eng.sum_ht_.size());
+  } else {
+    r.array(eng.class_w_.data(), eng.class_w_.size());
+    r.array(eng.class_d_.data(), eng.class_d_.size());
+  }
+  r.expect_end();
+  return eng;
 }
 
 void CpaEngine::add(const aes::Block& ciphertext,

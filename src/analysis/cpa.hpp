@@ -89,6 +89,17 @@ class CpaEngine {
   /// tests/test_pbt_merge.cpp).  Throws std::invalid_argument on mismatch.
   void merge(const CpaEngine& other);
 
+  /// Byte-exact snapshot of the engine state for the distributed campaign
+  /// protocol: geometry (samples, byte positions, model, mode) plus every
+  /// accumulator array, raw doubles/int64s with a trailing CRC-32.  Any
+  /// buffered tile is flushed first, so the blob is independent of the
+  /// batch size.  deserialize() reconstructs an engine whose merge() and
+  /// report() are bit-identical to the original; corrupt, truncated or
+  /// wrong-magic payloads throw std::runtime_error instead of merging
+  /// garbage.
+  std::vector<unsigned char> serialize() const;
+  static CpaEngine deserialize(std::span<const unsigned char> blob);
+
   struct ByteReport {
     int byte_pos = 0;
     /// max_s |corr(g, s)| for every guess.

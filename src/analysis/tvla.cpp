@@ -48,31 +48,26 @@ void accumulate_block(WelchTTest& test, const trace::TvlaCapture& capture,
 
 /// Accumulates traces [i0, i1) of one store-backed population through the
 /// mapped chunk windows, sample-sharded exactly like accumulate_block.
-/// Chunks are visited in order and each per-sample shard walks the chunk's
-/// traces in index order, so every Welch accumulator sees the same update
-/// sequence as the in-RAM path — the golden streaming test pins the
-/// resulting t_values bit for bit.
+/// Chunks are visited in order (for_range maps one window at a time) and
+/// each per-sample shard walks the chunk's traces in index order, so every
+/// Welch accumulator sees the same update sequence as the in-RAM path — the
+/// golden streaming test pins the resulting t_values bit for bit.
 void accumulate_store_block(WelchTTest& test, const trace::TraceStore& store,
                             std::size_t i0, std::size_t i1, bool is_fixed) {
-  if (i0 >= i1) return;
-  for (std::size_t c = store.chunk_of(i0); c < store.chunk_count(); ++c) {
-    // One mapped chunk at a time: the window unmaps at the end of each
-    // iteration, keeping resident memory at O(chunk).
-    const trace::TraceChunk chunk = store.chunk(c);
-    const std::size_t b = std::max(i0, chunk.first());
-    const std::size_t e = std::min(i1, chunk.first() + chunk.count());
-    if (b >= e) break;
-    par::parallel_for(0, store.samples(), kSampleGrain,
-                      [&](std::size_t s0, std::size_t s1) {
-                        for (std::size_t i = b; i < e; ++i) {
-                          const auto tr = chunk.trace(i - chunk.first());
-                          if (is_fixed)
-                            test.add_fixed_range(tr, s0, s1);
-                          else
-                            test.add_random_range(tr, s0, s1);
-                        }
-                      });
-  }
+  store.for_range(
+      i0, i1,
+      [&](const trace::TraceChunk& chunk, std::size_t k0, std::size_t k1) {
+        par::parallel_for(0, store.samples(), kSampleGrain,
+                          [&](std::size_t s0, std::size_t s1) {
+                            for (std::size_t k = k0; k < k1; ++k) {
+                              const auto tr = chunk.trace(k);
+                              if (is_fixed)
+                                test.add_fixed_range(tr, s0, s1);
+                              else
+                                test.add_random_range(tr, s0, s1);
+                            }
+                          });
+      });
 }
 
 /// Checkpointed Welch skeleton shared by the in-RAM and streamed paths:
@@ -146,6 +141,13 @@ TvlaResult run_tvla_impl(
 }
 
 }  // namespace
+
+void accumulate_tvla_range(WelchTTest& test, const trace::TraceStore& store,
+                           std::size_t t0, std::size_t t1, bool fixed) {
+  if (test.samples() != store.samples())
+    throw std::invalid_argument("accumulate_tvla_range: sample mismatch");
+  accumulate_store_block(test, store, t0, std::min(t1, store.size()), fixed);
+}
 
 TvlaResult run_tvla(const trace::TvlaCapture& capture,
                     ConvergenceMonitor* monitor) {

@@ -9,6 +9,7 @@
 
 #include "trace/acquisition.hpp"
 #include "trace/trace_store.hpp"
+#include "util/stats.hpp"
 
 namespace rftc::analysis {
 
@@ -45,5 +46,15 @@ TvlaResult run_tvla(const trace::TvlaCapture& capture,
 /// while only O(chunk) of either corpus is resident at a time.
 TvlaResult run_tvla(const trace::StoredTvlaCapture& capture,
                     ConvergenceMonitor* monitor = nullptr);
+
+/// Sharded-campaign primitive: feeds traces [t0, t1) of one store-backed
+/// population into `test` (the fixed class when `fixed`, else the random
+/// class), walking chunks through the same sample-sharded accumulation as
+/// the streamed run_tvla.  Per-shard sums are exact on ADC-quantized
+/// traces, so WelchTTest::merge over any partition of both populations is
+/// bit-identical to the single-process accumulator — the contract the
+/// rftc::dist workers build on.  `t1` is clamped to the store size.
+void accumulate_tvla_range(WelchTTest& test, const trace::TraceStore& store,
+                           std::size_t t0, std::size_t t1, bool fixed);
 
 }  // namespace rftc::analysis

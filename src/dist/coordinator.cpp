@@ -1,0 +1,329 @@
+#include "dist/coordinator.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cpa.hpp"
+#include "obs/checkpoints.hpp"
+#include "obs/log.hpp"
+#include "trace/trace_store.hpp"
+#include "util/stats.hpp"
+
+extern "C" char** environ;
+
+namespace rftc::dist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Child environment: the parent's, minus the shared-sink RFTC_OBS_*
+/// variables every worker would otherwise clobber, plus per-shard heartbeat
+/// and post-mortem sinks under the campaign directory — each worker gets its
+/// own liveness stream and crash bundle.
+std::vector<std::string> child_env(const std::string& stem) {
+  std::vector<std::string> env;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const std::string_view s(*e);
+    if (s.starts_with("RFTC_OBS_HEARTBEAT=") ||
+        s.starts_with("RFTC_OBS_POSTMORTEM=") ||
+        s.starts_with("RFTC_OBS_TRACE=") ||
+        s.starts_with("RFTC_OBS_TRACE_JSONL=") ||
+        s.starts_with("RFTC_OBS_METRICS="))
+      continue;
+    env.emplace_back(s);
+  }
+  env.push_back("RFTC_OBS_HEARTBEAT=" + stem + ".heartbeat.jsonl");
+  env.push_back("RFTC_OBS_POSTMORTEM=" + stem + ".postmortem.json");
+  return env;
+}
+
+pid_t spawn_worker(const std::string& binary, const std::string& task_path,
+                   const std::vector<std::string>& env) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  argv.push_back(const_cast<char*>(task_path.c_str()));
+  argv.push_back(nullptr);
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (const std::string& s : env) envp.push_back(const_cast<char*>(s.c_str()));
+  envp.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::execve(binary.c_str(), argv.data(), envp.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+std::span<const unsigned char> as_bytes(const std::string& blob) {
+  return {reinterpret_cast<const unsigned char*>(blob.data()), blob.size()};
+}
+
+/// max |t| exactly as run_tvla_impl computes it at a convergence checkpoint.
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+std::string default_worker_binary() {
+  if (const char* env = std::getenv("RFTC_WORKER_BIN");
+      env != nullptr && *env != '\0')
+    return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    const std::string self(buf);
+    const std::size_t slash = self.find_last_of('/');
+    if (slash != std::string::npos)
+      return self.substr(0, slash + 1) + "rftc-worker";
+  }
+  return "rftc-worker";
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CoordinatorOptions& options) {
+  if (options.workers == 0)
+    throw std::invalid_argument("run_campaign: workers must be >= 1");
+  if (options.dir.empty())
+    throw std::invalid_argument("run_campaign: campaign dir required");
+  const std::string binary = options.worker_binary.empty()
+                                 ? default_worker_binary()
+                                 : options.worker_binary;
+  if (::access(binary.c_str(), X_OK) != 0)
+    throw std::invalid_argument("run_campaign: worker binary not executable: " +
+                                binary);
+  // Absolute campaign dir: shard paths go into task files and child
+  // environments, which must not depend on any process's working directory
+  // (or get re-rooted under RFTC_BENCH_DIR by the obs sinks).
+  const std::string dir = fs::absolute(options.dir).string();
+  fs::create_directories(dir + "/shards");
+
+  // Campaign geometry and the checkpoint schedule the merge must hit.
+  // `span` is the trace-index axis being sharded; for TVLA it is the union
+  // axis [0, max(nf, nr)) — each population clips to its own size inside
+  // the worker.
+  std::size_t span = 0;
+  std::size_t n_fixed = 0, n_random = 0, tvla_samples = 0;
+  std::vector<std::size_t> eval_cuts;  // attack checkpoints / TVLA conv points
+  if (spec.kind == CampaignKind::kAttack) {
+    const trace::TraceStore store(spec.store);
+    if (store.size() == 0)
+      throw std::invalid_argument("run_campaign: empty store");
+    span = store.size();
+    eval_cuts = analysis::normalized_checkpoints(spec.attack_params(), span);
+  } else {
+    const trace::TraceStore fixed(spec.fixed_store);
+    const trace::TraceStore random(spec.random_store);
+    if (fixed.samples() != random.samples())
+      throw std::invalid_argument(
+          "run_campaign: fixed/random sample count mismatch");
+    n_fixed = fixed.size();
+    n_random = random.size();
+    tvla_samples = fixed.samples();
+    span = std::max(n_fixed, n_random);
+    const std::size_t paired = std::min(n_fixed, n_random);
+    // Exactly the schedule run_tvla_impl walks: env checkpoints below the
+    // paired count (the final count is evaluated after the tails), plus the
+    // paired boundary itself so the lockstep region ends on a cut.
+    for (const std::size_t cp : obs::checkpoints_from_env(paired)) {
+      if (cp >= paired) break;
+      eval_cuts.push_back(cp);
+    }
+    if (paired > 0) eval_cuts.push_back(paired);
+  }
+
+  const std::vector<ShardRange> shards =
+      plan_shards(span, options.workers, eval_cuts);
+
+  // campaign.json is provenance and the resume cross-check: merging shards
+  // of a *different* campaign that happens to share the directory would be
+  // silent corruption, so any mismatch is fatal.
+  const std::string campaign_path = dir + "/campaign.json";
+  const std::string campaign_json = campaign_to_json(spec);
+  if (fs::exists(campaign_path)) {
+    if (read_file(campaign_path) != campaign_json)
+      throw std::invalid_argument(
+          "run_campaign: " + campaign_path +
+          " holds a different campaign; use a fresh directory");
+  } else {
+    write_file_atomic(campaign_path, campaign_json);
+  }
+
+  CampaignResult result;
+  result.shards_total = shards.size();
+
+  // Resume scan: a shard whose manifest checkpoint still matches its
+  // snapshot survived the previous run (however it died) and is reused.
+  std::vector<bool> done_flags(shards.size(), false);
+  std::vector<std::size_t> queue;
+  for (const ShardRange& shard : shards) {
+    const std::string stem = shard_stem(dir, shard.index);
+    if (shard_complete(shard, stem + ".acc", stem + ".done.json")) {
+      done_flags[shard.index] = true;
+      ++result.shards_reused;
+    } else {
+      queue.push_back(shard.index);
+    }
+  }
+
+  // Dispatch: up to `workers` concurrent children, kill detection via
+  // waitpid, bounded retries, and any terminal failure leaves the directory
+  // resumable.
+  std::map<pid_t, std::size_t> running;
+  std::vector<std::size_t> attempts(shards.size(), 0);
+  std::vector<std::size_t> failed;
+  std::size_t next = 0;
+  while (next < queue.size() || !running.empty()) {
+    while (running.size() < options.workers && next < queue.size()) {
+      const std::size_t idx = queue[next++];
+      const ShardRange& shard = shards[idx];
+      const std::string stem = shard_stem(dir, idx);
+      ShardTask task;
+      task.spec = spec;
+      task.shard = shard;
+      task.acc_path = stem + ".acc";
+      task.done_path = stem + ".done.json";
+      write_file_atomic(stem + ".task.json", task_to_json(task));
+      ++attempts[idx];
+      const pid_t pid =
+          spawn_worker(binary, stem + ".task.json", child_env(stem));
+      if (pid < 0) {
+        if (attempts[idx] <= options.retries) {
+          ++result.worker_restarts;
+          queue.push_back(idx);
+        } else {
+          failed.push_back(idx);
+        }
+        continue;
+      }
+      running.emplace(pid, idx);
+    }
+    if (running.empty()) break;
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("run_campaign: waitpid failed: ") +
+                               std::strerror(errno));
+    }
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;  // not one of ours
+    const std::size_t idx = it->second;
+    running.erase(it);
+    const std::string stem = shard_stem(dir, idx);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (clean &&
+        shard_complete(shards[idx], stem + ".acc", stem + ".done.json")) {
+      done_flags[idx] = true;
+      continue;
+    }
+    obs::log::warn(
+        "dist", "worker attempt failed",
+        {obs::log::kv("shard", static_cast<double>(idx)),
+         obs::log::kv("signal", WIFSIGNALED(status)
+                                    ? static_cast<double>(WTERMSIG(status))
+                                    : 0.0),
+         obs::log::kv("exit", WIFEXITED(status)
+                                  ? static_cast<double>(WEXITSTATUS(status))
+                                  : -1.0)});
+    if (attempts[idx] <= options.retries) {
+      ++result.worker_restarts;
+      queue.push_back(idx);
+    } else {
+      failed.push_back(idx);
+    }
+  }
+  if (!failed.empty()) {
+    std::sort(failed.begin(), failed.end());
+    std::string list;
+    for (const std::size_t idx : failed) {
+      if (!list.empty()) list += ", ";
+      list += std::to_string(idx);
+    }
+    throw std::runtime_error(
+        "run_campaign: shards exhausted retries: {" + list +
+        "}; the campaign directory is intact — rerun to resume");
+  }
+
+  // Merge in range order.  Every eval cut is a shard boundary, so the
+  // merged prefix state at a checkpoint is bit-identical (exact sums) to
+  // the single-process accumulator there, and the evaluations below go
+  // through the exact single-process code paths.
+  if (spec.kind == CampaignKind::kAttack) {
+    const aes::Block key = spec.key();
+    result.attack.kind = analysis::AttackKind::kCpa;
+    std::optional<analysis::CpaEngine> merged;
+    std::size_t next_cp = 0;
+    for (const ShardRange& shard : shards) {
+      const std::string blob = read_file(shard_stem(dir, shard.index) + ".acc");
+      analysis::CpaEngine engine =
+          analysis::CpaEngine::deserialize(as_bytes(blob));
+      if (!merged)
+        merged.emplace(std::move(engine));
+      else
+        merged->merge(engine);
+      // Duplicate checkpoints evaluate twice, exactly like run_attack.
+      while (next_cp < eval_cuts.size() && eval_cuts[next_cp] == shard.t1) {
+        const analysis::AttackCheckpoint ev =
+            analysis::evaluate_attack_checkpoint(*merged, key);
+        result.attack.checkpoints.push_back(eval_cuts[next_cp]);
+        result.attack.success.push_back(ev.recovered);
+        result.attack.mean_rank.push_back(ev.mean_rank);
+        result.attack.peak_corr.push_back(ev.peak_corr);
+        ++next_cp;
+      }
+    }
+  } else {
+    const std::size_t paired = std::min(n_fixed, n_random);
+    std::optional<WelchTTest> merged;
+    analysis::TvlaResult& res = result.tvla;
+    for (const ShardRange& shard : shards) {
+      const std::string blob = read_file(shard_stem(dir, shard.index) + ".acc");
+      WelchTTest test = WelchTTest::deserialize(as_bytes(blob));
+      if (test.samples() != tvla_samples)
+        throw std::runtime_error(
+            "run_campaign: shard snapshot sample count mismatch");
+      if (!merged)
+        merged.emplace(std::move(test));
+      else
+        merged->merge(test);
+      // Convergence entries at the env schedule below the paired count —
+      // the same points run_tvla_impl records before its final entry.
+      if (shard.t1 < paired &&
+          std::binary_search(eval_cuts.begin(), eval_cuts.end(), shard.t1))
+        res.convergence.emplace_back(shard.t1, max_abs(merged->t_values()));
+    }
+    res.t_values = merged->t_values();
+    for (std::size_t s = 0; s < res.t_values.size(); ++s) {
+      const double a = std::fabs(res.t_values[s]);
+      if (a > res.max_abs_t) {
+        res.max_abs_t = a;
+        res.worst_sample = s;
+      }
+      if (a > analysis::kTvlaThreshold) ++res.leaking_samples;
+    }
+    res.convergence.emplace_back(n_fixed, res.max_abs_t);
+  }
+  return result;
+}
+
+}  // namespace rftc::dist

@@ -104,9 +104,20 @@ std::string build_line(SamplerState& s, double elapsed) {
     throughput = captured / elapsed;
   const double fraction =
       total > 0.0 ? std::min(1.0, captured / total) : 0.0;
-  const double eta = throughput > 0.0 && total > captured
-                         ? (total - captured) / throughput
-                         : 0.0;
+  // ETA sentinel discipline: -1 means "unknown".  A near-zero throughput
+  // against a huge remaining total divides to absurd or non-finite values
+  // (inf/nan would even break strict-JSON consumers via json::number's
+  // null), so anything beyond ~30 years is reported as unknown rather than
+  // as a number no dashboard can render.  0 keeps its meaning of "done".
+  constexpr double kEtaUnknown = -1.0;
+  constexpr double kEtaCapSeconds = 1e9;
+  double eta = kEtaUnknown;
+  if (total > 0.0 && captured >= total) {
+    eta = 0.0;
+  } else if (throughput > 0.0 && total > captured) {
+    eta = (total - captured) / throughput;
+    if (!std::isfinite(eta) || eta > kEtaCapSeconds) eta = kEtaUnknown;
+  }
 
   const Tracer& tracer = Tracer::global();
 

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -163,6 +164,13 @@ void TraceStoreWriter::flush_chunk() {
 void TraceStoreWriter::finalize() {
   if (finalized_) return;
   flush_chunk();
+  // Durability ordering: every chunk byte must be on disk BEFORE the header
+  // stops saying "unfinalized".  Patching first would let the filesystem
+  // persist the finalized header ahead of the chunk writes, so a crash in
+  // that window leaves a header whose counts a resuming coordinator would
+  // trust while the payload behind it is unsynced garbage.
+  if (::fsync(fd_) != 0)
+    fail("chunk fsync failed: " + std::string(std::strerror(errno)), path_);
   unsigned char h[kHeaderBytes];
   encode_header(h, n_samples_, n_traces_, chunk_traces_, n_chunks_);
   if (::pwrite(fd_, h, sizeof h, 0) != static_cast<ssize_t>(sizeof h))
@@ -330,6 +338,22 @@ TraceChunk TraceStore::chunk(std::size_t i) const {
   c.ciphertexts_ = c.payload_ + 16 * count;
   c.traces_ = reinterpret_cast<const float*>(c.payload_ + 32 * count);
   return c;
+}
+
+void TraceStore::for_range(
+    std::size_t t0, std::size_t t1,
+    const std::function<void(const TraceChunk&, std::size_t, std::size_t)>&
+        fn) const {
+  t1 = std::min(t1, n_traces_);
+  if (t0 >= t1) return;
+  for (std::size_t c = chunk_of(t0); c < n_chunks_; ++c) {
+    // One mapped window at a time; it unmaps at the end of each iteration.
+    const TraceChunk chunk_win = chunk(c);
+    const std::size_t b = std::max(t0, chunk_win.first());
+    const std::size_t e = std::min(t1, chunk_win.first() + chunk_win.count());
+    if (b >= e) break;
+    fn(chunk_win, b - chunk_win.first(), e - chunk_win.first());
+  }
 }
 
 StoreVerifyResult TraceStore::verify() const {

@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "aes/aes128.hpp"
@@ -200,6 +201,16 @@ class TraceStore {
 
   /// Chunk index containing global trace `t`.
   std::size_t chunk_of(std::size_t t) const { return t / chunk_traces_; }
+
+  /// Walks the chunks overlapping global trace range [t0, t1) in order and
+  /// calls `fn(chunk, k0, k1)` with the chunk-local index range covering the
+  /// intersection — at most one chunk is mapped at a time.  This is the
+  /// shard-iteration primitive of the distributed campaign engine: a worker
+  /// owns [t0, t1) and never touches bytes outside its shard's chunks.
+  /// `t1` is clamped to size(); an empty intersection calls nothing.
+  void for_range(std::size_t t0, std::size_t t1,
+                 const std::function<void(const TraceChunk&, std::size_t,
+                                          std::size_t)>& fn) const;
 
   /// Walks every chunk and checks its payload CRC; never throws.
   StoreVerifyResult verify() const;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "simd/simd.hpp"
+#include "util/wire.hpp"
 
 namespace rftc {
 
@@ -131,6 +132,41 @@ void WelchTTest::merge(const WelchTTest& other) {
   fold(r_n_, other.r_n_);
   fold(r_sum_, other.r_sum_);
   fold(r_sum2_, other.r_sum2_);
+}
+
+namespace {
+constexpr char kWelchMagic[9] = "RFTCWEL1";
+}  // namespace
+
+std::vector<unsigned char> WelchTTest::serialize() const {
+  std::vector<unsigned char> out;
+  const std::size_t samples = f_n_.size();
+  out.reserve(8 + 8 + 6 * samples * sizeof(double) + 4);
+  wire::put_magic(out, kWelchMagic);
+  wire::put_u64(out, samples);
+  for (const std::vector<double>* arr :
+       {&f_n_, &f_sum_, &f_sum2_, &r_n_, &r_sum_, &r_sum2_})
+    wire::put_array(out, arr->data(), samples);
+  wire::seal(out);
+  return out;
+}
+
+WelchTTest WelchTTest::deserialize(std::span<const unsigned char> blob) {
+  wire::Reader r(blob, "WelchTTest::deserialize");
+  r.check_crc();
+  r.expect_magic(kWelchMagic);
+  const std::uint64_t samples = r.u64();
+  // The blob carries 6 double lanes per sample; bound before allocating.
+  if (samples == 0 || samples > blob.size() / (6 * sizeof(double)))
+    throw std::runtime_error(
+        "WelchTTest::deserialize: implausible sample count");
+  WelchTTest test(static_cast<std::size_t>(samples));
+  for (std::vector<double>* arr :
+       {&test.f_n_, &test.f_sum_, &test.f_sum2_, &test.r_n_, &test.r_sum_,
+        &test.r_sum2_})
+    r.array(arr->data(), static_cast<std::size_t>(samples));
+  r.expect_end();
+  return test;
 }
 
 std::size_t WelchTTest::fixed_count() const {

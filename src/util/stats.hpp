@@ -72,6 +72,15 @@ class WelchTTest {
   /// association order.  Throws std::invalid_argument on shape mismatch.
   void merge(const WelchTTest& other);
 
+  /// Byte-exact snapshot of the accumulator state for the distributed
+  /// campaign protocol: magic + sample count + the six raw-sum arrays, with
+  /// a trailing CRC-32 over everything before it.  deserialize() of the
+  /// blob reconstructs an accumulator that merges and reports bit-identically
+  /// to this one; a corrupt, truncated or wrong-magic payload throws
+  /// std::runtime_error instead of merging garbage.
+  std::vector<unsigned char> serialize() const;
+  static WelchTTest deserialize(std::span<const unsigned char> blob);
+
   /// Range variants for the sample-sharded parallel TVLA path: accumulate
   /// samples [s0, s1) of a raw float trace into the matching per-sample
   /// moments.  Each sample sees the same double-converted value and update

@@ -102,6 +102,27 @@ TEST(EnvParse, I64RejectsOverflowAndJunk) {
   EXPECT_FALSE(env::parse_i64("").has_value());
 }
 
+TEST(EnvParse, I64BitWidthBoundariesNeverWrap) {
+  // The INT64_MIN corner: |INT64_MIN| does not fit in int64_t, so the
+  // magnitude must be accumulated unsigned and the limit adjusted per sign
+  // — and magnitudes past uint64_t must be rejected outright, not wrap
+  // back into acceptance.
+  EXPECT_EQ(env::parse_i64("+9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(env::parse_i64(" -9223372036854775808 "),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(env::parse_i64("-0"), 0);
+  EXPECT_EQ(env::parse_i64("+0"), 0);
+  EXPECT_FALSE(env::parse_i64("+9223372036854775808").has_value());
+  // UINT64_MAX, UINT64_MAX + 1, and far beyond.
+  EXPECT_FALSE(env::parse_i64("-18446744073709551615").has_value());
+  EXPECT_FALSE(env::parse_i64("-18446744073709551616").has_value());
+  EXPECT_FALSE(env::parse_i64("-99999999999999999999999").has_value());
+  // A lone sign is not a number.
+  EXPECT_FALSE(env::parse_i64("-").has_value());
+  EXPECT_FALSE(env::parse_i64("+").has_value());
+}
+
 // ----------------------------------------------------------- parse_real --
 
 TEST(EnvParse, RealParsesFloatingFormats) {

@@ -194,6 +194,66 @@ TEST(HeartbeatSampler, BackgroundThreadTicksAndStopTakesAFinalOne) {
   std::filesystem::remove(sink);
 }
 
+// ---------------------------------------------------------- eta sentinel --
+
+TEST(HeartbeatEta, AbsurdEtaClampsToUnknownSentinel) {
+  // Regression: a near-zero throughput against a huge remaining total used
+  // to emit astronomic (or, once the division underflowed, non-finite)
+  // eta_seconds, which json::number renders as null — breaking every
+  // strict-JSON consumer of the stream.  Anything past the ~30-year cap is
+  // the -1 "unknown" sentinel instead.
+  Registry::global().reset_values();
+  Registry::global().counter("trace.traces_captured").inc(1);
+  set_campaign_total(1e18);
+  const std::string sink = temp_path("eta_absurd.jsonl");
+  HeartbeatSampler& sampler = HeartbeatSampler::global();
+  sampler.stop();
+  ASSERT_TRUE(sampler.configure(sink));
+  ASSERT_TRUE(sampler.tick_now());
+  const std::vector<HeartbeatSnapshot> snaps = read_heartbeats(sink);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].eta_seconds, -1.0);
+  // The table renderer shows "-" for the sentinel, never a raw -1.0s.
+  const std::string row = format_heartbeat_row(snaps[0], nullptr);
+  EXPECT_EQ(row.find("-1.0"), std::string::npos) << row;
+  // The emitted line stays one complete strict-JSON object.
+  std::ifstream in(sink);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(json::parse(line).is_object()) << line;
+  std::filesystem::remove(sink);
+}
+
+TEST(HeartbeatEta, ZeroThroughputIsUnknownNotInfinite) {
+  Registry::global().reset_values();
+  set_campaign_total(500.0);  // a total, but nothing captured yet
+  const std::string sink = temp_path("eta_stalled.jsonl");
+  HeartbeatSampler& sampler = HeartbeatSampler::global();
+  sampler.stop();
+  ASSERT_TRUE(sampler.configure(sink));
+  ASSERT_TRUE(sampler.tick_now());
+  const std::vector<HeartbeatSnapshot> snaps = read_heartbeats(sink);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].eta_seconds, -1.0);
+  std::filesystem::remove(sink);
+}
+
+TEST(HeartbeatEta, CompletedCampaignReportsZeroEta) {
+  Registry::global().reset_values();
+  Registry::global().counter("trace.traces_captured").inc(150);
+  set_campaign_total(100.0);  // over-capture must not go negative
+  const std::string sink = temp_path("eta_done.jsonl");
+  HeartbeatSampler& sampler = HeartbeatSampler::global();
+  sampler.stop();
+  ASSERT_TRUE(sampler.configure(sink));
+  ASSERT_TRUE(sampler.tick_now());
+  const std::vector<HeartbeatSnapshot> snaps = read_heartbeats(sink);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].eta_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snaps[0].fraction, 1.0);
+  std::filesystem::remove(sink);
+}
+
 TEST(HeartbeatSampler, UnconfiguredTickFails) {
   HeartbeatSampler& sampler = HeartbeatSampler::global();
   sampler.stop();

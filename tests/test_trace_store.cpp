@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -142,6 +145,70 @@ TEST(TraceStore, RejectsGarbageTruncationAndUnfinalized) {
     w.finalize();
   }
   EXPECT_NO_THROW(TraceStore{path});
+  std::filesystem::remove(path);
+}
+
+/// Deterministic 6-sample set the durability tests can rebuild on either
+/// side of a fork.
+TraceSet durability_set() {
+  TraceSet set(6);
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::vector<float> tr(6);
+    for (std::size_t s = 0; s < 6; ++s)
+      tr[s] = 0.125f * static_cast<float>(i * 6 + s);
+    aes::Block pt{}, ct{};
+    pt[0] = static_cast<std::uint8_t>(i);
+    ct[0] = static_cast<std::uint8_t>(0xC0 | i);
+    set.add(tr, pt, ct);
+  }
+  return set;
+}
+
+TEST(TraceStoreDurability, WriterKilledBeforeFinalizeIsDetectedOnOpen) {
+  // Real crash simulation: the child writes chunks and dies via _exit
+  // (no destructors, no flush) before finalize() — the header must still
+  // carry the open sentinel, so readers reject the torn store instead of
+  // analyzing a silently truncated corpus.
+  const std::string path = temp_store("kill_before_finalize");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    TraceStoreWriter w(path, 6, 4);
+    w.append(durability_set());
+    _exit(0);  // dies with the store mid-flight
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_THROW(TraceStore{path}, std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceStoreDurability, FinalizedStoreSurvivesWriterDeath) {
+  // finalize() fsyncs every chunk BEFORE patching the header and fsyncs
+  // again after the patch (regression: the header patch used to be able to
+  // reach disk ahead of its chunks, making a post-crash store look
+  // finalized while carrying torn payloads).  Once finalize() returns, the
+  // writer process dying must not matter.
+  const std::string path = temp_store("kill_after_finalize");
+  const TraceSet set = durability_set();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    TraceStoreWriter w(path, 6, 4);
+    w.append(durability_set());
+    w.finalize();
+    _exit(0);  // dies immediately after — durability must already hold
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  const TraceStore store(path);
+  const StoreVerifyResult v = store.verify();
+  EXPECT_TRUE(v.ok) << v.error;
+  expect_store_equals_set(store, set);
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,32 @@
+// rftc-worker: executes one shard task file of a distributed campaign (see
+// src/dist/protocol.hpp and docs/DISTRIBUTED.md).  Spawned by the
+// coordinator (rftc-campaign or rftc::dist::run_campaign); not normally run
+// by hand, but doing so is harmless — the task file is self-contained and
+// re-running a shard rewrites identical artifacts.
+//
+//   rftc-worker <shard.task.json>
+//
+// Observability sinks (heartbeat, post-mortem, logs) come from the
+// RFTC_OBS_* / RFTC_LOG_* environment the coordinator sets per shard.
+//
+// Exit codes: 0 = shard durable, 1 = any failure, 2 = usage error.
+#include <cstdio>
+#include <exception>
+
+#include "dist/worker.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  rftc::obs::init_from_env();
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: rftc-worker <shard.task.json>\n");
+    return 2;
+  }
+  try {
+    rftc::dist::run_worker_task(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rftc-worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
